@@ -1,0 +1,51 @@
+/// \file ablation_noise.cpp
+/// Ablation A3: noise distribution. The paper's algorithms use continuous
+/// Laplace noise with post-hoc rounding; the two-sided geometric mechanism
+/// is an integer-valued eps-DP alternative. This ablation shows the
+/// framework is noise-agnostic: accuracy and overhead match across both
+/// mechanisms for DP-Timer and DP-ANT at the default parameters.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpsync;
+using namespace dpsync::bench;
+
+int main() {
+  Banner("Ablation A3: Laplace vs geometric count perturbation",
+         "the noise mechanism behind Algorithm 2 (Perturb)");
+
+  TablePrinter table({"strategy", "noise", "mean L1 (Q2)", "mean QET (s)",
+                      "dummies", "gap (mean)"});
+  for (auto strategy : {StrategyKind::kDpTimer, StrategyKind::kDpAnt}) {
+    for (auto noise : {dp::NoiseKind::kLaplace, dp::NoiseKind::kGeometric}) {
+      sim::ExperimentConfig cfg;
+      cfg.strategy = strategy;
+      cfg.params.noise = noise;
+      cfg.enable_green = false;
+      cfg.queries = {{"Q2",
+                      "SELECT pickupID, COUNT(*) AS PickupCnt FROM YellowCab "
+                      "GROUP BY pickupID",
+                      360}};
+      ApplyFastMode(&cfg);
+      auto result = MustRun(cfg);
+      const auto& q2 = result.queries[0];
+      std::cout << "ablation_noise," << result.strategy_name << ","
+                << dp::NoiseKindName(noise) << "," << q2.mean_l1 << ","
+                << q2.mean_qet << "\n";
+      table.AddRow({result.strategy_name, dp::NoiseKindName(noise),
+                    TablePrinter::Fmt(q2.mean_l1),
+                    TablePrinter::Fmt(q2.mean_qet, 3),
+                    std::to_string(result.dummy_synced),
+                    TablePrinter::Fmt(result.mean_logical_gap)});
+    }
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected: both mechanisms give the same eps-DP guarantee "
+               "and statistically\nindistinguishable accuracy/overhead — the "
+               "framework does not depend on the\nnoise distribution's "
+               "continuity.\n";
+  return 0;
+}

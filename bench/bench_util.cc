@@ -1,0 +1,47 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+namespace dpsync::bench {
+
+bool FastMode() {
+  const char* v = std::getenv("DPSYNC_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+void ApplyFastMode(sim::ExperimentConfig* config) {
+  if (!FastMode()) return;
+  config->yellow.horizon_minutes /= 8;
+  config->yellow.target_records /= 8;
+  config->green.horizon_minutes /= 8;
+  config->green.target_records /= 8;
+  config->params.flush_interval /= 4;
+}
+
+void PrintSeries(std::ostream& os, const std::string& tag,
+                 const Series& series, size_t max_points) {
+  size_t n = series.t.size();
+  if (n == 0) return;
+  size_t stride = n > max_points ? n / max_points : 1;
+  for (size_t i = 0; i < n; i += stride) {
+    os << tag << "," << series.t[i] << "," << series.value[i] << "\n";
+  }
+}
+
+sim::ExperimentResult MustRun(const sim::ExperimentConfig& config) {
+  auto r = sim::RunExperiment(config);
+  if (!r.ok()) {
+    std::cerr << "experiment failed: " << r.status().ToString() << std::endl;
+    std::exit(1);
+  }
+  return std::move(r.value());
+}
+
+void Banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==========================================================\n"
+            << title << "\n(reproduces " << paper_ref
+            << " of DP-Sync, SIGMOD'21)\n"
+            << "==========================================================\n";
+}
+
+}  // namespace dpsync::bench

@@ -1,0 +1,34 @@
+/// \file bench_util.h
+/// Shared helpers for the figure/table reproduction binaries: environment
+/// scaling (DPSYNC_FAST=1 shrinks traces for smoke runs), series printing,
+/// and common experiment sweeps.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/experiment.h"
+
+namespace dpsync::bench {
+
+/// True if DPSYNC_FAST=1 is set (CI/smoke mode: shorter traces).
+bool FastMode();
+
+/// Applies fast-mode scaling to an experiment config (1/8 horizon and
+/// record counts; same parameter ratios so every shape survives).
+void ApplyFastMode(sim::ExperimentConfig* config);
+
+/// Prints a named series as "name,t,value" CSV lines, downsampled to at
+/// most `max_points` evenly spaced points.
+void PrintSeries(std::ostream& os, const std::string& tag,
+                 const Series& series, size_t max_points = 60);
+
+/// Runs one experiment and dies with a message on error.
+sim::ExperimentResult MustRun(const sim::ExperimentConfig& config);
+
+/// Header banner for a figure binary.
+void Banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace dpsync::bench

@@ -1,0 +1,52 @@
+/// \file fig2_end_to_end.cpp
+/// Reproduces Figure 2 (a-j): end-to-end comparison of the five
+/// synchronization strategies on both encrypted database implementations.
+/// For every test query it emits the L1-error and QET time series the
+/// paper plots, plus a per-strategy summary.
+///
+/// Output: "fig2,<engine>,<strategy>,<query>,<metric>,t,value" CSV lines
+/// followed by summary tables. DPSYNC_FAST=1 shrinks the trace 8x.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpsync;
+using namespace dpsync::bench;
+
+int main() {
+  Banner("Figure 2: end-to-end L1 error and query execution time",
+         "Figure 2(a)-(j)");
+
+  for (auto engine : {sim::EngineKind::kObliDb, sim::EngineKind::kCryptEps}) {
+    TablePrinter summary(
+        {"engine", "strategy", "query", "mean L1", "max L1", "mean QET (s)"});
+    for (auto strategy :
+         {StrategyKind::kSur, StrategyKind::kOto, StrategyKind::kSet,
+          StrategyKind::kDpTimer, StrategyKind::kDpAnt}) {
+      sim::ExperimentConfig cfg;
+      cfg.engine = engine;
+      cfg.strategy = strategy;
+      ApplyFastMode(&cfg);
+      auto result = MustRun(cfg);
+      for (const auto& q : result.queries) {
+        std::string tag = "fig2," + result.engine_name + "," +
+                          result.strategy_name + "," + q.name;
+        PrintSeries(std::cout, tag + ",l1_error", q.l1_error);
+        PrintSeries(std::cout, tag + ",qet", q.qet);
+        summary.AddRow({result.engine_name, result.strategy_name, q.name,
+                        TablePrinter::Fmt(q.mean_l1),
+                        TablePrinter::Fmt(q.max_l1),
+                        TablePrinter::Fmt(q.mean_qet)});
+      }
+    }
+    std::cout << "\n";
+    summary.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape (paper): OTO errors grow unbounded (>>100x DP "
+               "strategies);\nSUR/SET errors ~0 on ObliDB and small-noise on "
+               "Crypt-eps; DP strategies'\nerrors bounded (no accumulation); "
+               "SET QET >= ~2x DP strategies (>=4x on Q3).\n";
+  return 0;
+}

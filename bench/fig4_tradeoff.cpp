@@ -1,0 +1,57 @@
+/// \file fig4_tradeoff.cpp
+/// Reproduces Figure 4 (a-b): the accuracy/performance positioning of each
+/// strategy — mean Q2 QET (x-axis) vs mean Q2 L1 error (y-axis) for the
+/// ObliDB and Crypt-eps implementations. SET must land lower-right
+/// (accuracy at all performance cost), OTO upper-left (performance at all
+/// accuracy cost), DP strategies lower-left near SUR.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpsync;
+using namespace dpsync::bench;
+
+int main() {
+  Banner("Figure 4: QET vs L1 error trade-off (Q2)", "Figure 4(a)-(b)");
+
+  for (auto engine : {sim::EngineKind::kObliDb, sim::EngineKind::kCryptEps}) {
+    TablePrinter table(
+        {"engine", "strategy", "mean QET (s)", "mean L1 error", "corner"});
+    for (auto strategy :
+         {StrategyKind::kSur, StrategyKind::kOto, StrategyKind::kSet,
+          StrategyKind::kDpTimer, StrategyKind::kDpAnt}) {
+      sim::ExperimentConfig cfg;
+      cfg.engine = engine;
+      cfg.strategy = strategy;
+      cfg.enable_green = false;  // Q2 touches only the yellow table
+      cfg.queries = {{"Q2",
+                      "SELECT pickupID, COUNT(*) AS PickupCnt FROM YellowCab "
+                      "GROUP BY pickupID",
+                      360}};
+      ApplyFastMode(&cfg);
+      auto result = MustRun(cfg);
+      const auto& q2 = result.queries[0];
+      std::cout << "fig4," << result.engine_name << ","
+                << result.strategy_name << "," << q2.mean_qet << ","
+                << q2.mean_l1 << "\n";
+      std::string corner;
+      if (strategy == StrategyKind::kOto) {
+        corner = "upper-left (perf only)";
+      } else if (strategy == StrategyKind::kSet) {
+        corner = "lower-right (acc only)";
+      } else if (strategy == StrategyKind::kSur) {
+        corner = "lower-left (no privacy)";
+      } else {
+        corner = "lower-left (dual objective)";
+      }
+      table.AddRow({result.engine_name, result.strategy_name,
+                    TablePrinter::Fmt(q2.mean_qet, 3),
+                    TablePrinter::Fmt(q2.mean_l1, 2), corner});
+    }
+    std::cout << "\n";
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

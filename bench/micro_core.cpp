@@ -1,0 +1,118 @@
+/// \file micro_core.cpp
+/// Micro-benchmarks for the core pipeline: Laplace sampling, SVT ticks,
+/// cache ops, per-tick strategy cost, and a full engine tick — the owner-
+/// side overhead DP-Sync adds per time unit.
+#include <benchmark/benchmark.h>
+
+#include "core/dp_ant.h"
+#include "core/dp_timer.h"
+#include "core/engine.h"
+#include "core/local_cache.h"
+#include "dp/laplace.h"
+#include "dp/svt.h"
+#include "workload/trip_record.h"
+
+namespace dpsync {
+namespace {
+
+void BM_LaplaceSample(benchmark::State& state) {
+  Rng rng(1);
+  dp::LaplaceMechanism mech(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.PerturbCount(10, &rng));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_SvtTick(benchmark::State& state) {
+  Rng rng(2);
+  dp::AboveNoisyThreshold svt(15.0, 0.25, &rng);
+  int64_t c = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svt.Exceeds(++c % 30, &rng));
+  }
+}
+BENCHMARK(BM_SvtTick);
+
+void BM_CacheWriteRead(benchmark::State& state) {
+  LocalCache cache(workload::MakeTripDummyFactory(1));
+  workload::TripRecord trip;
+  trip.pickup_id = 7;
+  Record r = trip.ToRecord();
+  for (auto _ : state) {
+    cache.Write(r);
+    benchmark::DoNotOptimize(cache.Read(1));
+  }
+}
+BENCHMARK(BM_CacheWriteRead);
+
+void BM_DummyFactory(benchmark::State& state) {
+  auto factory = workload::MakeTripDummyFactory(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(factory());
+  }
+}
+BENCHMARK(BM_DummyFactory);
+
+void BM_DpTimerTick(benchmark::State& state) {
+  DpTimerConfig cfg;
+  DpTimerStrategy timer(cfg);
+  Rng rng(3);
+  int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    benchmark::DoNotOptimize(timer.OnTick(t, t % 3 == 0 ? 1 : 0, &rng));
+  }
+}
+BENCHMARK(BM_DpTimerTick);
+
+void BM_DpAntTick(benchmark::State& state) {
+  DpAntConfig cfg;
+  Rng rng(4);
+  DpAntStrategy ant(cfg, &rng);
+  int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    benchmark::DoNotOptimize(ant.OnTick(t, t % 3 == 0 ? 1 : 0, &rng));
+  }
+}
+BENCHMARK(BM_DpAntTick);
+
+class NullBackend : public SogdbBackend {
+ public:
+  Status Setup(const std::vector<Record>&) override { return Status::Ok(); }
+  Status Update(const std::vector<Record>& g) override {
+    count_ += static_cast<int64_t>(g.size());
+    return Status::Ok();
+  }
+  int64_t outsourced_count() const override { return count_; }
+
+ private:
+  int64_t count_ = 0;
+};
+
+void BM_EngineTick(benchmark::State& state) {
+  NullBackend backend;
+  DpTimerConfig cfg;
+  DpSyncEngine engine(std::make_unique<DpTimerStrategy>(cfg), &backend,
+                      workload::MakeTripDummyFactory(5), 6);
+  if (!engine.Setup({}).ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  workload::TripRecord trip;
+  int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    std::optional<Record> arrival;
+    if (t % 3 == 0) {
+      trip.pick_time = t;
+      arrival = trip.ToRecord();
+    }
+    benchmark::DoNotOptimize(engine.Tick(std::move(arrival)));
+  }
+}
+BENCHMARK(BM_EngineTick);
+
+}  // namespace
+}  // namespace dpsync

@@ -1,0 +1,72 @@
+/// \file table5_summary.cpp
+/// Reproduces Table 5: aggregated statistics for the comparison experiment
+/// — per query (Q1/Q2 on Crypt-eps; Q1/Q2/Q3 on ObliDB) the mean and max
+/// L1 error and mean QET, plus mean logical gap and total/dummy data sizes
+/// for all five strategies.
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+
+using namespace dpsync;
+using namespace dpsync::bench;
+
+int main() {
+  Banner("Table 5: aggregated statistics for the comparison experiment",
+         "Table 5");
+
+  const StrategyKind kOrder[] = {StrategyKind::kSur, StrategyKind::kSet,
+                                 StrategyKind::kOto, StrategyKind::kDpTimer,
+                                 StrategyKind::kDpAnt};
+
+  for (auto engine : {sim::EngineKind::kCryptEps, sim::EngineKind::kObliDb}) {
+    std::map<StrategyKind, sim::ExperimentResult> results;
+    for (auto strategy : kOrder) {
+      sim::ExperimentConfig cfg;
+      cfg.engine = engine;
+      cfg.strategy = strategy;
+      ApplyFastMode(&cfg);
+      results.emplace(strategy, MustRun(cfg));
+    }
+    const auto& any = results.begin()->second;
+    std::cout << "\n=== " << any.engine_name << " group ===\n";
+    TablePrinter table({"metric", "SUR", "SET", "OTO", "DP-Timer", "DP-ANT"});
+    auto row = [&](const std::string& name, auto getter, int precision) {
+      std::vector<std::string> cells = {name};
+      for (auto strategy : kOrder) {
+        cells.push_back(
+            TablePrinter::Fmt(getter(results.at(strategy)), precision));
+      }
+      table.AddRow(cells);
+    };
+    size_t nq = any.queries.size();
+    for (size_t qi = 0; qi < nq; ++qi) {
+      const std::string q = any.queries[qi].name;
+      row(q + " mean L1 err",
+          [qi](const sim::ExperimentResult& r) { return r.queries[qi].mean_l1; },
+          2);
+      row(q + " max L1 err",
+          [qi](const sim::ExperimentResult& r) { return r.queries[qi].max_l1; },
+          0);
+      row(q + " mean QET (s)",
+          [qi](const sim::ExperimentResult& r) { return r.queries[qi].mean_qet; },
+          2);
+    }
+    row("mean logical gap",
+        [](const sim::ExperimentResult& r) { return r.mean_logical_gap; }, 2);
+    row("total data (Mb)",
+        [](const sim::ExperimentResult& r) { return r.final_total_mb; }, 2);
+    row("dummy data (Mb)",
+        [](const sim::ExperimentResult& r) { return r.final_dummy_mb; }, 2);
+    table.Print(std::cout);
+  }
+
+  std::cout
+      << "\nExpected shape (paper Table 5): OTO mean L1 err is 2-4 orders of "
+         "magnitude\nabove every other strategy; SUR/SET errors ~0 (ObliDB) "
+         "or small (Crypt-eps);\nDP strategies have small bounded errors, "
+         "QET within ~25% of SUR, and SET\noutsources >=2x their data "
+         "volume.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// \file iot_sensor_backup.cpp
+/// The paper's §1 motivating scenario: an IoT provider backs up sensor
+/// events to a building-administered encrypted database. With the default
+/// synchronize-upon-receipt policy, the admin (who sees only *when*
+/// uploads happen) reconstructs a person's walk past three sensors. With
+/// DP-Sync's DP-Timer policy the same attack collapses.
+///
+///   $ ./build/examples/iot_sensor_backup
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/naive_strategies.h"
+#include "core/dp_timer.h"
+#include "edb/oblidb_engine.h"
+#include "sim/adversary.h"
+#include "workload/trip_record.h"
+
+using namespace dpsync;
+
+namespace {
+
+/// One simulated morning: a person enters at 7:00 and trips sensors at
+/// 7:00:00, 7:00:10, 7:00:20 (we use 1-second ticks for this example).
+std::vector<bool> BuildSensorEvents(int64_t horizon) {
+  std::vector<bool> events(static_cast<size_t>(horizon), false);
+  events[3600] = true;  // 7:00:00 entrance sensor (t=0 is 6:00:00)
+  events[3610] = true;  // 7:00:10 hallway sensor
+  events[3620] = true;  // 7:00:20 floor-3 sensor
+  return events;
+}
+
+Record SensorRecord(int64_t t) {
+  workload::TripRecord r;  // reuse the trip schema as a generic event row
+  r.pick_time = t;
+  r.pickup_id = 3;  // sensor id
+  return r.ToRecord();
+}
+
+struct RunResult {
+  UpdatePattern pattern;
+};
+
+RunResult RunOwner(std::unique_ptr<SyncStrategy> strategy,
+                   const std::vector<bool>& events, uint64_t seed) {
+  edb::ObliDbServer server;
+  auto table = server.CreateTable("Events", workload::TripSchema());
+  DpSyncEngine owner(std::move(strategy), table.value(),
+                     workload::MakeTripDummyFactory(seed), seed);
+  if (!owner.Setup({}).ok()) std::abort();
+  for (size_t t = 0; t < events.size(); ++t) {
+    std::optional<Record> arrival;
+    if (events[t]) arrival = SensorRecord(static_cast<int64_t>(t));
+    if (!owner.Tick(std::move(arrival)).ok()) std::abort();
+  }
+  return {owner.update_pattern()};
+}
+
+void Report(const std::string& name, const UpdatePattern& pattern,
+            const std::vector<bool>& events) {
+  auto attack = sim::RunTimingAttack(pattern, events);
+  std::cout << "\n--- " << name << " ---\n";
+  std::cout << "uploads observed by building admin: "
+            << pattern.num_updates() << "\n";
+  // Show the first few upload times around the event window.
+  std::cout << "upload times near 7:00 (t=3600..3660): ";
+  int shown = 0;
+  for (const auto& e : pattern.events()) {
+    if (e.t >= 3590 && e.t <= 3670) {
+      std::cout << e.t << "(x" << e.volume << ") ";
+      if (++shown > 8) break;
+    }
+  }
+  if (shown == 0) std::cout << "(none)";
+  std::cout << "\nattack precision: " << std::fixed << std::setprecision(3)
+            << attack.precision << "  recall: " << attack.recall << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "IoT building scenario (paper Section 1): 3 sensor events at "
+               "7:00:00/7:00:10/7:00:20.\nThe admin sees only upload "
+               "times and sizes, and tries to reconstruct the walk.\n";
+  const int64_t horizon = 7200;  // 6:00-8:00, 1-second ticks
+  auto events = BuildSensorEvents(horizon);
+
+  // SUR: backup immediately on every event — the §1 attack succeeds.
+  Report("SUR (backup on receipt)",
+         RunOwner(std::make_unique<SurStrategy>(), events, 1).pattern, events);
+
+  // DP-Timer: upload every T=60s with Lap(1/eps)-noised volumes.
+  DpTimerConfig cfg;
+  cfg.epsilon = 0.5;
+  cfg.period = 60;
+  cfg.flush_interval = 1800;
+  cfg.flush_size = 5;
+  Report("DP-Timer (eps=0.5, T=60)",
+         RunOwner(std::make_unique<DpTimerStrategy>(cfg), events, 2).pattern,
+         events);
+
+  std::cout << "\nUnder SUR the admin recovers the exact 10-second walking "
+               "pattern (precision=recall=1).\nUnder DP-Timer uploads land "
+               "on the fixed 60s grid with noisy sizes - the event times\n"
+               "are gone, and any single event is protected by eps=0.5 "
+               "differential privacy.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file quickstart.cpp
+/// Quickstart: outsource a small growing table through DP-Sync with the
+/// DP-Timer strategy on top of the ObliDB-style encrypted database, query
+/// it as the analyst, and inspect what the server actually observed.
+///
+///   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "core/dp_timer.h"
+#include "core/engine.h"
+#include "edb/oblidb_engine.h"
+#include "query/parser.h"
+#include "workload/trip_record.h"
+
+using namespace dpsync;
+
+int main() {
+  // --- 1. The server side: an encrypted database with L-0 leakage. ------
+  edb::ObliDbServer server;
+  auto table = server.CreateTable("YellowCab", workload::TripSchema());
+  if (!table.ok()) {
+    std::cerr << table.status().ToString() << "\n";
+    return 1;
+  }
+
+  // --- 2. The owner side: DP-Sync with DP-Timer (eps=0.5, T=30). --------
+  DpTimerConfig strategy_cfg;
+  strategy_cfg.epsilon = 0.5;
+  strategy_cfg.period = 30;
+  strategy_cfg.flush_interval = 500;
+  strategy_cfg.flush_size = 10;
+  DpSyncEngine owner(std::make_unique<DpTimerStrategy>(strategy_cfg),
+                     table.value(), workload::MakeTripDummyFactory(42),
+                     /*seed=*/7);
+  if (auto s = owner.Setup({}); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  // --- 3. Simulate 2 hours of sensor-style arrivals (1-minute ticks). ---
+  Rng rng(1);
+  int64_t received = 0;
+  for (int64_t t = 1; t <= 1200; ++t) {
+    std::optional<Record> arrival;
+    if (rng.Bernoulli(0.4)) {  // a trip arrives this minute
+      workload::TripRecord trip;
+      trip.pick_time = t;
+      trip.pickup_id = rng.UniformInt(1, 265);
+      trip.dropoff_id = rng.UniformInt(1, 265);
+      trip.trip_distance = 1.0 + rng.UniformDouble() * 5;
+      trip.fare = 2.5 + trip.trip_distance * 2.5;
+      arrival = trip.ToRecord();
+      ++received;
+    }
+    if (auto s = owner.Tick(std::move(arrival)); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // --- 4. The analyst side: SQL over the outsourced table. --------------
+  auto q = query::ParseSelect(
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100");
+  auto response = server.Query(q.value());
+  if (!response.ok()) {
+    std::cerr << response.status().ToString() << "\n";
+    return 1;
+  }
+
+  // --- 5. What happened. -------------------------------------------------
+  std::cout << "records received by owner : " << received << "\n"
+            << "records still in cache    : " << owner.logical_gap() << "\n"
+            << "real records outsourced   : " << owner.counters().real_synced
+            << "\n"
+            << "dummy records outsourced  : " << owner.counters().dummy_synced
+            << "\n"
+            << "server-visible updates    : "
+            << owner.update_pattern().num_updates() << " (every T=30 ticks "
+            << "with noisy volumes + flushes)\n"
+            << "query answer (range count): " << response->result.scalar
+            << "\n"
+            << "query touched records     : " << response->stats.records_scanned
+            << " (all of them - oblivious scan)\n";
+  std::cout << "\nThe server never saw *when* records arrived: only the "
+               "noisy update pattern.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file taxi_analytics.cpp
+/// The paper's evaluation scenario end-to-end at reduced scale: a taxi
+/// provider streams trip records into DP-Sync-protected outsourced tables
+/// (Yellow + Green), and an analyst runs the paper's Q1/Q2/Q3 while the
+/// data is still growing — comparing answers against the logical ground
+/// truth to show the bounded error of the DP strategies.
+///
+///   $ ./build/examples/taxi_analytics [strategy]
+///     strategy in {sur, oto, set, timer, ant}; default timer
+#include <iostream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "sim/experiment.h"
+
+using namespace dpsync;
+
+int main(int argc, char** argv) {
+  StrategyKind strategy = StrategyKind::kDpTimer;
+  if (argc > 1) {
+    std::string arg = argv[1];
+    if (arg == "sur") strategy = StrategyKind::kSur;
+    else if (arg == "oto") strategy = StrategyKind::kOto;
+    else if (arg == "set") strategy = StrategyKind::kSet;
+    else if (arg == "timer") strategy = StrategyKind::kDpTimer;
+    else if (arg == "ant") strategy = StrategyKind::kDpAnt;
+    else {
+      std::cerr << "usage: taxi_analytics [sur|oto|set|timer|ant]\n";
+      return 2;
+    }
+  }
+
+  sim::ExperimentConfig cfg;
+  cfg.strategy = strategy;
+  // One simulated week instead of the paper's month, for a quick demo.
+  cfg.yellow.horizon_minutes = 10080;
+  cfg.yellow.target_records = 4300;
+  cfg.green.horizon_minutes = 10080;
+  cfg.green.target_records = 4970;
+  cfg.params.flush_interval = 1000;
+
+  std::cout << "Streaming one week of synthetic NYC taxi data through "
+               "DP-Sync ("
+            << StrategyKindName(strategy) << ", eps=" << cfg.params.epsilon
+            << ") into the ObliDB-style engine...\n";
+  auto result = sim::RunExperiment(cfg);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"query", "mean L1 err", "max L1 err", "mean QET (s)"});
+  for (const auto& q : result->queries) {
+    table.AddRow({q.name, TablePrinter::Fmt(q.mean_l1),
+                  TablePrinter::Fmt(q.max_l1),
+                  TablePrinter::Fmt(q.mean_qet, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nmean logical gap : "
+            << TablePrinter::Fmt(result->mean_logical_gap) << " records\n"
+            << "total outsourced : " << TablePrinter::Fmt(result->final_total_mb)
+            << " Mb (" << result->real_synced << " real + "
+            << result->dummy_synced << " dummy records)\n"
+            << "updates posted   : " << result->updates_posted << "\n";
+  std::cout << "\nTry other strategies: OTO's error grows to the full table "
+               "size; SET doubles the\noutsourced volume; the DP strategies "
+               "stay near SUR on both axes.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file update_pattern_attack.cpp
+/// A semi-honest server's eye view: runs the same growing database under
+/// all five synchronization strategies and mounts the update-pattern
+/// timing attack (Definition 2 leakage) against each transcript. Shows
+/// precision/recall of arrival reconstruction and the per-window count
+/// error — privacy made measurable.
+///
+///   $ ./build/examples/update_pattern_attack
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/engine.h"
+#include "core/strategy_factory.h"
+#include "sim/adversary.h"
+#include "workload/taxi_generator.h"
+#include "workload/trip_record.h"
+
+using namespace dpsync;
+
+namespace {
+class NullBackend : public SogdbBackend {
+ public:
+  Status Setup(const std::vector<Record>&) override { return Status::Ok(); }
+  Status Update(const std::vector<Record>& g) override {
+    count_ += static_cast<int64_t>(g.size());
+    return Status::Ok();
+  }
+  int64_t outsourced_count() const override { return count_; }
+
+ private:
+  int64_t count_ = 0;
+};
+}  // namespace
+
+int main() {
+  std::cout << "Mounting the update-pattern timing attack against every "
+               "synchronization strategy.\nThe adversary observes only "
+               "{(t, |gamma_t|)} and predicts when records arrived.\n\n";
+
+  workload::TaxiConfig tc;
+  tc.horizon_minutes = 10080;  // one week
+  tc.target_records = 4300;
+  auto trace = workload::GenerateTaxiTrace(tc);
+  auto truth = trace.ArrivalBits();
+
+  TablePrinter table({"strategy", "epsilon", "updates", "precision", "recall",
+                      "per-window count err (w=30)"});
+  for (auto kind : kAllStrategies) {
+    Rng rng(3);
+    StrategyParams params;  // paper defaults
+    NullBackend backend;
+    DpSyncEngine owner(MakeStrategy(kind, params, &rng), &backend,
+                       workload::MakeTripDummyFactory(4), 5);
+    if (!owner.Setup({}).ok()) return 1;
+    for (int64_t t = 1; t <= tc.horizon_minutes; ++t) {
+      const auto& slot = trace.arrivals[static_cast<size_t>(t - 1)];
+      std::optional<Record> arrival;
+      if (slot) arrival = slot->ToRecord();
+      if (!owner.Tick(std::move(arrival)).ok()) return 1;
+    }
+    auto attack = sim::RunTimingAttack(owner.update_pattern(), truth);
+    double window_err =
+        sim::WindowCountError(owner.update_pattern(), truth, 30);
+    double eps = owner.strategy().epsilon();
+    table.AddRow({owner.strategy().name(),
+                  eps == kNoPrivacy ? "inf" : TablePrinter::Fmt(eps, 2),
+                  std::to_string(owner.update_pattern().num_updates()),
+                  TablePrinter::Fmt(attack.precision, 3),
+                  TablePrinter::Fmt(attack.recall, 3),
+                  TablePrinter::Fmt(window_err, 2)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nReading the table: SUR leaks everything (precision = recall = "
+         "1, window error 0).\nOTO and SET leak nothing (their transcripts "
+         "are data-independent), at the price of\nunbounded error / heavy "
+         "dummies. The DP strategies leak only eps-DP-bounded\ninformation: "
+         "reconstruction collapses while answers stay accurate.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dpsync {
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    rows.push_back(SplitCsvLine(line));
+  }
+  return rows;
+}
+
+Status WriteCsv(const std::string& path, const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open CSV file for write: " + path);
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  };
+  if (!header.empty()) write_row(header);
+  for (const auto& row : rows) write_row(row);
+  return Status::Ok();
+}
+
+}  // namespace dpsync

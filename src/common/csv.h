@@ -1,0 +1,27 @@
+/// \file csv.h
+/// Minimal CSV reading/writing used for trace persistence and experiment
+/// output. Fields must not contain commas or newlines (all our data is
+/// numeric / identifier-shaped, so no quoting is implemented).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpsync {
+
+/// Parses one CSV line into fields (split on ',').
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Reads an entire CSV file. If `skip_header` is true the first line is
+/// dropped. Returns rows of fields.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, bool skip_header);
+
+/// Writes rows to `path`, with an optional header written first.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dpsync

@@ -1,0 +1,41 @@
+#include "core/dp_ant.h"
+
+#include <cassert>
+
+namespace dpsync {
+
+DpAntStrategy::DpAntStrategy(const DpAntConfig& config, Rng* rng)
+    : config_(config),
+      setup_noise_(config.epsilon),
+      svt_(config.threshold, config.epsilon * config.budget_split, rng),
+      flush_(config.flush_interval, config.flush_size) {
+  assert(config.threshold > 0 && "DP-ANT threshold must be positive");
+  assert(config.budget_split > 0 && config.budget_split < 1 &&
+         "budget split must lie in (0,1)");
+}
+
+int64_t DpAntStrategy::InitialFetch(int64_t initial_db_size, Rng* rng) {
+  int64_t noisy = setup_noise_.PerturbCount(initial_db_size, rng);
+  return noisy > 0 ? noisy : 0;
+}
+
+std::vector<SyncDecision> DpAntStrategy::OnTick(int64_t t, int64_t num_arrived,
+                                                Rng* rng) {
+  count_since_sync_ += num_arrived;
+  std::vector<SyncDecision> decisions;
+  if (svt_.Exceeds(count_since_sync_, rng)) {
+    int64_t noisy = dp::PerturbCountWith(
+        config_.noise, config_.epsilon * (1.0 - config_.budget_split),
+        count_since_sync_, rng);
+    count_since_sync_ = 0;
+    ++sync_count_;
+    svt_.Reset(rng);
+    if (noisy > 0) {
+      decisions.push_back(SyncDecision{noisy, /*is_flush=*/false});
+    }
+  }
+  if (auto f = flush_.OnTick(t)) decisions.push_back(*f);
+  return decisions;
+}
+
+}  // namespace dpsync

@@ -1,0 +1,38 @@
+#include "core/dp_timer.h"
+
+#include <cassert>
+
+namespace dpsync {
+
+DpTimerStrategy::DpTimerStrategy(const DpTimerConfig& config)
+    : config_(config), flush_(config.flush_interval, config.flush_size) {
+  assert(config.period > 0 && "DP-Timer period T must be positive");
+}
+
+int64_t DpTimerStrategy::InitialFetch(int64_t initial_db_size, Rng* rng) {
+  // gamma_0 <- Perturb(|D_0|, eps): noisy count, nothing if <= 0.
+  int64_t noisy =
+      dp::PerturbCountWith(config_.noise, config_.epsilon, initial_db_size, rng);
+  return noisy > 0 ? noisy : 0;
+}
+
+std::vector<SyncDecision> DpTimerStrategy::OnTick(int64_t t, int64_t num_arrived,
+                                                  Rng* rng) {
+  window_count_ += num_arrived;
+  std::vector<SyncDecision> decisions;
+  if (t % config_.period == 0) {
+    // Perturb the window count; a non-positive noisy count means no update
+    // is posted at all this period (Algorithm 2 returns the empty set).
+    int64_t noisy =
+        dp::PerturbCountWith(config_.noise, config_.epsilon, window_count_, rng);
+    window_count_ = 0;
+    ++sync_count_;
+    if (noisy > 0) {
+      decisions.push_back(SyncDecision{noisy, /*is_flush=*/false});
+    }
+  }
+  if (auto f = flush_.OnTick(t)) decisions.push_back(*f);
+  return decisions;
+}
+
+}  // namespace dpsync

@@ -1,0 +1,76 @@
+#include "core/engine.h"
+
+#include <utility>
+
+namespace dpsync {
+
+DpSyncEngine::DpSyncEngine(std::unique_ptr<SyncStrategy> strategy,
+                           SogdbBackend* backend, DummyFactory dummy_factory,
+                           uint64_t seed, LocalCache::Mode cache_mode)
+    : strategy_(std::move(strategy)),
+      backend_(backend),
+      cache_(std::move(dummy_factory), cache_mode),
+      rng_(seed) {}
+
+Status DpSyncEngine::Setup(std::vector<Record> initial_db) {
+  if (setup_done_) {
+    return Status::FailedPrecondition("Setup already executed");
+  }
+  counters_.initial_size = static_cast<int64_t>(initial_db.size());
+  for (auto& r : initial_db) cache_.Write(std::move(r));
+
+  int64_t n0 = strategy_->InitialFetch(counters_.initial_size, &rng_);
+  std::vector<Record> gamma0 = cache_.Read(n0);
+  for (const auto& r : gamma0) {
+    if (r.is_dummy) {
+      ++counters_.dummy_synced;
+    } else {
+      ++counters_.real_synced;
+    }
+  }
+  DPSYNC_RETURN_IF_ERROR(backend_->Setup(gamma0));
+  pattern_.Add(/*t=*/0, static_cast<int64_t>(gamma0.size()));
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+Status DpSyncEngine::Execute(const SyncDecision& decision) {
+  std::vector<Record> gamma = cache_.Read(decision.fetch_count);
+  if (gamma.empty()) return Status::Ok();
+  for (const auto& r : gamma) {
+    if (r.is_dummy) {
+      ++counters_.dummy_synced;
+    } else {
+      ++counters_.real_synced;
+    }
+  }
+  DPSYNC_RETURN_IF_ERROR(backend_->Update(gamma));
+  ++counters_.updates_posted;
+  pattern_.Add(t_, static_cast<int64_t>(gamma.size()), decision.is_flush);
+  return Status::Ok();
+}
+
+Status DpSyncEngine::Tick(std::optional<Record> arrival) {
+  std::vector<Record> batch;
+  if (arrival) batch.push_back(std::move(*arrival));
+  return TickBatch(std::move(batch));
+}
+
+Status DpSyncEngine::TickBatch(std::vector<Record> arrivals) {
+  if (!setup_done_) {
+    return Status::FailedPrecondition("Tick called before Setup");
+  }
+  ++t_;
+  int64_t num_arrived = static_cast<int64_t>(arrivals.size());
+  for (auto& r : arrivals) {
+    r.arrival_time = t_;
+    ++counters_.received_total;
+    cache_.Write(std::move(r));
+  }
+  for (const auto& decision : strategy_->OnTick(t_, num_arrived, &rng_)) {
+    DPSYNC_RETURN_IF_ERROR(Execute(decision));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpsync

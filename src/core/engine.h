@@ -1,0 +1,88 @@
+/// \file engine.h
+/// DpSyncEngine — the owner-side framework of Figure 1. It owns the local
+/// cache and the synchronization strategy, consumes the logical update
+/// stream one time unit at a time, and drives the encrypted database's
+/// Setup/Update protocols. It also keeps the ground-truth bookkeeping the
+/// evaluation metrics need (logical gap, dummy volume, update pattern).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/local_cache.h"
+#include "core/record.h"
+#include "core/sogdb.h"
+#include "core/sync_strategy.h"
+#include "core/update_pattern.h"
+
+namespace dpsync {
+
+/// Counters maintained by the engine (owner-side ground truth; the server
+/// observes only the update pattern).
+struct EngineCounters {
+  int64_t received_total = 0;     ///< logical updates received (|D_t|-|D_0|)
+  int64_t initial_size = 0;       ///< |D_0|
+  int64_t real_synced = 0;        ///< real records outsourced so far
+  int64_t dummy_synced = 0;       ///< dummy records outsourced so far
+  int64_t updates_posted = 0;     ///< number of Pi_Update invocations
+};
+
+/// Owner-side synchronization engine.
+class DpSyncEngine {
+ public:
+  /// \param strategy the Sync policy (takes ownership)
+  /// \param backend the encrypted database's owner-facing protocols (not
+  ///        owned; must outlive the engine)
+  /// \param dummy_factory schema-valid dummy record generator
+  /// \param seed seeds the engine's private randomness (DP noise)
+  DpSyncEngine(std::unique_ptr<SyncStrategy> strategy, SogdbBackend* backend,
+               DummyFactory dummy_factory, uint64_t seed,
+               LocalCache::Mode cache_mode = LocalCache::Mode::kFifo);
+
+  /// Runs Pi_Setup: caches `initial_db`, asks the strategy for |gamma_0|,
+  /// reads it from the cache (padding with dummies) and ships it.
+  Status Setup(std::vector<Record> initial_db);
+
+  /// Advances one time unit with an optional arriving record (u_t). Must be
+  /// called after Setup; time starts at t=1 on the first call.
+  Status Tick(std::optional<Record> arrival);
+
+  /// Multi-record generalization (§4.1): advances one time unit with any
+  /// number of arriving records. The DP guarantee stays event-level — each
+  /// individual record is protected with the configured epsilon.
+  Status TickBatch(std::vector<Record> arrivals);
+
+  /// Current time unit (number of Tick calls so far).
+  int64_t now() const { return t_; }
+
+  /// Logical gap LG(t): records received but not yet outsourced — exactly
+  /// the current cache length (the FIFO cache holds precisely the
+  /// un-synchronized suffix of the logical database).
+  int64_t logical_gap() const { return cache_.len(); }
+
+  const UpdatePattern& update_pattern() const { return pattern_; }
+  const EngineCounters& counters() const { return counters_; }
+  const LocalCache& cache() const { return cache_; }
+  const SyncStrategy& strategy() const { return *strategy_; }
+
+  /// Exposes the engine RNG so callers sharing a seed can fork streams.
+  Rng* rng() { return &rng_; }
+
+ private:
+  /// Executes one SyncDecision: reads from the cache and posts Pi_Update.
+  Status Execute(const SyncDecision& decision);
+
+  std::unique_ptr<SyncStrategy> strategy_;
+  SogdbBackend* backend_;
+  LocalCache cache_;
+  Rng rng_;
+  UpdatePattern pattern_;
+  EngineCounters counters_;
+  int64_t t_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace dpsync

@@ -1,0 +1,40 @@
+/// \file flush_policy.h
+/// The cache-flush mechanism shared by the DP strategies (§5.2.1): every
+/// `interval` time units the owner synchronizes exactly `size` records
+/// (reading from the cache and padding with dummies as needed). Because
+/// both the schedule and the volume are fixed a priori, flush events are
+/// data-independent and cost 0 privacy budget (M_flush, Table 4). The
+/// flush guarantees every record is outsourced by t = interval * L / size,
+/// which upgrades "bounded gap" to eventual consistency (P3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/sync_strategy.h"
+
+namespace dpsync {
+
+/// Fixed-interval, fixed-volume flush schedule. interval <= 0 disables it.
+class FlushPolicy {
+ public:
+  FlushPolicy(int64_t interval, int64_t size)
+      : interval_(interval), size_(size) {}
+
+  /// Returns a flush decision if `t` lies on the schedule.
+  std::optional<SyncDecision> OnTick(int64_t t) const {
+    if (interval_ <= 0 || size_ <= 0) return std::nullopt;
+    if (t % interval_ != 0) return std::nullopt;
+    return SyncDecision{/*fetch_count=*/size_, /*is_flush=*/true};
+  }
+
+  int64_t interval() const { return interval_; }
+  int64_t size() const { return size_; }
+  bool enabled() const { return interval_ > 0 && size_ > 0; }
+
+ private:
+  int64_t interval_;
+  int64_t size_;
+};
+
+}  // namespace dpsync

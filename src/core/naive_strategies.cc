@@ -1,0 +1,35 @@
+#include "core/naive_strategies.h"
+
+namespace dpsync {
+
+int64_t SurStrategy::InitialFetch(int64_t initial_db_size, Rng* /*rng*/) {
+  return initial_db_size;
+}
+
+std::vector<SyncDecision> SurStrategy::OnTick(int64_t /*t*/, int64_t num_arrived,
+                                              Rng* /*rng*/) {
+  if (num_arrived <= 0) return {};
+  return {SyncDecision{/*fetch_count=*/num_arrived, /*is_flush=*/false}};
+}
+
+int64_t OtoStrategy::InitialFetch(int64_t initial_db_size, Rng* /*rng*/) {
+  return initial_db_size;
+}
+
+std::vector<SyncDecision> OtoStrategy::OnTick(int64_t /*t*/, int64_t /*num_arrived*/,
+                                              Rng* /*rng*/) {
+  return {};
+}
+
+int64_t SetStrategy::InitialFetch(int64_t initial_db_size, Rng* /*rng*/) {
+  return initial_db_size;
+}
+
+std::vector<SyncDecision> SetStrategy::OnTick(int64_t /*t*/, int64_t /*num_arrived*/,
+                                              Rng* /*rng*/) {
+  // Exactly one record per tick, independent of arrivals; LocalCache::Read
+  // pads with a dummy when nothing arrived.
+  return {SyncDecision{/*fetch_count=*/1, /*is_flush=*/false}};
+}
+
+}  // namespace dpsync

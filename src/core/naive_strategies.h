@@ -1,0 +1,44 @@
+/// \file naive_strategies.h
+/// The three naive baselines of §5.1. Each achieves exactly two corners of
+/// the privacy / accuracy / performance triangle:
+///   SUR — synchronize upon receipt: accurate & fast, zero privacy.
+///   OTO — one-time outsourcing: private & fast, unbounded error.
+///   SET — synchronize every time unit: private & accurate, heavy dummies.
+#pragma once
+
+#include "core/sync_strategy.h"
+
+namespace dpsync {
+
+/// Synchronize-upon-receipt: uploads each record the moment it arrives.
+/// Leaks the exact update pattern (infinity-DP).
+class SurStrategy : public SyncStrategy {
+ public:
+  std::string name() const override { return "SUR"; }
+  double epsilon() const override { return kNoPrivacy; }
+  int64_t InitialFetch(int64_t initial_db_size, Rng* rng) override;
+  std::vector<SyncDecision> OnTick(int64_t t, int64_t num_arrived, Rng* rng) override;
+};
+
+/// One-time outsourcing: uploads D_0 at setup, then goes permanently
+/// offline. 0-DP but the logical gap grows without bound.
+class OtoStrategy : public SyncStrategy {
+ public:
+  std::string name() const override { return "OTO"; }
+  double epsilon() const override { return 0.0; }
+  int64_t InitialFetch(int64_t initial_db_size, Rng* rng) override;
+  std::vector<SyncDecision> OnTick(int64_t t, int64_t num_arrived, Rng* rng) override;
+};
+
+/// Synchronize-every-time: uploads exactly one record per time unit — the
+/// received record if any, a dummy otherwise. 0-DP and zero logical gap,
+/// but outsources |D0| + t records by time t.
+class SetStrategy : public SyncStrategy {
+ public:
+  std::string name() const override { return "SET"; }
+  double epsilon() const override { return 0.0; }
+  int64_t InitialFetch(int64_t initial_db_size, Rng* rng) override;
+  std::vector<SyncDecision> OnTick(int64_t t, int64_t num_arrived, Rng* rng) override;
+};
+
+}  // namespace dpsync

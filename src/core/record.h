@@ -1,0 +1,34 @@
+/// \file record.h
+/// The owner-side record model. DP-Sync treats record contents as opaque —
+/// the synchronization layer only moves payload bytes around; the query
+/// layer (inside the "enclave" or the analyst client) interprets them.
+///
+/// `is_dummy` is owner-side knowledge used for accounting and for the
+/// dummy-aware query rewriting of Appendix B; on the wire it lives *inside*
+/// the encrypted payload, so the server can never observe it (§3.2.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dpsync {
+
+/// A single logical record as held by the owner.
+struct Record {
+  /// Serialized row bytes (schema-defined; includes the isDummy attribute).
+  Bytes payload;
+  /// True if this record was fabricated to pad an update (owner-side only).
+  bool is_dummy = false;
+  /// Time unit at which the owner received this record (0 for initial DB).
+  int64_t arrival_time = 0;
+};
+
+/// Produces a fresh dummy record, indistinguishable from real data once
+/// encrypted. Supplied by the application/workload layer so dummies carry a
+/// schema-valid payload with isDummy=true.
+using DummyFactory = std::function<Record()>;
+
+}  // namespace dpsync

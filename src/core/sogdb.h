@@ -1,0 +1,34 @@
+/// \file sogdb.h
+/// The secure outsourced growing database (SOGDB) protocol surface that the
+/// DP-Sync engine drives (Definition 1). Only Setup and Update appear here
+/// — they are the owner<->server protocols whose invocation times/volumes
+/// form the update pattern. The Query protocol is analyst-facing and lives
+/// in the edb layer (src/edb/encrypted_database.h), which extends this
+/// interface.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/record.h"
+
+namespace dpsync {
+
+/// Owner-to-server protocol hooks invoked by DpSyncEngine.
+class SogdbBackend {
+ public:
+  virtual ~SogdbBackend() = default;
+
+  /// Pi_Setup: creates the initial outsourced structure DS_0 from gamma_0.
+  virtual Status Setup(const std::vector<Record>& gamma0) = 0;
+
+  /// Pi_Update: inserts the batch gamma into the outsourced structure.
+  virtual Status Update(const std::vector<Record>& gamma) = 0;
+
+  /// Number of encrypted records the server currently stores (|DS_t|,
+  /// including dummies — the server cannot tell them apart).
+  virtual int64_t outsourced_count() const = 0;
+};
+
+}  // namespace dpsync

@@ -1,0 +1,54 @@
+#include "core/strategy_factory.h"
+
+namespace dpsync {
+
+std::unique_ptr<SyncStrategy> MakeStrategy(StrategyKind kind,
+                                           const StrategyParams& params,
+                                           Rng* rng) {
+  switch (kind) {
+    case StrategyKind::kSur:
+      return std::make_unique<SurStrategy>();
+    case StrategyKind::kOto:
+      return std::make_unique<OtoStrategy>();
+    case StrategyKind::kSet:
+      return std::make_unique<SetStrategy>();
+    case StrategyKind::kDpTimer: {
+      DpTimerConfig cfg;
+      cfg.epsilon = params.epsilon;
+      cfg.period = params.timer_period;
+      cfg.flush_interval = params.flush_interval;
+      cfg.flush_size = params.flush_size;
+      cfg.noise = params.noise;
+      return std::make_unique<DpTimerStrategy>(cfg);
+    }
+    case StrategyKind::kDpAnt: {
+      DpAntConfig cfg;
+      cfg.epsilon = params.epsilon;
+      cfg.threshold = params.ant_threshold;
+      cfg.flush_interval = params.flush_interval;
+      cfg.flush_size = params.flush_size;
+      cfg.budget_split = params.ant_budget_split;
+      cfg.noise = params.noise;
+      return std::make_unique<DpAntStrategy>(cfg, rng);
+    }
+  }
+  return nullptr;
+}
+
+std::string StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kSur:
+      return "SUR";
+    case StrategyKind::kOto:
+      return "OTO";
+    case StrategyKind::kSet:
+      return "SET";
+    case StrategyKind::kDpTimer:
+      return "DP-Timer";
+    case StrategyKind::kDpAnt:
+      return "DP-ANT";
+  }
+  return "?";
+}
+
+}  // namespace dpsync

@@ -1,0 +1,45 @@
+/// \file strategy_factory.h
+/// Convenience constructors for all five synchronization strategies, keyed
+/// by a StrategyKind enum — the experiment harness and examples iterate
+/// over this to compare policies.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "core/dp_ant.h"
+#include "core/dp_timer.h"
+#include "core/naive_strategies.h"
+#include "core/sync_strategy.h"
+
+namespace dpsync {
+
+/// Enumeration of the built-in strategies (§5).
+enum class StrategyKind { kSur, kOto, kSet, kDpTimer, kDpAnt };
+
+/// Parameters covering every strategy; irrelevant fields are ignored.
+struct StrategyParams {
+  double epsilon = 0.5;
+  int64_t timer_period = 30;   ///< DP-Timer T
+  double ant_threshold = 15;   ///< DP-ANT theta
+  int64_t flush_interval = 2000;
+  int64_t flush_size = 15;
+  double ant_budget_split = 0.5;
+  dp::NoiseKind noise = dp::NoiseKind::kLaplace;
+};
+
+/// Constructs a strategy. `rng` is needed by DP-ANT (initial threshold).
+std::unique_ptr<SyncStrategy> MakeStrategy(StrategyKind kind,
+                                           const StrategyParams& params,
+                                           Rng* rng);
+
+/// Display name for a StrategyKind ("SUR", "DP-Timer", ...).
+std::string StrategyKindName(StrategyKind kind);
+
+/// All five kinds in the paper's comparison order.
+inline constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kSur, StrategyKind::kOto, StrategyKind::kSet,
+    StrategyKind::kDpTimer, StrategyKind::kDpAnt};
+
+}  // namespace dpsync

@@ -1,0 +1,65 @@
+/// \file sync_strategy.h
+/// The Sync algorithm interface (Definition 1, last item): a stateful,
+/// possibly probabilistic policy that decides at every time unit whether
+/// the owner synchronizes and how many records to fetch from the local
+/// cache. Concrete policies: SUR / OTO / SET (naive_strategies.h),
+/// DP-Timer (dp_timer.h), DP-ANT (dp_ant.h).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpsync {
+
+/// One synchronization instruction for the engine.
+struct SyncDecision {
+  /// Number of records to read from the cache (short reads are padded with
+  /// dummies by LocalCache::Read). Must be > 0; a tick with no sync simply
+  /// produces no decisions.
+  int64_t fetch_count = 0;
+  /// True if this decision comes from the (data-independent) cache-flush
+  /// schedule rather than the DP mechanism.
+  bool is_flush = false;
+};
+
+/// Interface for synchronization policies.
+class SyncStrategy {
+ public:
+  virtual ~SyncStrategy() = default;
+
+  /// Human-readable policy name ("DP-Timer", "SUR", ...).
+  virtual std::string name() const = 0;
+
+  /// The epsilon of the update-pattern DP guarantee this policy provides:
+  /// +infinity for SUR (no privacy), 0 for OTO/SET (perfect privacy),
+  /// the configured budget for the DP strategies (Table 2).
+  virtual double epsilon() const = 0;
+
+  /// Number of records gamma_0 to fetch for Pi_Setup, given the true
+  /// initial database size (DP policies perturb it; naive ones return it
+  /// unchanged). May return 0, in which case Setup outsources nothing.
+  virtual int64_t InitialFetch(int64_t initial_db_size, Rng* rng) = 0;
+
+  /// Advances the policy by one time unit. `num_arrived` is the number of
+  /// logical updates received at this tick — the paper's exposition assumes
+  /// at most one per time unit (§4.1) but explicitly notes the multi-record
+  /// generalization, which all built-in policies support. Returns zero or
+  /// more synchronization decisions to execute in order (a DP sync and a
+  /// cache flush can coincide on one tick).
+  ///
+  /// NOTE on privacy: with multiple records per tick the guarantee remains
+  /// event-level (per record), since neighboring databases still differ by
+  /// one record and every count has sensitivity 1.
+  virtual std::vector<SyncDecision> OnTick(int64_t t, int64_t num_arrived,
+                                           Rng* rng) = 0;
+};
+
+/// Epsilon value reported by strategies with no privacy guarantee (SUR).
+inline constexpr double kNoPrivacy = std::numeric_limits<double>::infinity();
+
+}  // namespace dpsync

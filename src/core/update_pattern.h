@@ -1,0 +1,41 @@
+/// \file update_pattern.h
+/// The update pattern UpdtPatt(Sigma, D) = {(t, |gamma_t|)} (Definition 2):
+/// the complete transcript of update times and volumes a semi-honest server
+/// observes. DP-Sync's entire privacy claim (Definition 5) is that this
+/// transcript is epsilon-differentially private in the logical updates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dpsync {
+
+/// One observable synchronization event.
+struct UpdateEvent {
+  int64_t t = 0;        ///< time unit of the update
+  int64_t volume = 0;   ///< |gamma_t| — number of encrypted records posted
+  bool is_flush = false;  ///< true if produced by the (public) flush schedule
+};
+
+/// Append-only transcript of the server-visible update history.
+class UpdatePattern {
+ public:
+  void Add(int64_t t, int64_t volume, bool is_flush = false) {
+    events_.push_back({t, volume, is_flush});
+    total_volume_ += volume;
+  }
+
+  const std::vector<UpdateEvent>& events() const { return events_; }
+
+  /// Number of synchronizations posted so far (the paper's k).
+  int64_t num_updates() const { return static_cast<int64_t>(events_.size()); }
+
+  /// Sum of all update volumes == |DS_t|, the total outsourced record count.
+  int64_t total_volume() const { return total_volume_; }
+
+ private:
+  std::vector<UpdateEvent> events_;
+  int64_t total_volume_ = 0;
+};
+
+}  // namespace dpsync

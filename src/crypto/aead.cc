@@ -1,0 +1,67 @@
+#include "crypto/aead.h"
+
+#include <cassert>
+
+namespace dpsync::crypto {
+
+Aead::Aead(Bytes key) : key_(std::move(key)) {
+  assert(key_.size() == kKeySize && "AEAD key must be 32 bytes");
+}
+
+Bytes Aead::Poly1305KeyGen(const Bytes& nonce) const {
+  uint8_t block[64];
+  ChaCha20::Block(key_.data(), /*counter=*/0, nonce.data(), block);
+  return Bytes(block, block + Poly1305::kKeySize);
+}
+
+Bytes Aead::ComputeTag(const Bytes& otk, const Bytes& aad,
+                       const Bytes& ciphertext) const {
+  // RFC 8439 §2.8: mac over aad || pad16 || ct || pad16 || len(aad) || len(ct)
+  Poly1305 mac(otk);
+  static const uint8_t kZeros[16] = {0};
+  mac.Update(aad);
+  if (aad.size() % 16 != 0) mac.Update(kZeros, 16 - aad.size() % 16);
+  mac.Update(ciphertext);
+  if (ciphertext.size() % 16 != 0) {
+    mac.Update(kZeros, 16 - ciphertext.size() % 16);
+  }
+  uint8_t lengths[16];
+  StoreLE64(lengths, aad.size());
+  StoreLE64(lengths + 8, ciphertext.size());
+  mac.Update(lengths, 16);
+  Bytes tag(Poly1305::kTagSize);
+  mac.Finish(tag.data());
+  return tag;
+}
+
+Bytes Aead::Seal(const Bytes& nonce, const Bytes& aad,
+                 const Bytes& plaintext) const {
+  assert(nonce.size() == kNonceSize && "AEAD nonce must be 12 bytes");
+  Bytes ciphertext = plaintext;
+  ChaCha20 cipher(key_, nonce, /*initial_counter=*/1);
+  cipher.Process(&ciphertext);
+  Bytes tag = ComputeTag(Poly1305KeyGen(nonce), aad, ciphertext);
+  Append(&ciphertext, tag);
+  return ciphertext;
+}
+
+StatusOr<Bytes> Aead::Open(const Bytes& nonce, const Bytes& aad,
+                           const Bytes& sealed) const {
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("AEAD nonce must be 12 bytes");
+  }
+  if (sealed.size() < kTagSize) {
+    return Status::InvalidArgument("sealed input shorter than tag");
+  }
+  Bytes ciphertext(sealed.begin(), sealed.end() - kTagSize);
+  Bytes tag(sealed.end() - kTagSize, sealed.end());
+  Bytes expected = ComputeTag(Poly1305KeyGen(nonce), aad, ciphertext);
+  if (!ConstantTimeEquals(tag, expected)) {
+    return Status::InvalidArgument("AEAD authentication failed");
+  }
+  ChaCha20 cipher(key_, nonce, /*initial_counter=*/1);
+  cipher.Process(&ciphertext);
+  return ciphertext;
+}
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,42 @@
+/// \file aead.h
+/// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). This is the semantic-security
+/// primitive underpinning DP-Sync's record encryption: ciphertexts of real
+/// and dummy records are indistinguishable to the server.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace dpsync::crypto {
+
+/// Authenticated encryption with associated data.
+class Aead {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kTagSize = 16;
+
+  /// `key` must be exactly 32 bytes.
+  explicit Aead(Bytes key);
+
+  /// Encrypts `plaintext` under (key, nonce, aad). Output layout:
+  /// ciphertext || 16-byte tag. `nonce` must be unique per key.
+  Bytes Seal(const Bytes& nonce, const Bytes& aad,
+             const Bytes& plaintext) const;
+
+  /// Verifies and decrypts. Returns InvalidArgument if authentication fails
+  /// or the input is shorter than a tag.
+  StatusOr<Bytes> Open(const Bytes& nonce, const Bytes& aad,
+                       const Bytes& sealed) const;
+
+ private:
+  Bytes Poly1305KeyGen(const Bytes& nonce) const;
+  Bytes ComputeTag(const Bytes& otk, const Bytes& aad,
+                   const Bytes& ciphertext) const;
+
+  Bytes key_;
+};
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,38 @@
+/// \file aes.h
+/// AES-128 block cipher (FIPS-197), implemented from scratch with the
+/// standard T-less (S-box + xtime) round structure. Provides the block
+/// primitive for AES-128-GCM (aes_gcm.h) — the cipher suite real SGX
+/// deployments like ObliDB use, offered as an alternative to
+/// ChaCha20-Poly1305 for record encryption.
+///
+/// NOTE: this is a table-based software implementation; like all such
+/// implementations it is not constant-time with respect to cache timing.
+/// Fine for a research prototype, called out per the README's security
+/// model.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace dpsync::crypto {
+
+/// AES-128: 16-byte key, 16-byte blocks, 10 rounds.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  /// `key` must be exactly 16 bytes.
+  explicit Aes128(const Bytes& key);
+
+  /// Encrypts one 16-byte block (in != out allowed, including aliasing).
+  void EncryptBlock(const uint8_t in[kBlockSize],
+                    uint8_t out[kBlockSize]) const;
+
+ private:
+  uint32_t round_keys_[44];  // 11 round keys of 4 words
+};
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,121 @@
+#include "crypto/aes_gcm.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dpsync::crypto {
+
+Aes128Gcm::Aes128Gcm(const Bytes& key) : aes_(key) {
+  uint8_t zero[16] = {0};
+  aes_.EncryptBlock(zero, h_);
+}
+
+void Aes128Gcm::GfMulH(uint8_t x[16]) const {
+  // Bitwise GF(2^128) multiplication x <- x * H with the GCM polynomial
+  // x^128 + x^7 + x^2 + x + 1 (bit-reflected convention per SP 800-38D).
+  uint8_t z[16] = {0};
+  uint8_t v[16];
+  std::memcpy(v, h_, 16);
+  for (int i = 0; i < 128; ++i) {
+    int byte = i / 8, bit = 7 - i % 8;
+    if ((x[byte] >> bit) & 1) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    // v <- v >> 1 (as a 128-bit big-endian-bit string), conditionally
+    // xoring the reduction constant R = 0xe1 << 120.
+    bool lsb = v[15] & 1;
+    for (int j = 15; j > 0; --j) {
+      v[j] = static_cast<uint8_t>((v[j] >> 1) | ((v[j - 1] & 1) << 7));
+    }
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  std::memcpy(x, z, 16);
+}
+
+void Aes128Gcm::Ghash(const Bytes& aad, const Bytes& data,
+                      uint8_t out[16]) const {
+  uint8_t y[16] = {0};
+  auto absorb = [&](const Bytes& input) {
+    for (size_t off = 0; off < input.size(); off += 16) {
+      size_t take = std::min<size_t>(16, input.size() - off);
+      for (size_t j = 0; j < take; ++j) y[j] ^= input[off + j];
+      GfMulH(y);
+    }
+  };
+  absorb(aad);
+  absorb(data);
+  uint8_t lengths[16];
+  uint64_t aad_bits = static_cast<uint64_t>(aad.size()) * 8;
+  uint64_t data_bits = static_cast<uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    lengths[i] = static_cast<uint8_t>(aad_bits >> (56 - 8 * i));
+    lengths[8 + i] = static_cast<uint8_t>(data_bits >> (56 - 8 * i));
+  }
+  for (int j = 0; j < 16; ++j) y[j] ^= lengths[j];
+  GfMulH(y);
+  std::memcpy(out, y, 16);
+}
+
+void Aes128Gcm::CtrCrypt(const Bytes& nonce, uint32_t initial_counter,
+                         Bytes* data) const {
+  uint8_t counter_block[16];
+  std::memcpy(counter_block, nonce.data(), 12);
+  uint32_t counter = initial_counter;
+  uint8_t keystream[16];
+  for (size_t off = 0; off < data->size(); off += 16) {
+    StoreBE32(counter_block + 12, counter++);
+    aes_.EncryptBlock(counter_block, keystream);
+    size_t take = std::min<size_t>(16, data->size() - off);
+    for (size_t j = 0; j < take; ++j) (*data)[off + j] ^= keystream[j];
+  }
+}
+
+Bytes Aes128Gcm::Seal(const Bytes& nonce, const Bytes& aad,
+                      const Bytes& plaintext) const {
+  assert(nonce.size() == kNonceSize && "GCM nonce must be 12 bytes");
+  Bytes ciphertext = plaintext;
+  CtrCrypt(nonce, /*initial_counter=*/2, &ciphertext);
+
+  uint8_t tag[16];
+  Ghash(aad, ciphertext, tag);
+  // Tag mask = AES_K(nonce || 1).
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  StoreBE32(j0 + 12, 1);
+  uint8_t mask[16];
+  aes_.EncryptBlock(j0, mask);
+  for (int i = 0; i < 16; ++i) tag[i] ^= mask[i];
+
+  Append(&ciphertext, tag, 16);
+  return ciphertext;
+}
+
+StatusOr<Bytes> Aes128Gcm::Open(const Bytes& nonce, const Bytes& aad,
+                                const Bytes& sealed) const {
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("GCM nonce must be 12 bytes");
+  }
+  if (sealed.size() < kTagSize) {
+    return Status::InvalidArgument("sealed input shorter than tag");
+  }
+  Bytes ciphertext(sealed.begin(), sealed.end() - kTagSize);
+  Bytes tag(sealed.end() - kTagSize, sealed.end());
+
+  uint8_t expected[16];
+  Ghash(aad, ciphertext, expected);
+  uint8_t j0[16];
+  std::memcpy(j0, nonce.data(), 12);
+  StoreBE32(j0 + 12, 1);
+  uint8_t mask[16];
+  aes_.EncryptBlock(j0, mask);
+  for (int i = 0; i < 16; ++i) expected[i] ^= mask[i];
+
+  if (!ConstantTimeEquals(tag, Bytes(expected, expected + 16))) {
+    return Status::InvalidArgument("GCM authentication failed");
+  }
+  CtrCrypt(nonce, /*initial_counter=*/2, &ciphertext);
+  return ciphertext;
+}
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,43 @@
+/// \file aes_gcm.h
+/// AES-128-GCM authenticated encryption (NIST SP 800-38D): CTR-mode
+/// encryption with a GHASH (GF(2^128)) authentication tag. Interface
+/// mirrors crypto::Aead so either suite can back record encryption.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace dpsync::crypto {
+
+/// AES-128-GCM with 96-bit nonces and 128-bit tags.
+class Aes128Gcm {
+ public:
+  static constexpr size_t kKeySize = 16;
+  static constexpr size_t kNonceSize = 12;
+  static constexpr size_t kTagSize = 16;
+
+  /// `key` must be exactly 16 bytes.
+  explicit Aes128Gcm(const Bytes& key);
+
+  /// Encrypts and authenticates: returns ciphertext || 16-byte tag.
+  /// `nonce` must be 12 bytes and unique per key.
+  Bytes Seal(const Bytes& nonce, const Bytes& aad,
+             const Bytes& plaintext) const;
+
+  /// Verifies and decrypts; InvalidArgument on authentication failure.
+  StatusOr<Bytes> Open(const Bytes& nonce, const Bytes& aad,
+                       const Bytes& sealed) const;
+
+ private:
+  /// GHASH over aad || pad || data || pad || len(aad) || len(data).
+  void Ghash(const Bytes& aad, const Bytes& data, uint8_t out[16]) const;
+  /// Multiplies `x` by the hash subkey H in GF(2^128) (in place).
+  void GfMulH(uint8_t x[16]) const;
+  void CtrCrypt(const Bytes& nonce, uint32_t initial_counter, Bytes* data) const;
+
+  Aes128 aes_;
+  uint8_t h_[16];  // hash subkey = AES_K(0^128)
+};
+
+}  // namespace dpsync::crypto

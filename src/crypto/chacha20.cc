@@ -1,0 +1,74 @@
+#include "crypto/chacha20.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dpsync::crypto {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+}  // namespace
+
+void ChaCha20::Block(const uint8_t key[kKeySize], uint32_t counter,
+                     const uint8_t nonce[kNonceSize], uint8_t out[64]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLE32(key + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLE32(nonce + 4 * i);
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) StoreLE32(out + 4 * i, x[i] + state[i]);
+}
+
+ChaCha20::ChaCha20(const Bytes& key, const Bytes& nonce,
+                   uint32_t initial_counter)
+    : counter_(initial_counter), keystream_pos_(64) {
+  assert(key.size() == kKeySize && "ChaCha20 key must be 32 bytes");
+  assert(nonce.size() == kNonceSize && "ChaCha20 nonce must be 12 bytes");
+  std::memcpy(key_, key.data(), kKeySize);
+  std::memcpy(nonce_, nonce.data(), kNonceSize);
+}
+
+void ChaCha20::Process(uint8_t* data, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (keystream_pos_ == 64) {
+      Block(key_, counter_++, nonce_, keystream_);
+      keystream_pos_ = 0;
+    }
+    data[i] ^= keystream_[keystream_pos_++];
+  }
+}
+
+}  // namespace dpsync::crypto

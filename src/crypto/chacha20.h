@@ -1,0 +1,39 @@
+/// \file chacha20.h
+/// ChaCha20 stream cipher (RFC 8439). Provides the keystream for record
+/// encryption; combined with Poly1305 into an AEAD in aead.h.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace dpsync::crypto {
+
+/// ChaCha20 with a 256-bit key and 96-bit nonce.
+class ChaCha20 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kNonceSize = 12;
+
+  /// Constructs a cipher instance. `key` must be 32 bytes, `nonce` 12 bytes.
+  ChaCha20(const Bytes& key, const Bytes& nonce, uint32_t initial_counter = 0);
+
+  /// XORs the keystream into `data` in place (encrypt == decrypt).
+  void Process(uint8_t* data, size_t len);
+  void Process(Bytes* data) { Process(data->data(), data->size()); }
+
+  /// Produces one 64-byte keystream block for block counter `counter`
+  /// (used by Poly1305 key generation, which needs counter 0).
+  static void Block(const uint8_t key[kKeySize], uint32_t counter,
+                    const uint8_t nonce[kNonceSize], uint8_t out[64]);
+
+ private:
+  uint8_t key_[kKeySize];
+  uint8_t nonce_[kNonceSize];
+  uint32_t counter_;
+  uint8_t keystream_[64];
+  size_t keystream_pos_;  // 64 == exhausted
+};
+
+}  // namespace dpsync::crypto

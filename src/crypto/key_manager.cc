@@ -1,0 +1,19 @@
+#include "crypto/key_manager.h"
+
+namespace dpsync::crypto {
+
+KeyManager::KeyManager(const Bytes& master_secret) {
+  prk_ = HkdfExtract(ToBytes("dpsync-key-manager-v1"), master_secret);
+}
+
+KeyManager KeyManager::FromSeed(uint64_t seed) {
+  Bytes secret(8);
+  StoreLE64(secret.data(), seed);
+  return KeyManager(secret);
+}
+
+Bytes KeyManager::DeriveKey(const std::string& purpose) const {
+  return HkdfExpand(prk_, ToBytes(purpose), 32);
+}
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,42 @@
+/// \file poly1305.h
+/// Poly1305 one-time authenticator (RFC 8439 §2.5), implemented with 26-bit
+/// limbs (the portable "donna" layout). Combined with ChaCha20 into the AEAD
+/// used to encrypt records.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace dpsync::crypto {
+
+/// Incremental Poly1305 MAC.
+class Poly1305 {
+ public:
+  static constexpr size_t kKeySize = 32;
+  static constexpr size_t kTagSize = 16;
+
+  /// `key` must be 32 bytes: r (16, clamped internally) || s (16).
+  explicit Poly1305(const Bytes& key);
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and writes the 16-byte tag.
+  void Finish(uint8_t out[kTagSize]);
+
+  /// One-shot tag computation.
+  static Bytes Tag(const Bytes& key, const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t block[16], uint32_t hibit);
+
+  uint32_t r_[5];
+  uint32_t h_[5];
+  uint32_t pad_[4];
+  uint8_t buffer_[16];
+  size_t buffer_len_;
+};
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,72 @@
+#include "crypto/record_cipher.h"
+
+#include <cassert>
+
+namespace dpsync::crypto {
+
+namespace {
+std::variant<Aead, Aes128Gcm> MakeAead(Bytes key, CipherSuite suite) {
+  assert(key.size() == 32 && "RecordCipher key must be 32 bytes");
+  if (suite == CipherSuite::kAes128Gcm) {
+    return std::variant<Aead, Aes128Gcm>(
+        std::in_place_type<Aes128Gcm>, Bytes(key.begin(), key.begin() + 16));
+  }
+  return std::variant<Aead, Aes128Gcm>(std::in_place_type<Aead>,
+                                       std::move(key));
+}
+}  // namespace
+
+RecordCipher::RecordCipher(Bytes key, CipherSuite suite)
+    : suite_(suite), aead_(MakeAead(std::move(key), suite)) {}
+
+Bytes RecordCipher::Seal(const Bytes& nonce, const Bytes& padded) const {
+  if (suite_ == CipherSuite::kAes128Gcm) {
+    return std::get<Aes128Gcm>(aead_).Seal(nonce, /*aad=*/{}, padded);
+  }
+  return std::get<Aead>(aead_).Seal(nonce, /*aad=*/{}, padded);
+}
+
+StatusOr<Bytes> RecordCipher::Open(const Bytes& nonce,
+                                   const Bytes& sealed) const {
+  if (suite_ == CipherSuite::kAes128Gcm) {
+    return std::get<Aes128Gcm>(aead_).Open(nonce, /*aad=*/{}, sealed);
+  }
+  return std::get<Aead>(aead_).Open(nonce, /*aad=*/{}, sealed);
+}
+
+StatusOr<Bytes> RecordCipher::Encrypt(const Bytes& plaintext) {
+  if (plaintext.size() > kPlaintextSize - 2) {
+    return Status::InvalidArgument("record payload exceeds fixed record size");
+  }
+  Bytes padded(kPlaintextSize, 0);
+  padded[0] = static_cast<uint8_t>(plaintext.size());
+  padded[1] = static_cast<uint8_t>(plaintext.size() >> 8);
+  std::copy(plaintext.begin(), plaintext.end(), padded.begin() + 2);
+
+  Bytes nonce(12, 0);
+  StoreLE64(nonce.data(), nonce_counter_++);
+
+  Bytes out;
+  out.reserve(kCiphertextSize);
+  Append(&out, nonce);
+  Append(&out, Seal(nonce, padded));
+  return out;
+}
+
+StatusOr<Bytes> RecordCipher::Decrypt(const Bytes& encrypted) const {
+  if (encrypted.size() != kCiphertextSize) {
+    return Status::InvalidArgument("encrypted record has wrong size");
+  }
+  Bytes nonce(encrypted.begin(), encrypted.begin() + 12);
+  Bytes sealed(encrypted.begin() + 12, encrypted.end());
+  auto padded = Open(nonce, sealed);
+  if (!padded.ok()) return padded.status();
+  const Bytes& p = padded.value();
+  size_t len = static_cast<size_t>(p[0]) | (static_cast<size_t>(p[1]) << 8);
+  if (len > kPlaintextSize - 2) {
+    return Status::Internal("corrupt record length field");
+  }
+  return Bytes(p.begin() + 2, p.begin() + 2 + len);
+}
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,64 @@
+/// \file record_cipher.h
+/// Fixed-size atomic record encryption (paper §4.1): every record — real or
+/// dummy — is padded to a fixed plaintext size and sealed with an AEAD, so
+/// all ciphertexts are byte-identical in length and the server cannot
+/// distinguish dummies from real data (§3.2.2).
+///
+/// Two cipher suites are provided: ChaCha20-Poly1305 (default) and
+/// AES-128-GCM (what SGX-based engines like ObliDB deploy in practice).
+/// Nonces are a monotone owner-side counter (96-bit), serialized alongside
+/// the ciphertext. The wire layout of an encrypted record is:
+///   nonce (12) || ciphertext (kPlaintextSize) || tag (16)
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aead.h"
+#include "crypto/aes_gcm.h"
+
+namespace dpsync::crypto {
+
+/// Which AEAD backs record encryption.
+enum class CipherSuite { kChaCha20Poly1305, kAes128Gcm };
+
+/// Encrypts/decrypts fixed-size record payloads.
+class RecordCipher {
+ public:
+  /// All plaintexts are padded to this many bytes before sealing. Large
+  /// enough for the serialized trip records used in the evaluation.
+  static constexpr size_t kPlaintextSize = 64;
+  /// Total size of one encrypted record on the server (identical for both
+  /// suites: 12-byte nonce + payload + 16-byte tag).
+  static constexpr size_t kCiphertextSize = 12 + kPlaintextSize + 16;
+
+  /// `key` must be 32 bytes (derive via KeyManager); the AES-128 suite
+  /// uses its first 16 bytes.
+  explicit RecordCipher(Bytes key,
+                        CipherSuite suite = CipherSuite::kChaCha20Poly1305);
+
+  /// Seals `plaintext` (must be <= kPlaintextSize - 2; it is zero-padded,
+  /// with the true length stored in the first two bytes of the padded
+  /// buffer). Returns InvalidArgument if the payload is too large.
+  StatusOr<Bytes> Encrypt(const Bytes& plaintext);
+
+  /// Opens an encrypted record, stripping the padding. Fails on tampering.
+  StatusOr<Bytes> Decrypt(const Bytes& encrypted) const;
+
+  /// Number of records sealed so far (== nonces consumed).
+  uint64_t seal_count() const { return nonce_counter_; }
+
+  CipherSuite suite() const { return suite_; }
+
+ private:
+  Bytes Seal(const Bytes& nonce, const Bytes& padded) const;
+  StatusOr<Bytes> Open(const Bytes& nonce, const Bytes& sealed) const;
+
+  CipherSuite suite_;
+  std::variant<Aead, Aes128Gcm> aead_;
+  uint64_t nonce_counter_ = 0;
+};
+
+}  // namespace dpsync::crypto

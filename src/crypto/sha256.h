@@ -1,0 +1,45 @@
+/// \file sha256.h
+/// SHA-256 (FIPS 180-4), implemented from scratch. Used by HMAC/HKDF for key
+/// derivation in the encrypted-database substrate.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "common/bytes.h"
+
+namespace dpsync::crypto {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() { Reset(); }
+
+  /// Resets to the initial state (as if freshly constructed).
+  void Reset();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  /// Finalizes and writes the 32-byte digest to `out`. The hasher must be
+  /// Reset() before reuse.
+  void Finish(uint8_t out[kDigestSize]);
+
+  /// One-shot convenience.
+  static Bytes Hash(const Bytes& data);
+  static Bytes Hash(const uint8_t* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t block[kBlockSize]);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+};
+
+}  // namespace dpsync::crypto

@@ -1,0 +1,69 @@
+#include "dp/binary_counter.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dpsync::dp {
+
+namespace {
+int64_t CeilLog2(int64_t n) {
+  int64_t bits = 0;
+  int64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+}  // namespace
+
+BinaryCounter::BinaryCounter(double epsilon, int64_t horizon)
+    : epsilon_(epsilon), horizon_(horizon) {
+  assert(epsilon > 0 && "epsilon must be positive");
+  assert(horizon > 0 && "horizon must be positive");
+  levels_ = CeilLog2(horizon) + 1;
+  node_scale_ = static_cast<double>(levels_) / epsilon_;
+  exact_node_.assign(static_cast<size_t>(levels_), 0);
+  noisy_node_.assign(static_cast<size_t>(levels_), 0.0);
+  node_valid_.assign(static_cast<size_t>(levels_), false);
+}
+
+double BinaryCounter::Step(int64_t bit, Rng* rng) {
+  assert(t_ < horizon_ && "stepped past the declared horizon");
+  ++t_;
+  true_count_ += bit;
+
+  // Canonical binary mechanism (Chan–Shi–Song): the set bits of t index
+  // the dyadic blocks partitioning [1, t]. When step t arrives, the new
+  // item merges with all blocks below t's lowest set bit into a single
+  // block at that level, which is then released once with fresh noise.
+  int64_t lowest = 0;
+  while (((t_ >> lowest) & 1) == 0) ++lowest;
+
+  int64_t merged = bit;
+  for (int64_t j = 0; j < lowest; ++j) {
+    size_t idx = static_cast<size_t>(j);
+    merged += exact_node_[idx];
+    exact_node_[idx] = 0;
+    noisy_node_[idx] = 0.0;
+    node_valid_[idx] = false;
+  }
+  size_t li = static_cast<size_t>(lowest);
+  exact_node_[li] = merged;
+  noisy_node_[li] =
+      static_cast<double>(merged) + rng->Laplace(node_scale_);
+  node_valid_[li] = true;
+
+  // Release: sum the noisy blocks named by t's binary representation.
+  // Each stream item affects exactly `levels_` blocks over its lifetime,
+  // so charging eps/levels_ per block keeps the transcript eps-DP.
+  double released = 0.0;
+  for (int64_t j = 0; j < levels_; ++j) {
+    if (((t_ >> j) & 1) && node_valid_[static_cast<size_t>(j)]) {
+      released += noisy_node_[static_cast<size_t>(j)];
+    }
+  }
+  return released;
+}
+
+}  // namespace dpsync::dp

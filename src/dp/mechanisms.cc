@@ -1,0 +1,65 @@
+#include "dp/mechanisms.h"
+
+#include "dp/laplace.h"
+#include "dp/svt.h"
+
+namespace dpsync::dp {
+
+std::vector<PatternPoint> SimulateTimerPattern(const UpdateStreamView& stream,
+                                               double epsilon, int64_t T,
+                                               int64_t flush_interval,
+                                               int64_t flush_size, Rng* rng) {
+  std::vector<PatternPoint> pattern;
+  LaplaceMechanism lap(epsilon);
+  // M_setup
+  pattern.push_back(
+      {0, lap.Perturb(static_cast<double>(stream.initial_size), rng)});
+  // M_update (M_unit on disjoint windows) interleaved with M_flush.
+  int64_t horizon = static_cast<int64_t>(stream.arrivals.size());
+  int64_t window_count = 0;
+  for (int64_t t = 1; t <= horizon; ++t) {
+    if (stream.arrivals[static_cast<size_t>(t - 1)]) ++window_count;
+    if (T > 0 && t % T == 0) {
+      pattern.push_back(
+          {t, lap.Perturb(static_cast<double>(window_count), rng)});
+      window_count = 0;
+    }
+    if (flush_interval > 0 && t % flush_interval == 0) {
+      pattern.push_back({t, static_cast<double>(flush_size)});
+    }
+  }
+  return pattern;
+}
+
+std::vector<PatternPoint> SimulateAntPattern(const UpdateStreamView& stream,
+                                             double epsilon, double theta,
+                                             int64_t flush_interval,
+                                             int64_t flush_size, Rng* rng) {
+  std::vector<PatternPoint> pattern;
+  LaplaceMechanism setup_lap(epsilon);
+  pattern.push_back(
+      {0, setup_lap.Perturb(static_cast<double>(stream.initial_size), rng)});
+
+  const double eps1 = epsilon / 2.0;
+  const double eps2 = epsilon / 2.0;
+  AboveNoisyThreshold svt(theta, eps1, rng);
+  LaplaceMechanism release_lap(eps2);
+
+  int64_t horizon = static_cast<int64_t>(stream.arrivals.size());
+  int64_t count = 0;
+  for (int64_t t = 1; t <= horizon; ++t) {
+    if (stream.arrivals[static_cast<size_t>(t - 1)]) ++count;
+    if (svt.Exceeds(count, rng)) {
+      pattern.push_back(
+          {t, release_lap.Perturb(static_cast<double>(count), rng)});
+      count = 0;
+      svt.Reset(rng);
+    }
+    if (flush_interval > 0 && t % flush_interval == 0) {
+      pattern.push_back({t, static_cast<double>(flush_size)});
+    }
+  }
+  return pattern;
+}
+
+}  // namespace dpsync::dp

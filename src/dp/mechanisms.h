@@ -1,0 +1,48 @@
+/// \file mechanisms.h
+/// The paper's Table-4 mechanisms M_timer and M_ANT, which *simulate the
+/// update pattern* of the DP-Timer and DP-ANT strategies as pure DP
+/// mechanisms over the logical update stream. These are used by the
+/// empirical-DP distinguisher tests (Theorems 10/11) and by the Table-2
+/// bound checks — they produce exactly the (t, noisy-count) transcript a
+/// semi-honest server would observe, with no database machinery attached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dpsync::dp {
+
+/// A logical update stream: arrivals[t] == true iff a record arrived at
+/// time t+1 (at most one per time unit, §4.1), plus the initial DB size.
+struct UpdateStreamView {
+  int64_t initial_size = 0;
+  std::vector<bool> arrivals;
+};
+
+/// One observed element of the update pattern: (time, released count).
+struct PatternPoint {
+  int64_t t = 0;
+  double count = 0;  // noisy |gamma_t| as released by the mechanism
+};
+
+/// M_timer(D, eps, f, s, T) — Table 4, left. Emits:
+///  - setup:  (0, |D0| + Lap(1/eps))
+///  - update: every T steps, (iT, Lap(1/eps) + #arrivals in the window)
+///  - flush:  every f steps, (jf, s) — data-independent.
+std::vector<PatternPoint> SimulateTimerPattern(const UpdateStreamView& stream,
+                                               double epsilon, int64_t T,
+                                               int64_t flush_interval,
+                                               int64_t flush_size, Rng* rng);
+
+/// M_ANT(D, eps, f, s, theta) — Table 4, right. Splits eps in half between
+/// the sparse-vector test (threshold Lap(2/eps1), comparisons Lap(4/eps1))
+/// and the released count (Lap(1/eps2)). Emits a point whenever the noisy
+/// running count crosses the noisy threshold, plus setup and flush points.
+std::vector<PatternPoint> SimulateAntPattern(const UpdateStreamView& stream,
+                                             double epsilon, double theta,
+                                             int64_t flush_interval,
+                                             int64_t flush_size, Rng* rng);
+
+}  // namespace dpsync::dp

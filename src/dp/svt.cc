@@ -1,0 +1,23 @@
+#include "dp/svt.h"
+
+#include <cassert>
+
+namespace dpsync::dp {
+
+AboveNoisyThreshold::AboveNoisyThreshold(double threshold, double epsilon1,
+                                         Rng* rng)
+    : threshold_(threshold), epsilon1_(epsilon1) {
+  assert(epsilon1 > 0 && "epsilon1 must be positive");
+  Reset(rng);
+}
+
+bool AboveNoisyThreshold::Exceeds(int64_t count, Rng* rng) const {
+  double v = rng->Laplace(4.0 / epsilon1_);
+  return static_cast<double>(count) + v >= noisy_threshold_;
+}
+
+void AboveNoisyThreshold::Reset(Rng* rng) {
+  noisy_threshold_ = threshold_ + rng->Laplace(2.0 / epsilon1_);
+}
+
+}  // namespace dpsync::dp

@@ -1,0 +1,42 @@
+/// \file svt.h
+/// Sparse Vector Technique / Above-Noisy-Threshold, the engine behind
+/// DP-ANT (Algorithm 3). The threshold is perturbed once per "round" with
+/// Lap(2/eps1); each stream count is compared against it with fresh
+/// Lap(4/eps1) noise; when the noisy count crosses the noisy threshold the
+/// round ends (and DP-ANT releases a Lap(1/eps2)-noised count).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace dpsync::dp {
+
+/// One round of Above-Noisy-Threshold over a growing count.
+///
+/// Usage: construct (draws the noisy threshold), then call Exceeds(c, rng)
+/// once per time step with the running count since the round began. After it
+/// returns true, call Reset() to start a new round with a fresh threshold.
+class AboveNoisyThreshold {
+ public:
+  /// \param threshold the public threshold theta
+  /// \param epsilon1 budget for threshold + comparison noise (paper: eps/2)
+  AboveNoisyThreshold(double threshold, double epsilon1, Rng* rng);
+
+  /// Tests `count + Lap(4/eps1) >= noisy_threshold`. Fresh comparison noise
+  /// is drawn on every call, per Algorithm 3 line 6.
+  bool Exceeds(int64_t count, Rng* rng) const;
+
+  /// Starts a new round: redraws the noisy threshold with fresh Lap(2/eps1).
+  void Reset(Rng* rng);
+
+  double noisy_threshold() const { return noisy_threshold_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  double epsilon1_;
+  double noisy_threshold_;
+};
+
+}  // namespace dpsync::dp

@@ -1,0 +1,40 @@
+#include "edb/cost_model.h"
+
+namespace dpsync::edb {
+
+CostModel ObliDbCostModel() {
+  CostModel m;
+  // Q1: 5.39 s / ~9.2k records -> ~0.58 ms per record (ORAM-backed select).
+  // Q2: 2.32 s / ~9.2k records -> ~0.25 ms per record (flat oblivious scan).
+  // Q3: 2.77 s / (~9.2k x ~10.6k / 2 growing pair volume) -> ~57 ns/pair.
+  m.select_per_record = 0.58e-3;
+  m.aggregate_per_record = 0.25e-3;
+  m.join_per_pair = 57e-9;
+  m.update_per_record = 0.05e-3;
+  m.query_fixed = 0.02;
+  return m;
+}
+
+CostModel CryptEpsCostModel() {
+  CostModel m;
+  // Q1: 20.94 s -> ~2.3 ms/record; Q2: 76.34 s -> ~8.3 ms/record (per-group
+  // homomorphic aggregation dominates).
+  m.select_per_record = 2.3e-3;
+  m.aggregate_per_record = 8.3e-3;
+  m.join_per_pair = 0;  // Crypt-eps does not support joins (paper fn. 2)
+  m.update_per_record = 0.4e-3;
+  m.query_fixed = 0.3;
+  return m;
+}
+
+double ScanCost(const CostModel& m, int64_t n, bool grouped) {
+  double per = grouped ? m.aggregate_per_record : m.select_per_record;
+  return m.query_fixed + per * static_cast<double>(n);
+}
+
+double JoinCost(const CostModel& m, int64_t n1, int64_t n2) {
+  return m.query_fixed +
+         m.join_per_pair * static_cast<double>(n1) * static_cast<double>(n2);
+}
+
+}  // namespace dpsync::edb

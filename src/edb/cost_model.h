@@ -1,0 +1,46 @@
+/// \file cost_model.h
+/// Query-execution-time (QET) cost model. The paper measures wall-clock
+/// QET on Intel SGX (ObliDB) and a crypto-assisted DP pipeline (Crypt-eps);
+/// neither hardware stack is available here, so we reproduce QET as
+/// virtual time: per-record / per-pair constants calibrated against the
+/// paper's Table 5 SUR baselines, multiplied by the work the (real,
+/// executed) query plan performs over the outsourced store. This keeps the
+/// *shape* of every QET figure — linear queries scale with |DS_t| (so
+/// dummy-heavy SET slows down ~2x), joins scale with |DS1|x|DS2| (gap
+/// magnified to >4x) — without requiring SGX. All engines also report the
+/// real measured wall time of the simulation for reference.
+#pragma once
+
+#include <cstdint>
+
+namespace dpsync::edb {
+
+/// Per-operation virtual costs, in seconds.
+struct CostModel {
+  /// Filtered selection scans (ObliDB serves these from its ORAM-backed
+  /// table, which costs more per touched record than a flat scan).
+  double select_per_record = 0.0;
+  /// Aggregation / group-by scans (flat oblivious pass).
+  double aggregate_per_record = 0.0;
+  double join_per_pair = 0.0;      ///< oblivious nested-loop pair cost
+  double update_per_record = 0.0;  ///< Pi_Update per-record cost
+  double query_fixed = 0.0;        ///< per-query setup overhead
+};
+
+/// Calibrated against Table 5's SUR rows for the ObliDB implementation:
+/// Q1 (range count) 5.39 s and Q2 (group-by) 2.32 s at |DS| ~= 9.2k mean
+/// records; Q3 2.77 s at ~9.2k x 10.6k mean pair volume.
+CostModel ObliDbCostModel();
+
+/// Calibrated against Table 5's SUR rows for the Crypt-eps implementation
+/// (Q1 mean 20.94 s, Q2 76.34 s at |DS| ~= 9.2k records).
+CostModel CryptEpsCostModel();
+
+/// Virtual QET for a linear query over `n` records. `grouped` selects the
+/// aggregation rate; otherwise the selection rate applies.
+double ScanCost(const CostModel& m, int64_t n, bool grouped);
+
+/// Virtual QET for an oblivious nested-loop join over n1 x n2 records.
+double JoinCost(const CostModel& m, int64_t n1, int64_t n2);
+
+}  // namespace dpsync::edb

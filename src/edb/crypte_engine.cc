@@ -1,0 +1,114 @@
+#include "edb/crypte_engine.h"
+
+#include <chrono>
+
+#include "dp/laplace.h"
+#include "query/executor.h"
+#include "query/rewriter.h"
+
+namespace dpsync::edb {
+
+CryptEpsServer::CryptEpsServer(const CryptEpsConfig& config)
+    : config_(config),
+      keys_(crypto::KeyManager::FromSeed(config.master_seed)),
+      cost_(CryptEpsCostModel()),
+      noise_rng_(config.master_seed ^ 0xfeedface) {}
+
+StatusOr<EdbTable*> CryptEpsServer::CreateTable(const std::string& name,
+                                                const query::Schema& schema) {
+  if (tables_.count(name)) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  if (!schema.HasDummyFlag()) {
+    return Status::InvalidArgument(
+        "schema must carry an isDummy attribute for dummy-aware rewriting");
+  }
+  auto table = std::make_unique<EncryptedTableStore>(
+      name, schema, keys_.DeriveKey("table-aead:" + name));
+  EdbTable* handle = table.get();
+  tables_[name] = std::move(table);
+  return handle;
+}
+
+LeakageProfile CryptEpsServer::leakage() const {
+  LeakageProfile p;
+  p.query_class = LeakageClass::kLDP;
+  p.update_leaks_only_pattern = true;
+  p.encrypts_records_atomically = true;
+  p.supports_insertion = true;
+  p.scheme_name = "CryptEpsilon";
+  return p;
+}
+
+int64_t CryptEpsServer::total_outsourced_bytes() const {
+  int64_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->outsourced_bytes();
+  return total;
+}
+
+int64_t CryptEpsServer::total_outsourced_records() const {
+  int64_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->outsourced_count();
+  return total;
+}
+
+StatusOr<QueryResponse> CryptEpsServer::Query(const query::SelectQuery& q) {
+  if (q.join) {
+    return Status::Unimplemented("Crypt-eps does not support join operators");
+  }
+  auto it = tables_.find(q.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + q.table);
+  }
+  if (config_.total_budget_limit > 0 &&
+      consumed_budget_ + config_.query_epsilon >
+          config_.total_budget_limit + 1e-9) {
+    return Status::PermissionDenied("analyst query budget exhausted");
+  }
+  EncryptedTableStore* table = it->second.get();
+
+  auto start = std::chrono::steady_clock::now();
+  query::SelectQuery rewritten = query::RewriteForDummies(q);
+
+  // The two-server aggregation pipeline, played by one process: decrypt
+  // (simulating the measurement phase) and aggregate exactly...
+  auto view = table->EnclaveView();
+  if (!view.ok()) return view.status();
+  query::Table plain;
+  plain.name = table->table_name();
+  plain.schema = table->schema();
+  plain.borrowed_rows = view.value();
+  query::Catalog catalog;
+  catalog.AddTable(&plain);
+  query::Executor executor(&catalog);
+  auto exact = executor.Execute(rewritten);
+  if (!exact.ok()) return exact.status();
+
+  // ...then release with Laplace noise from the per-query budget. Grouped
+  // answers noise each group independently (disjoint partitions: parallel
+  // composition, so the whole release costs query_epsilon).
+  query::QueryResult noisy = std::move(exact.value());
+  dp::LaplaceMechanism release(config_.query_epsilon);
+  if (noisy.grouped) {
+    for (auto& [key, value] : noisy.groups) {
+      value = release.Perturb(value, &noise_rng_);
+      if (value < 0) value = 0;  // post-processing: counts are nonnegative
+    }
+  } else {
+    noisy.scalar = release.Perturb(noisy.scalar, &noise_rng_);
+    if (noisy.scalar < 0) noisy.scalar = 0;
+  }
+  consumed_budget_ += config_.query_epsilon;
+
+  QueryResponse resp;
+  resp.result = std::move(noisy);
+  resp.stats.records_scanned = table->outsourced_count();
+  resp.stats.measured_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  resp.stats.virtual_seconds = ScanCost(cost_, table->outsourced_count(),
+                                        !rewritten.group_by.empty());
+  return resp;
+}
+
+}  // namespace dpsync::edb

@@ -1,0 +1,79 @@
+/// \file encrypted_database.h
+/// The full encrypted-database surface: the owner-facing Setup/Update side
+/// (per table, implementing core::SogdbBackend so DpSyncEngine can drive
+/// it) and the analyst-facing Query protocol (per server, so multi-table
+/// queries like the paper's Q3 join work).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/sogdb.h"
+#include "edb/leakage.h"
+#include "query/ast.h"
+#include "query/result.h"
+#include "query/schema.h"
+
+namespace dpsync::edb {
+
+/// Per-query execution accounting.
+struct QueryStats {
+  /// Virtual QET from the calibrated cost model (see cost_model.h) — the
+  /// number every figure/table reports as "query execution time".
+  double virtual_seconds = 0.0;
+  /// Real wall-clock time this process spent executing the query.
+  double measured_seconds = 0.0;
+  /// Encrypted records touched (n, or n1+n2 for joins).
+  int64_t records_scanned = 0;
+  /// Record pairs compared by a join (0 otherwise).
+  int64_t join_pairs = 0;
+  /// The response volume the query protocol REVEALS to the server: -1 for
+  /// volume-hiding (L-0/L-DP) schemes; the exact (or padded) matching
+  /// record count for L-1 schemes (see volume_hiding.h).
+  int64_t revealed_volume = -1;
+};
+
+/// A query answer plus its cost.
+struct QueryResponse {
+  query::QueryResult result;
+  QueryStats stats;
+};
+
+/// Owner-facing handle to one outsourced table.
+class EdbTable : public SogdbBackend {
+ public:
+  /// Bytes currently stored on the server for this table (ciphertexts).
+  virtual int64_t outsourced_bytes() const = 0;
+  /// The table's name in the server catalog.
+  virtual const std::string& table_name() const = 0;
+};
+
+/// A (simulated) encrypted database server hosting named tables.
+class EdbServer {
+ public:
+  virtual ~EdbServer() = default;
+
+  /// Creates an outsourced table and returns its owner-side handle (owned
+  /// by the server; valid for the server's lifetime).
+  virtual StatusOr<EdbTable*> CreateTable(const std::string& name,
+                                          const query::Schema& schema) = 0;
+
+  /// Pi_Query: runs an analyst query over the outsourced tables. Queries
+  /// are rewritten internally to exclude dummy records (Appendix B).
+  virtual StatusOr<QueryResponse> Query(const query::SelectQuery& q) = 0;
+
+  /// The scheme's leakage profile (drives compatibility checks).
+  virtual LeakageProfile leakage() const = 0;
+
+  /// Scheme name ("ObliDB", "CryptEpsilon").
+  virtual std::string name() const = 0;
+
+  /// Total ciphertext bytes across all tables.
+  virtual int64_t total_outsourced_bytes() const = 0;
+
+  /// Total encrypted records across all tables (incl. dummies).
+  virtual int64_t total_outsourced_records() const = 0;
+};
+
+}  // namespace dpsync::edb

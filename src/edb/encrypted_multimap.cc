@@ -1,0 +1,71 @@
+#include "edb/encrypted_multimap.h"
+
+#include "crypto/sha256.h"
+
+namespace dpsync::edb {
+
+namespace {
+uint64_t HashKeyword(const std::string& keyword) {
+  Bytes digest = crypto::Sha256::Hash(ToBytes(keyword));
+  return LoadLE64(digest.data());
+}
+}  // namespace
+
+EncryptedMultimap::EncryptedMultimap(const Bytes& key, size_t bucket_capacity)
+    : token_prf_(crypto::Hkdf(key, ToBytes("emm"), ToBytes("token"), 32)),
+      value_cipher_(crypto::Hkdf(key, ToBytes("emm"), ToBytes("value"), 32)),
+      bucket_capacity_(bucket_capacity) {}
+
+uint64_t EncryptedMultimap::TokenFor(const std::string& keyword) const {
+  return token_prf_.Eval(/*domain=*/1, HashKeyword(keyword));
+}
+
+StatusOr<Bytes> EncryptedMultimap::SealEntry(uint64_t value, bool real) {
+  Bytes plain(9);
+  StoreLE64(plain.data(), value);
+  plain[8] = real ? 1 : 0;
+  return value_cipher_.Encrypt(plain);
+}
+
+Status EncryptedMultimap::Insert(const std::string& keyword, uint64_t value) {
+  uint64_t token = TokenFor(keyword);
+  auto [it, inserted] = buckets_.try_emplace(token);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    // New bucket: fill every slot with dummies up front so the bucket's
+    // appearance never depends on its real multiplicity.
+    bucket.slots.reserve(bucket_capacity_);
+    for (size_t i = 0; i < bucket_capacity_; ++i) {
+      auto dummy = SealEntry(/*value=*/0, /*real=*/false);
+      if (!dummy.ok()) return dummy.status();
+      bucket.slots.push_back(std::move(dummy.value()));
+    }
+  }
+  if (bucket.real_count >= bucket_capacity_) {
+    return Status::OutOfRange("bucket full for keyword: " + keyword);
+  }
+  auto sealed = SealEntry(value, /*real=*/true);
+  if (!sealed.ok()) return sealed.status();
+  bucket.slots[bucket.real_count] = std::move(sealed.value());
+  ++bucket.real_count;
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint64_t>> EncryptedMultimap::Lookup(
+    const std::string& keyword) const {
+  std::vector<uint64_t> out;
+  auto it = buckets_.find(TokenFor(keyword));
+  if (it == buckets_.end()) return out;
+  // The "server" returns the whole fixed-size bucket; the client decrypts
+  // and filters dummies locally.
+  for (const Bytes& slot : it->second.slots) {
+    auto plain = value_cipher_.Decrypt(slot);
+    if (!plain.ok()) return plain.status();
+    const Bytes& p = plain.value();
+    if (p.size() != 9) return Status::Internal("corrupt multimap entry");
+    if (p[8] == 1) out.push_back(LoadLE64(p.data()));
+  }
+  return out;
+}
+
+}  // namespace dpsync::edb

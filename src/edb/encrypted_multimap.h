@@ -1,0 +1,65 @@
+/// \file encrypted_multimap.h
+/// A response-volume-hiding encrypted multimap in the style of structured
+/// encryption (cf. dp-MM / Patel et al., Table 3): keys are PRF tokens,
+/// values are AEAD-encrypted record ids stored in fixed-capacity buckets
+/// padded with dummies. Lookup leakage: the token (deterministic per key)
+/// and the *fixed* bucket size — never the true multiplicity. This is the
+/// kind of secure index a DP-Sync-compatible engine may maintain alongside
+/// the record store; it demonstrates the L-0 "volume hiding" discipline at
+/// the index level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/hmac.h"
+#include "crypto/record_cipher.h"
+
+namespace dpsync::edb {
+
+/// Volume-hiding encrypted multimap with fixed per-key bucket capacity.
+class EncryptedMultimap {
+ public:
+  /// \param key 32-byte master key (HKDF-split into token and value keys)
+  /// \param bucket_capacity fixed number of slots per key; lookups always
+  ///        return exactly this many sealed entries (real + dummy)
+  EncryptedMultimap(const Bytes& key, size_t bucket_capacity);
+
+  /// Associates `value` with `keyword`. Fails with OutOfRange if the
+  /// keyword's bucket is full (capacity is a public parameter — choosing
+  /// it is the usual volume-hiding trade-off).
+  Status Insert(const std::string& keyword, uint64_t value);
+
+  /// Returns all real values for `keyword` (decrypted client-side).
+  /// Unknown keywords return an empty vector — indistinguishable, to the
+  /// server, from a full bucket of dummies.
+  StatusOr<std::vector<uint64_t>> Lookup(const std::string& keyword) const;
+
+  /// Server-visible state: number of buckets (each exactly
+  /// bucket_capacity * ciphertext-size bytes).
+  size_t bucket_count() const { return buckets_.size(); }
+  size_t bucket_capacity() const { return bucket_capacity_; }
+
+  /// The leakage of one lookup: the deterministic token. Exposed so tests
+  /// can verify tokens reveal nothing about multiplicities.
+  uint64_t TokenFor(const std::string& keyword) const;
+
+ private:
+  struct Bucket {
+    std::vector<Bytes> slots;  ///< sealed (value || is_real) entries
+    size_t real_count = 0;     ///< client-side bookkeeping only
+  };
+
+  StatusOr<Bytes> SealEntry(uint64_t value, bool real);
+
+  crypto::Prf token_prf_;
+  mutable crypto::RecordCipher value_cipher_;
+  size_t bucket_capacity_;
+  std::unordered_map<uint64_t, Bucket> buckets_;
+};
+
+}  // namespace dpsync::edb

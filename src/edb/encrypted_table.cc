@@ -1,0 +1,62 @@
+#include "edb/encrypted_table.h"
+
+namespace dpsync::edb {
+
+EncryptedTableStore::EncryptedTableStore(std::string name,
+                                         query::Schema schema, Bytes key)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      cipher_(std::move(key)) {}
+
+Status EncryptedTableStore::AppendEncrypted(
+    const std::vector<Record>& records) {
+  // NOTE: no per-call reserve — SET-style workloads post one-record updates
+  // tens of thousands of times, and an exact-size reserve would force a
+  // reallocation (and full copy) on every call. Amortized push_back growth
+  // keeps appends O(1).
+  for (const Record& r : records) {
+    auto ct = cipher_.Encrypt(r.payload);
+    if (!ct.ok()) return ct.status();
+    ciphertexts_.push_back(std::move(ct.value()));
+  }
+  return Status::Ok();
+}
+
+Status EncryptedTableStore::Setup(const std::vector<Record>& gamma0) {
+  if (setup_done_) return Status::FailedPrecondition("Setup already run");
+  setup_done_ = true;
+  return AppendEncrypted(gamma0);
+}
+
+Status EncryptedTableStore::Update(const std::vector<Record>& gamma) {
+  if (!setup_done_) return Status::FailedPrecondition("Update before Setup");
+  ++update_calls_;
+  return AppendEncrypted(gamma);
+}
+
+StatusOr<const std::vector<query::Row>*> EncryptedTableStore::EnclaveView()
+    const {
+  for (; enclave_upto_ < ciphertexts_.size(); ++enclave_upto_) {
+    auto payload = cipher_.Decrypt(ciphertexts_[enclave_upto_]);
+    if (!payload.ok()) return payload.status();
+    auto row = query::DeserializeRow(payload.value());
+    if (!row.ok()) return row.status();
+    enclave_rows_.push_back(std::move(row.value()));
+  }
+  return &enclave_rows_;
+}
+
+StatusOr<std::vector<query::Row>> EncryptedTableStore::DecryptAll() const {
+  std::vector<query::Row> rows;
+  rows.reserve(ciphertexts_.size());
+  for (const Bytes& ct : ciphertexts_) {
+    auto payload = cipher_.Decrypt(ct);
+    if (!payload.ok()) return payload.status();
+    auto row = query::DeserializeRow(payload.value());
+    if (!row.ok()) return row.status();
+    rows.push_back(std::move(row.value()));
+  }
+  return rows;
+}
+
+}  // namespace dpsync::edb

@@ -1,0 +1,71 @@
+/// \file encrypted_table.h
+/// Server-side storage for one outsourced table: an append-only array of
+/// fixed-size AEAD ciphertexts (atomic record encryption, §4.1). Both
+/// engines build on this store; it implements the owner-facing
+/// Setup/Update protocols and the enclave/decryption-side full scan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/record_cipher.h"
+#include "edb/encrypted_database.h"
+#include "query/schema.h"
+
+namespace dpsync::edb {
+
+/// One outsourced, encrypted, append-only table.
+class EncryptedTableStore : public EdbTable {
+ public:
+  /// \param key 32-byte AEAD key shared owner<->enclave (never the server)
+  EncryptedTableStore(std::string name, query::Schema schema, Bytes key);
+
+  // --- owner-facing SOGDB protocols -------------------------------------
+  Status Setup(const std::vector<Record>& gamma0) override;
+  Status Update(const std::vector<Record>& gamma) override;
+  int64_t outsourced_count() const override {
+    return static_cast<int64_t>(ciphertexts_.size());
+  }
+  int64_t outsourced_bytes() const override {
+    return outsourced_count() *
+           static_cast<int64_t>(crypto::RecordCipher::kCiphertextSize);
+  }
+  const std::string& table_name() const override { return name_; }
+
+  // --- trusted-side access ----------------------------------------------
+  const query::Schema& schema() const { return schema_; }
+
+  /// Decrypts every stored ciphertext into rows — the linear oblivious
+  /// scan every L-0 query performs (touches all records unconditionally).
+  /// Fails if any ciphertext fails authentication.
+  StatusOr<std::vector<query::Row>> DecryptAll() const;
+
+  /// Incremental enclave view: decrypts only ciphertexts appended since
+  /// the last call and returns the full plaintext table. Real SGX engines
+  /// keep the working table in enclave memory across queries; this mirrors
+  /// that, so repeated queries cost O(delta) real time (the *virtual* QET
+  /// still charges the full oblivious scan — see cost_model.h).
+  StatusOr<const std::vector<query::Row>*> EnclaveView() const;
+
+  /// Server-visible ciphertext array (for tests probing indistinguishability).
+  const std::vector<Bytes>& ciphertexts() const { return ciphertexts_; }
+
+  /// Number of Pi_Update invocations served.
+  int64_t update_calls() const { return update_calls_; }
+
+ private:
+  Status AppendEncrypted(const std::vector<Record>& records);
+
+  std::string name_;
+  query::Schema schema_;
+  crypto::RecordCipher cipher_;
+  std::vector<Bytes> ciphertexts_;
+  bool setup_done_ = false;
+  int64_t update_calls_ = 0;
+  // Enclave-resident plaintext mirror (lazy, incremental).
+  mutable std::vector<query::Row> enclave_rows_;
+  mutable size_t enclave_upto_ = 0;
+};
+
+}  // namespace dpsync::edb

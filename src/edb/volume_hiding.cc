@@ -1,0 +1,71 @@
+#include "edb/volume_hiding.h"
+
+#include <cmath>
+
+namespace dpsync::edb {
+
+int64_t NextPowerOfTwo(int64_t v) {
+  if (v <= 1) return 1;
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+StealthDbServer::StealthDbServer(uint64_t seed)
+    : inner_(ObliDbConfig{.master_seed = seed}) {}
+
+StatusOr<EdbTable*> StealthDbServer::CreateTable(const std::string& name,
+                                                 const query::Schema& schema) {
+  return inner_.CreateTable(name, schema);
+}
+
+StatusOr<QueryResponse> StealthDbServer::Query(const query::SelectQuery& q) {
+  auto resp = inner_.Query(q);
+  if (!resp.ok()) return resp;
+  // The L-1 protocol ships the matching records back, so the server sees
+  // the exact response volume: for aggregates, the count of contributing
+  // (real, matching) records.
+  const auto& result = resp->result;
+  int64_t volume = 0;
+  if (result.grouped) {
+    for (const auto& [key, v] : result.groups) {
+      volume += static_cast<int64_t>(std::llround(v));
+    }
+  } else {
+    volume = static_cast<int64_t>(std::llround(result.scalar));
+  }
+  resp->stats.revealed_volume = volume < 0 ? 0 : volume;
+  return resp;
+}
+
+LeakageProfile StealthDbServer::leakage() const {
+  LeakageProfile p;
+  p.query_class = LeakageClass::kL1;
+  p.update_leaks_only_pattern = true;
+  p.encrypts_records_atomically = true;
+  p.supports_insertion = true;
+  p.scheme_name = "StealthDB";
+  return p;
+}
+
+StatusOr<QueryResponse> VolumePaddedServer::Query(const query::SelectQuery& q) {
+  auto resp = inner_->Query(q);
+  if (!resp.ok()) return resp;
+  if (resp->stats.revealed_volume >= 0) {
+    resp->stats.revealed_volume = NextPowerOfTwo(resp->stats.revealed_volume);
+  }
+  return resp;
+}
+
+LeakageProfile VolumePaddedServer::leakage() const {
+  LeakageProfile p = inner_->leakage();
+  if (p.query_class == LeakageClass::kL1) {
+    // Padding collapses the volume side channel; the composite behaves as
+    // a volume-hiding scheme for DP-Sync's compatibility purposes.
+    p.query_class = LeakageClass::kL0;
+    p.scheme_name += "+pad";
+  }
+  return p;
+}
+
+}  // namespace dpsync::edb

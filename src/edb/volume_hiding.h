@@ -1,0 +1,75 @@
+/// \file volume_hiding.h
+/// L-1 leakage and its countermeasure (§6). Schemes like StealthDB or
+/// SisoSPIR hide the access pattern but their query protocol reveals the
+/// exact response volume — the number of records matching each query.
+/// Because dummy records never match rewritten queries, response volumes
+/// count *real* records only, so a server correlating volumes across time
+/// can recover exactly the update information DP-Sync spent its budget
+/// hiding. Such schemes are therefore compatible only after a
+/// volume-hiding countermeasure; we implement the naive-padding transform
+/// the paper cites (round every revealed volume up to the next power of
+/// two, cf. Kamara–Moataz pseudorandom transformations).
+#pragma once
+
+#include <memory>
+
+#include "edb/encrypted_database.h"
+#include "edb/oblidb_engine.h"
+
+namespace dpsync::edb {
+
+/// Smallest power of two >= v (v <= 0 maps to 1).
+int64_t NextPowerOfTwo(int64_t v);
+
+/// A StealthDB-style L-1 engine: oblivious evaluation (internally reusing
+/// the ObliDB machinery) but with the response volume of every query
+/// exposed in QueryStats::revealed_volume.
+class StealthDbServer : public EdbServer {
+ public:
+  explicit StealthDbServer(uint64_t seed = 3);
+
+  StatusOr<EdbTable*> CreateTable(const std::string& name,
+                                  const query::Schema& schema) override;
+  StatusOr<QueryResponse> Query(const query::SelectQuery& q) override;
+  LeakageProfile leakage() const override;
+  std::string name() const override { return "StealthDB"; }
+  int64_t total_outsourced_bytes() const override {
+    return inner_.total_outsourced_bytes();
+  }
+  int64_t total_outsourced_records() const override {
+    return inner_.total_outsourced_records();
+  }
+
+ private:
+  ObliDbServer inner_;
+};
+
+/// The §6 countermeasure: wraps any EdbServer and pads every revealed
+/// response volume to the next power of two, collapsing the volume side
+/// channel to log-many distinguishable values (data-independent given a
+/// bounded table size). Upgrades the leakage class to L-0 for
+/// compatibility-checking purposes.
+class VolumePaddedServer : public EdbServer {
+ public:
+  /// Does not take ownership; `inner` must outlive the wrapper.
+  explicit VolumePaddedServer(EdbServer* inner) : inner_(inner) {}
+
+  StatusOr<EdbTable*> CreateTable(const std::string& name,
+                                  const query::Schema& schema) override {
+    return inner_->CreateTable(name, schema);
+  }
+  StatusOr<QueryResponse> Query(const query::SelectQuery& q) override;
+  LeakageProfile leakage() const override;
+  std::string name() const override { return inner_->name() + "+pad"; }
+  int64_t total_outsourced_bytes() const override {
+    return inner_->total_outsourced_bytes();
+  }
+  int64_t total_outsourced_records() const override {
+    return inner_->total_outsourced_records();
+  }
+
+ private:
+  EdbServer* inner_;
+};
+
+}  // namespace dpsync::edb

@@ -1,0 +1,18 @@
+#include "oram/bitonic_sort.h"
+
+namespace dpsync::oram {
+
+int64_t BitonicCompareCount(size_t n) {
+  if (n < 2) return 0;
+  size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  int64_t count = 0;
+  for (size_t k = 2; k <= padded; k <<= 1) {
+    for (size_t j = k >> 1; j > 0; j >>= 1) {
+      count += static_cast<int64_t>(padded / 2);
+    }
+  }
+  return count;
+}
+
+}  // namespace dpsync::oram

@@ -1,0 +1,57 @@
+/// \file bitonic_sort.h
+/// Oblivious bitonic sorting network. ObliDB-class engines sort inside the
+/// enclave with a *data-independent* comparison schedule so the server
+/// learns nothing from the memory trace; bitonic sort performs exactly the
+/// same O(n log^2 n) compare-exchange sequence for every input of a given
+/// (padded) size. Inputs are physically padded to the next power of two
+/// with a caller-supplied sentinel that orders after all real elements;
+/// the sentinels land at the tail and are truncated away.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dpsync::oram {
+
+/// Number of compare-exchange operations bitonic sort performs on an input
+/// padded to the next power of two >= n (the data-independent cost).
+int64_t BitonicCompareCount(size_t n);
+
+/// Sorts `items` ascending by `less` with a fixed compare-exchange
+/// schedule that depends only on the padded size. `pad` must compare
+/// greater-or-equal to every real element under `less`.
+template <typename T, typename Less>
+void BitonicSort(std::vector<T>* items, Less less, T pad) {
+  size_t n = items->size();
+  if (n < 2) return;
+  size_t padded = 1;
+  while (padded < n) padded <<= 1;
+  items->resize(padded, pad);
+
+  auto compare_exchange = [&](size_t i, size_t j, bool ascending) {
+    bool out_of_order = less((*items)[j], (*items)[i]);
+    if (out_of_order == ascending) std::swap((*items)[i], (*items)[j]);
+  };
+
+  // Standard iterative bitonic network, overall ascending.
+  for (size_t k = 2; k <= padded; k <<= 1) {
+    for (size_t j = k >> 1; j > 0; j >>= 1) {
+      for (size_t i = 0; i < padded; ++i) {
+        size_t partner = i ^ j;
+        if (partner > i) {
+          compare_exchange(i, partner, (i & k) == 0);
+        }
+      }
+    }
+  }
+  items->resize(n);  // sentinels sorted to the tail
+}
+
+/// Convenience for default-ordered types with an explicit sentinel.
+template <typename T>
+void BitonicSort(std::vector<T>* items, T pad) {
+  BitonicSort(items, std::less<T>(), std::move(pad));
+}
+
+}  // namespace dpsync::oram

@@ -1,0 +1,105 @@
+/// \file path_oram.h
+/// Path ORAM (Stefanov et al., CCS'13) with a non-recursive position map.
+/// The ObliDB-style engine (src/edb/oblidb_engine.h) uses it for oblivious
+/// point accesses to encrypted records, so the server learns nothing about
+/// *which* record an access touches — every access reads and rewrites one
+/// uniformly random root-to-leaf path.
+///
+/// Parameters: bucket size Z (default 4), capacity N. The tree has
+/// 2^ceil(log2(max(N,2))) leaves; the stash holds overflow blocks and is
+/// expected to stay O(log N) (we track its high-water mark for tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dpsync::oram {
+
+/// One ORAM block: an application identifier plus an opaque payload.
+struct OramBlock {
+  static constexpr uint64_t kInvalidId = ~0ull;
+  uint64_t id = kInvalidId;
+  Bytes data;
+
+  bool valid() const { return id != kInvalidId; }
+};
+
+/// Access transcript entry — what a server observes: which leaf path was
+/// touched. Collected for the obliviousness property tests.
+struct PathAccess {
+  uint64_t leaf = 0;
+};
+
+/// Tree-based ORAM with per-access path read/write.
+class PathOram {
+ public:
+  struct Config {
+    size_t capacity = 1024;   ///< max number of live blocks
+    size_t bucket_size = 4;   ///< Z
+    uint64_t seed = 42;       ///< seeds leaf assignment randomness
+    bool record_trace = false;  ///< keep the access transcript (tests)
+  };
+
+  explicit PathOram(const Config& config);
+
+  /// Inserts or overwrites block `id`. Fails with OutOfRange when the ORAM
+  /// is at capacity and `id` is new.
+  Status Write(uint64_t id, Bytes value);
+
+  /// Reads block `id` (the access is indistinguishable from a write).
+  StatusOr<Bytes> Read(uint64_t id);
+
+  /// Deletes block `id`. Performs a normal path access, then drops the
+  /// block. NotFound if absent.
+  Status Remove(uint64_t id);
+
+  /// Live blocks currently stored.
+  size_t size() const { return position_map_.size(); }
+  size_t capacity() const { return config_.capacity; }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Stash diagnostics (post-eviction occupancy).
+  size_t stash_size() const { return stash_.size(); }
+  size_t max_stash_size() const { return max_stash_size_; }
+
+  /// Total path accesses performed.
+  int64_t access_count() const { return access_count_; }
+
+  /// The observable access transcript (empty unless record_trace).
+  const std::vector<PathAccess>& trace() const { return trace_; }
+
+ private:
+  enum class Op { kRead, kWrite, kRemove };
+
+  /// The single access procedure all operations funnel through.
+  StatusOr<Bytes> Access(Op op, uint64_t id, Bytes* new_value);
+
+  /// Node index of the bucket at `level` (0 = root) on the path to `leaf`.
+  size_t NodeIndex(uint64_t leaf, size_t level) const;
+
+  /// True if the path to `leaf` passes through the node at `level` on the
+  /// path to `other_leaf` (i.e. both paths share that ancestor).
+  bool PathsIntersectAt(uint64_t leaf, uint64_t other_leaf,
+                        size_t level) const;
+
+  uint64_t RandomLeaf() { return rng_.Next() % num_leaves_; }
+
+  Config config_;
+  size_t num_leaves_;
+  size_t num_levels_;  ///< tree height + 1 (root..leaf inclusive)
+  std::vector<std::vector<OramBlock>> tree_;  ///< node -> bucket
+  std::unordered_map<uint64_t, uint64_t> position_map_;  ///< id -> leaf
+  std::unordered_map<uint64_t, Bytes> stash_;
+  Rng rng_;
+  size_t max_stash_size_ = 0;
+  int64_t access_count_ = 0;
+  std::vector<PathAccess> trace_;
+};
+
+}  // namespace dpsync::oram

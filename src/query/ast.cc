@@ -1,0 +1,156 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace dpsync::query {
+
+Value ColumnExpr::Eval(const Schema& schema, const Row& row) const {
+  auto idx = schema.FindIndex(name_);
+  if (!idx) {
+    // Allow qualified references ("T.col") to match unqualified schema
+    // columns by stripping the qualifier.
+    auto dot = name_.rfind('.');
+    if (dot != std::string::npos) {
+      idx = schema.FindIndex(name_.substr(dot + 1));
+    }
+  }
+  if (!idx || *idx >= row.size()) return Value();
+  return row[*idx];
+}
+
+Value CompareExpr::Eval(const Schema& schema, const Row& row) const {
+  Value l = lhs_->Eval(schema, row);
+  Value r = rhs_->Eval(schema, row);
+  if (l.is_null() || r.is_null()) return Value::Bool(false);
+  int c = l.Compare(r);
+  switch (op_) {
+    case CmpOp::kEq:
+      return Value::Bool(c == 0);
+    case CmpOp::kNe:
+      return Value::Bool(c != 0);
+    case CmpOp::kLt:
+      return Value::Bool(c < 0);
+    case CmpOp::kLe:
+      return Value::Bool(c <= 0);
+    case CmpOp::kGt:
+      return Value::Bool(c > 0);
+    case CmpOp::kGe:
+      return Value::Bool(c >= 0);
+  }
+  return Value::Bool(false);
+}
+
+std::string CompareExpr::ToString() const {
+  return lhs_->ToString() + " " + CmpOpName(op_) + " " + rhs_->ToString();
+}
+
+Value BetweenExpr::Eval(const Schema& schema, const Row& row) const {
+  Value v = operand_->Eval(schema, row);
+  Value lo = lo_->Eval(schema, row);
+  Value hi = hi_->Eval(schema, row);
+  if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Bool(false);
+  return Value::Bool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0);
+}
+
+std::string BetweenExpr::ToString() const {
+  return operand_->ToString() + " BETWEEN " + lo_->ToString() + " AND " +
+         hi_->ToString();
+}
+
+Value LogicalExpr::Eval(const Schema& schema, const Row& row) const {
+  bool l = lhs_->Eval(schema, row).Truthy();
+  if (op_ == Op::kAnd) {
+    return Value::Bool(l && rhs_->Eval(schema, row).Truthy());
+  }
+  return Value::Bool(l || rhs_->Eval(schema, row).Truthy());
+}
+
+std::string LogicalExpr::ToString() const {
+  return "(" + lhs_->ToString() + (op_ == Op::kAnd ? " AND " : " OR ") +
+         rhs_->ToString() + ")";
+}
+
+SelectQuery& SelectQuery::operator=(const SelectQuery& other) {
+  if (this == &other) return *this;
+  items = other.items;
+  table = other.table;
+  join = other.join;
+  where = other.where ? other.where->Clone() : nullptr;
+  group_by = other.group_by;
+  return *this;
+}
+
+const SelectItem* SelectQuery::AggregateItem() const {
+  for (const auto& item : items) {
+    if (item.agg != AggFunc::kNone) return &item;
+  }
+  return nullptr;
+}
+
+std::string SelectQuery::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) os << ", ";
+    const auto& it = items[i];
+    if (it.agg == AggFunc::kNone) {
+      os << it.column;
+    } else {
+      os << AggFuncName(it.agg) << "("
+         << (it.column.empty() ? "*" : it.column) << ")";
+    }
+    if (!it.alias.empty()) os << " AS " << it.alias;
+  }
+  os << " FROM " << table;
+  if (join) {
+    os << " INNER JOIN " << join->table << " ON " << join->left_column << " = "
+       << join->right_column;
+  }
+  if (where) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) os << ", ";
+      os << group_by[i];
+    }
+  }
+  return os.str();
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace dpsync::query

@@ -1,0 +1,170 @@
+/// \file ast.h
+/// Query AST: boolean predicate expressions plus a SELECT statement shape
+/// covering the paper's evaluation queries (linear range count, group-by
+/// aggregation, equi-join count) and simple generalizations (SUM/AVG/
+/// MIN/MAX, AND/OR/NOT predicates).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/schema.h"
+#include "query/value.h"
+
+namespace dpsync::query {
+
+/// Base class for predicate/scalar expressions.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Evaluates against one row. Unknown columns evaluate to NULL.
+  virtual Value Eval(const Schema& schema, const Row& row) const = 0;
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Reference to a column, optionally table-qualified ("T.col").
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  Value Eval(const Schema& schema, const Row& row) const override;
+  ExprPtr Clone() const override { return std::make_unique<ColumnExpr>(name_); }
+  std::string ToString() const override { return name_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// A constant.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : v_(std::move(v)) {}
+  Value Eval(const Schema&, const Row&) const override { return v_; }
+  ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(v_); }
+  std::string ToString() const override { return v_.ToString(); }
+  const Value& value() const { return v_; }
+
+ private:
+  Value v_;
+};
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Binary comparison (NULL operands compare false).
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Value Eval(const Schema& schema, const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<CompareExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+  std::string ToString() const override;
+
+ private:
+  CmpOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// x BETWEEN lo AND hi (inclusive on both ends).
+class BetweenExpr : public Expr {
+ public:
+  BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi)
+      : operand_(std::move(operand)), lo_(std::move(lo)), hi_(std::move(hi)) {}
+  Value Eval(const Schema& schema, const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<BetweenExpr>(operand_->Clone(), lo_->Clone(),
+                                         hi_->Clone());
+  }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr operand_, lo_, hi_;
+};
+
+/// AND / OR.
+class LogicalExpr : public Expr {
+ public:
+  enum class Op { kAnd, kOr };
+  LogicalExpr(Op op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  Value Eval(const Schema& schema, const Row& row) const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<LogicalExpr>(op_, lhs_->Clone(), rhs_->Clone());
+  }
+  std::string ToString() const override;
+
+ private:
+  Op op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// NOT.
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+  Value Eval(const Schema& schema, const Row& row) const override {
+    return Value::Bool(!inner_->Eval(schema, row).Truthy());
+  }
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(inner_->Clone());
+  }
+  std::string ToString() const override {
+    return "NOT (" + inner_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+/// Aggregate functions supported in the select list.
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One item of the select list. `column` is empty for COUNT(*) and for
+/// plain (non-aggregate) group-key columns `agg == kNone`.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  std::string column;
+  std::string alias;
+};
+
+/// INNER JOIN clause: `JOIN table ON left = right` where left/right are
+/// table-qualified column names.
+struct JoinClause {
+  std::string table;
+  std::string left_column;   ///< qualified, e.g. "YellowCab.pickTime"
+  std::string right_column;  ///< qualified, e.g. "GreenTaxi.pickTime"
+};
+
+/// A parsed SELECT statement.
+struct SelectQuery {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::optional<JoinClause> join;
+  ExprPtr where;  ///< may be null
+  std::vector<std::string> group_by;
+
+  SelectQuery() = default;
+  SelectQuery(const SelectQuery& other) { *this = other; }
+  SelectQuery& operator=(const SelectQuery& other);
+  SelectQuery(SelectQuery&&) = default;
+  SelectQuery& operator=(SelectQuery&&) = default;
+
+  /// The single aggregate item of the query (our executor supports one).
+  /// Returns nullptr if the query has no aggregate.
+  const SelectItem* AggregateItem() const;
+
+  std::string ToString() const;
+};
+
+const char* CmpOpName(CmpOp op);
+const char* AggFuncName(AggFunc f);
+
+}  // namespace dpsync::query

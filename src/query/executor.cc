@@ -1,0 +1,138 @@
+#include "query/executor.h"
+
+#include <unordered_map>
+
+namespace dpsync::query {
+
+void AggAccumulator::Add(const Value& v) {
+  ++count_;
+  if (func_ == AggFunc::kCount) return;
+  if (v.is_null()) return;
+  double d = v.AsDouble();
+  sum_ += d;
+  if (!seen_ || d < min_) min_ = d;
+  if (!seen_ || d > max_) max_ = d;
+  seen_ = true;
+}
+
+double AggAccumulator::Result() const {
+  switch (func_) {
+    case AggFunc::kCount:
+      return static_cast<double>(count_);
+    case AggFunc::kSum:
+      return sum_;
+    case AggFunc::kAvg:
+      return count_ > 0 && seen_ ? sum_ / static_cast<double>(count_) : 0.0;
+    case AggFunc::kMin:
+      return seen_ ? min_ : 0.0;
+    case AggFunc::kMax:
+      return seen_ ? max_ : 0.0;
+    case AggFunc::kNone:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+Schema JoinedSchema(const Table& left, const Table& right) {
+  std::vector<Field> fields;
+  fields.reserve(left.schema.size() + right.schema.size());
+  for (const auto& f : left.schema.fields()) {
+    fields.push_back({left.name + "." + f.name, f.type});
+  }
+  for (const auto& f : right.schema.fields()) {
+    fields.push_back({right.name + "." + f.name, f.type});
+  }
+  return Schema(std::move(fields));
+}
+
+StatusOr<QueryResult> Executor::Execute(const SelectQuery& q) const {
+  const Table* table = catalog_->Find(q.table);
+  if (!table) return Status::NotFound("unknown table: " + q.table);
+  if (q.join) {
+    const Table* right = catalog_->Find(q.join->table);
+    if (!right) return Status::NotFound("unknown table: " + q.join->table);
+    return ExecuteJoin(q, *table, *right);
+  }
+  return ExecuteScan(q, *table);
+}
+
+StatusOr<QueryResult> Executor::ExecuteScan(const SelectQuery& q,
+                                            const Table& table) const {
+  const SelectItem* agg = q.AggregateItem();
+  if (!agg) {
+    return Status::Unimplemented(
+        "projection-only queries are not supported; use an aggregate");
+  }
+  if (q.group_by.size() > 1) {
+    return Status::Unimplemented("GROUP BY supports a single column");
+  }
+  ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
+  const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
+
+  if (q.group_by.empty()) {
+    AggAccumulator acc(agg->agg);
+    for (const Row& row : table.data()) {
+      if (q.where && !q.where->Eval(table.schema, row).Truthy()) continue;
+      acc.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
+    }
+    return QueryResult::Scalar(acc.Result());
+  }
+
+  ColumnExpr key_col(q.group_by[0]);
+  std::map<Value, AggAccumulator> groups;
+  for (const Row& row : table.data()) {
+    if (q.where && !q.where->Eval(table.schema, row).Truthy()) continue;
+    Value key = key_col.Eval(table.schema, row);
+    auto [it, _] = groups.try_emplace(key, agg->agg);
+    it->second.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
+  }
+  QueryResult result;
+  result.grouped = true;
+  for (const auto& [k, acc] : groups) result.groups[k] = acc.Result();
+  return result;
+}
+
+StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
+                                            const Table& left,
+                                            const Table& right) const {
+  const SelectItem* agg = q.AggregateItem();
+  if (!agg) return Status::Unimplemented("join queries must aggregate");
+  if (!q.group_by.empty()) {
+    return Status::Unimplemented("GROUP BY on joins is not supported");
+  }
+  Schema joined = JoinedSchema(left, right);
+
+  // Hash join: bucket the right side by its join key.
+  ColumnExpr left_key(q.join->left_column);
+  ColumnExpr right_key(q.join->right_column);
+  std::map<Value, std::vector<const Row*>> right_index;
+  for (const Row& row : right.data()) {
+    // Evaluate the right key against the bare right schema (qualified
+    // references fall back to the unqualified column).
+    Value key = right_key.Eval(right.schema, row);
+    if (key.is_null()) continue;
+    right_index[key].push_back(&row);
+  }
+
+  ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
+  const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
+  AggAccumulator acc(agg->agg);
+  Row combined;
+  for (const Row& lrow : left.data()) {
+    Value key = left_key.Eval(left.schema, lrow);
+    if (key.is_null()) continue;
+    auto it = right_index.find(key);
+    if (it == right_index.end()) continue;
+    for (const Row* rrow : it->second) {
+      combined.clear();
+      combined.reserve(lrow.size() + rrow->size());
+      combined.insert(combined.end(), lrow.begin(), lrow.end());
+      combined.insert(combined.end(), rrow->begin(), rrow->end());
+      if (q.where && !q.where->Eval(joined, combined).Truthy()) continue;
+      acc.Add(needs_value ? agg_col.Eval(joined, combined) : Value());
+    }
+  }
+  return QueryResult::Scalar(acc.Result());
+}
+
+}  // namespace dpsync::query

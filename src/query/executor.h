@@ -1,0 +1,97 @@
+/// \file executor.h
+/// Reference (plaintext) query executor. It computes exact answers over
+/// in-memory tables and serves two roles:
+///  1. the analyst's ground truth q_t(D_t) over the logical database, used
+///     by the query-error metric (§4.5.2);
+///  2. the decrypted-side evaluation inside the simulated enclave / Crypt-eps
+///     aggregation (the edb layer feeds it decrypted rows).
+///
+/// Aggregates: COUNT(*) / COUNT(col) / SUM / AVG / MIN / MAX, optionally
+/// GROUP BY one column; INNER equi-joins (hash join on the ON column).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/result.h"
+#include "query/schema.h"
+
+namespace dpsync::query {
+
+/// A named in-memory relation. Rows are either owned (`rows`) or borrowed
+/// from an external store (`borrowed_rows`) — the edb engines borrow their
+/// enclave-resident mirrors to avoid copying per query.
+struct Table {
+  std::string name;
+  Schema schema;
+  std::vector<Row> rows;
+  const std::vector<Row>* borrowed_rows = nullptr;
+
+  /// The effective row set.
+  const std::vector<Row>& data() const {
+    return borrowed_rows ? *borrowed_rows : rows;
+  }
+};
+
+/// Name -> table lookup (non-owning).
+class Catalog {
+ public:
+  void AddTable(const Table* table) { tables_[table->name] = table; }
+  const Table* Find(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, const Table*> tables_;
+};
+
+/// Builds the schema of `left JOIN right`: every column is table-qualified
+/// ("Left.col", "Right.col") so predicates can address either side.
+Schema JoinedSchema(const Table& left, const Table& right);
+
+/// Executes SELECT statements against a catalog.
+class Executor {
+ public:
+  explicit Executor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Runs the query. Errors: NotFound (unknown table), Unimplemented
+  /// (unsupported shapes: no aggregate, multi-column GROUP BY).
+  StatusOr<QueryResult> Execute(const SelectQuery& q) const;
+
+ private:
+  StatusOr<QueryResult> ExecuteScan(const SelectQuery& q,
+                                    const Table& table) const;
+  StatusOr<QueryResult> ExecuteJoin(const SelectQuery& q, const Table& left,
+                                    const Table& right) const;
+
+  const Catalog* catalog_;
+};
+
+/// Streaming aggregate accumulator shared by all execution backends.
+class AggAccumulator {
+ public:
+  explicit AggAccumulator(AggFunc func) : func_(func) {}
+
+  /// Adds one row's contribution; `v` is the aggregated column value
+  /// (ignored for COUNT(*)).
+  void Add(const Value& v);
+
+  /// Final aggregate value (0 for empty COUNT/SUM, NaN-safe AVG -> 0).
+  double Result() const;
+
+  int64_t count() const { return count_; }
+
+ private:
+  AggFunc func_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+}  // namespace dpsync::query

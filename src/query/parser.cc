@@ -1,0 +1,395 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dpsync::query {
+
+namespace {
+
+enum class TokType { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokType type = TokType::kEnd;
+  std::string text;   // raw text (uppercased for keyword checks separately)
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) { Advance(); }
+
+  const Token& Peek() const { return tok_; }
+
+  Token Take() {
+    Token t = tok_;
+    Advance();
+    return t;
+  }
+
+  /// Case-insensitive keyword match + consume.
+  bool Accept(const std::string& keyword) {
+    if (tok_.type == TokType::kIdent && EqualsIgnoreCase(tok_.text, keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(const std::string& sym) {
+    if (tok_.type == TokType::kSymbol && tok_.text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(const std::string& keyword) const {
+    return tok_.type == TokType::kIdent &&
+           EqualsIgnoreCase(tok_.text, keyword);
+  }
+
+  static bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(a[i])) !=
+          std::toupper(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+    tok_.pos = pos_;
+    if (pos_ >= in_.size()) {
+      tok_ = {TokType::kEnd, "", pos_};
+      return;
+    }
+    char c = in_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < in_.size() &&
+             (std::isalnum(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok_ = {TokType::kIdent, in_.substr(start, pos_ - start), start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < in_.size() &&
+         std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      while (pos_ < in_.size() &&
+             (std::isdigit(static_cast<unsigned char>(in_[pos_])) ||
+              in_[pos_] == '.')) {
+        ++pos_;
+      }
+      tok_ = {TokType::kNumber, in_.substr(start, pos_ - start), start};
+      return;
+    }
+    if (c == '\'') {
+      size_t start = ++pos_;
+      while (pos_ < in_.size() && in_[pos_] != '\'') ++pos_;
+      tok_ = {TokType::kString, in_.substr(start, pos_ - start), start - 1};
+      if (pos_ < in_.size()) ++pos_;  // closing quote
+      return;
+    }
+    // Multi-char symbols first.
+    for (const char* sym : {"<=", ">=", "!=", "<>"}) {
+      size_t len = 2;
+      if (in_.compare(pos_, len, sym) == 0) {
+        tok_ = {TokType::kSymbol, std::string(sym), pos_};
+        pos_ += len;
+        return;
+      }
+    }
+    tok_ = {TokType::kSymbol, std::string(1, c), pos_};
+    ++pos_;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  Token tok_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : lex_(input) {}
+
+  StatusOr<SelectQuery> ParseSelect() {
+    if (!lex_.Accept("SELECT")) return Error("expected SELECT");
+    SelectQuery q;
+    // Select list.
+    do {
+      auto item = ParseSelectItem();
+      if (!item.ok()) return item.status();
+      q.items.push_back(std::move(item.value()));
+    } while (lex_.AcceptSymbol(","));
+
+    if (!lex_.Accept("FROM")) return Error("expected FROM");
+    auto table = ParseIdent();
+    if (!table.ok()) return table.status();
+    q.table = table.value();
+
+    if (lex_.Accept("INNER")) {
+      if (!lex_.Accept("JOIN")) return Error("expected JOIN after INNER");
+      auto join = ParseJoin();
+      if (!join.ok()) return join.status();
+      q.join = std::move(join.value());
+    } else if (lex_.PeekKeyword("JOIN")) {
+      lex_.Accept("JOIN");
+      auto join = ParseJoin();
+      if (!join.ok()) return join.status();
+      q.join = std::move(join.value());
+    }
+
+    if (lex_.Accept("WHERE")) {
+      auto where = ParseExpr();
+      if (!where.ok()) return where.status();
+      q.where = std::move(where.value());
+    }
+
+    if (lex_.Accept("GROUP")) {
+      if (!lex_.Accept("BY")) return Error("expected BY after GROUP");
+      do {
+        auto col = ParseQualifiedIdent();
+        if (!col.ok()) return col.status();
+        q.group_by.push_back(col.value());
+      } while (lex_.AcceptSymbol(","));
+    }
+
+    lex_.AcceptSymbol(";");
+    if (lex_.Peek().type != TokType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    if (q.items.empty()) return Error("empty select list");
+    return q;
+  }
+
+  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("parse error at position " +
+                                   std::to_string(lex_.Peek().pos) + ": " +
+                                   msg);
+  }
+
+  StatusOr<std::string> ParseIdent() {
+    if (lex_.Peek().type != TokType::kIdent) return Error("expected identifier");
+    return lex_.Take().text;
+  }
+
+  StatusOr<std::string> ParseQualifiedIdent() {
+    auto first = ParseIdent();
+    if (!first.ok()) return first.status();
+    std::string name = first.value();
+    if (lex_.AcceptSymbol(".")) {
+      auto second = ParseIdent();
+      if (!second.ok()) return second.status();
+      name += "." + second.value();
+    }
+    return name;
+  }
+
+  static bool AggFromName(const std::string& name, AggFunc* out) {
+    struct {
+      const char* n;
+      AggFunc f;
+    } const kAggs[] = {{"COUNT", AggFunc::kCount},
+                       {"SUM", AggFunc::kSum},
+                       {"AVG", AggFunc::kAvg},
+                       {"MIN", AggFunc::kMin},
+                       {"MAX", AggFunc::kMax}};
+    for (const auto& a : kAggs) {
+      if (Lexer::EqualsIgnoreCase(name, a.n)) {
+        *out = a.f;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  StatusOr<SelectItem> ParseSelectItem() {
+    auto name = ParseQualifiedIdent();
+    if (!name.ok()) return name.status();
+    SelectItem item;
+    AggFunc agg;
+    if (AggFromName(name.value(), &agg) && lex_.AcceptSymbol("(")) {
+      item.agg = agg;
+      if (lex_.AcceptSymbol("*")) {
+        if (agg != AggFunc::kCount) return Error("only COUNT(*) allows *");
+        item.column.clear();
+      } else {
+        auto col = ParseQualifiedIdent();
+        if (!col.ok()) return col.status();
+        item.column = col.value();
+      }
+      if (!lex_.AcceptSymbol(")")) return Error("expected ) in aggregate");
+    } else {
+      item.agg = AggFunc::kNone;
+      item.column = name.value();
+    }
+    if (lex_.Accept("AS")) {
+      auto alias = ParseIdent();
+      if (!alias.ok()) return alias.status();
+      item.alias = alias.value();
+    }
+    return item;
+  }
+
+  StatusOr<JoinClause> ParseJoin() {
+    JoinClause join;
+    auto table = ParseIdent();
+    if (!table.ok()) return table.status();
+    join.table = table.value();
+    if (!lex_.Accept("ON")) return Error("expected ON in join");
+    auto left = ParseQualifiedIdent();
+    if (!left.ok()) return left.status();
+    if (!lex_.AcceptSymbol("=")) return Error("expected = in join condition");
+    auto right = ParseQualifiedIdent();
+    if (!right.ok()) return right.status();
+    join.left_column = left.value();
+    join.right_column = right.value();
+    return join;
+  }
+
+  StatusOr<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs.value());
+    while (lex_.Accept("OR")) {
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      e = std::make_unique<LogicalExpr>(LogicalExpr::Op::kOr, std::move(e),
+                                        std::move(rhs.value()));
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr e = std::move(lhs.value());
+    while (lex_.Accept("AND")) {
+      auto rhs = ParseUnary();
+      if (!rhs.ok()) return rhs;
+      e = std::make_unique<LogicalExpr>(LogicalExpr::Op::kAnd, std::move(e),
+                                        std::move(rhs.value()));
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    if (lex_.Accept("NOT")) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return ExprPtr(std::make_unique<NotExpr>(std::move(inner.value())));
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    if (lex_.AcceptSymbol("(")) {
+      auto inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (!lex_.AcceptSymbol(")")) return Error("expected )");
+      return inner;
+    }
+    auto operand = ParseOperand();
+    if (!operand.ok()) return operand;
+    // BETWEEN lo AND hi
+    if (lex_.Accept("BETWEEN")) {
+      auto lo = ParseOperand();
+      if (!lo.ok()) return lo;
+      if (!lex_.Accept("AND")) return Error("expected AND in BETWEEN");
+      auto hi = ParseOperand();
+      if (!hi.ok()) return hi;
+      return ExprPtr(std::make_unique<BetweenExpr>(std::move(operand.value()),
+                                                   std::move(lo.value()),
+                                                   std::move(hi.value())));
+    }
+    // comparison
+    const Token& t = lex_.Peek();
+    CmpOp op;
+    if (t.type == TokType::kSymbol) {
+      if (t.text == "=") {
+        op = CmpOp::kEq;
+      } else if (t.text == "!=" || t.text == "<>") {
+        op = CmpOp::kNe;
+      } else if (t.text == "<") {
+        op = CmpOp::kLt;
+      } else if (t.text == "<=") {
+        op = CmpOp::kLe;
+      } else if (t.text == ">") {
+        op = CmpOp::kGt;
+      } else if (t.text == ">=") {
+        op = CmpOp::kGe;
+      } else {
+        return Error("expected comparison operator");
+      }
+      lex_.Take();
+      auto rhs = ParseOperand();
+      if (!rhs.ok()) return rhs;
+      return ExprPtr(std::make_unique<CompareExpr>(
+          op, std::move(operand.value()), std::move(rhs.value())));
+    }
+    return Error("expected comparison or BETWEEN");
+  }
+
+  StatusOr<ExprPtr> ParseOperand() {
+    const Token& t = lex_.Peek();
+    if (t.type == TokType::kNumber) {
+      Token tok = lex_.Take();
+      if (tok.text.find('.') != std::string::npos) {
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value(std::strtod(tok.text.c_str(),
+                                                            nullptr))));
+      }
+      return ExprPtr(std::make_unique<LiteralExpr>(
+          Value(static_cast<int64_t>(std::strtoll(tok.text.c_str(), nullptr,
+                                                  10)))));
+    }
+    if (t.type == TokType::kString) {
+      Token tok = lex_.Take();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value(tok.text)));
+    }
+    if (t.type == TokType::kIdent) {
+      // TRUE/FALSE literals; otherwise a column reference.
+      if (lex_.Accept("TRUE")) {
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+      }
+      if (lex_.Accept("FALSE")) {
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+      }
+      auto name = ParseQualifiedIdent();
+      if (!name.ok()) return name.status();
+      return ExprPtr(std::make_unique<ColumnExpr>(name.value()));
+    }
+    return Error("expected operand");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+StatusOr<SelectQuery> ParseSelect(const std::string& sql) {
+  Parser parser(sql);
+  return parser.ParseSelect();
+}
+
+StatusOr<ExprPtr> ParseExpression(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseExpr();
+}
+
+}  // namespace dpsync::query

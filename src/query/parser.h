@@ -1,0 +1,27 @@
+/// \file parser.h
+/// A small SQL-ish parser covering the query shapes used in the paper's
+/// evaluation (and a bit more):
+///
+///   SELECT COUNT(*) FROM T WHERE col BETWEEN 50 AND 100
+///   SELECT col, COUNT(*) AS c FROM T GROUP BY col
+///   SELECT COUNT(*) FROM A INNER JOIN B ON A.x = B.x
+///   SELECT SUM(col) FROM T WHERE a >= 3 AND (b < 7 OR NOT c = 1)
+///
+/// Keywords are case-insensitive; identifiers are case-sensitive.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace dpsync::query {
+
+/// Parses `sql` into a SelectQuery. Returns InvalidArgument with a
+/// position-annotated message on syntax errors.
+StatusOr<SelectQuery> ParseSelect(const std::string& sql);
+
+/// Parses just a predicate expression (useful for tests and filters).
+StatusOr<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace dpsync::query

@@ -1,0 +1,51 @@
+#include "query/result.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dpsync::query {
+
+double QueryResult::L1DistanceTo(const QueryResult& other) const {
+  if (!grouped && !other.grouped) return std::fabs(scalar - other.scalar);
+  double total = 0.0;
+  auto it_a = groups.begin();
+  auto it_b = other.groups.begin();
+  while (it_a != groups.end() || it_b != other.groups.end()) {
+    if (it_b == other.groups.end() ||
+        (it_a != groups.end() && it_a->first < it_b->first)) {
+      total += std::fabs(it_a->second);
+      ++it_a;
+    } else if (it_a == groups.end() || it_b->first < it_a->first) {
+      total += std::fabs(it_b->second);
+      ++it_b;
+    } else {
+      total += std::fabs(it_a->second - it_b->second);
+      ++it_a;
+      ++it_b;
+    }
+  }
+  // If one side is scalar and the other grouped, include the scalar too.
+  if (grouped != other.grouped) {
+    total += std::fabs(grouped ? other.scalar : scalar);
+  }
+  return total;
+}
+
+std::string QueryResult::ToString() const {
+  std::ostringstream os;
+  if (!grouped) {
+    os << scalar;
+    return os.str();
+  }
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : groups) {
+    if (!first) os << ", ";
+    first = false;
+    os << k.ToString() << ": " << v;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dpsync::query

@@ -1,0 +1,34 @@
+/// \file result.h
+/// Query results and the L1 error metric used throughout the evaluation
+/// (§4.5.2): QE(q_t) = | Query(DS_t, q_t) - q_t(D_t) |, generalized to
+/// grouped results by summing per-group absolute differences.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "query/value.h"
+
+namespace dpsync::query {
+
+/// A scalar aggregate or a grouped aggregate keyed by group value.
+struct QueryResult {
+  bool grouped = false;
+  double scalar = 0.0;
+  std::map<Value, double> groups;
+
+  static QueryResult Scalar(double v) {
+    QueryResult r;
+    r.scalar = v;
+    return r;
+  }
+
+  /// L1 distance: |a - b| for scalars; for grouped results, the sum of
+  /// |a_g - b_g| over the union of group keys (missing keys count as 0).
+  double L1DistanceTo(const QueryResult& other) const;
+
+  /// Pretty-printer for examples and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace dpsync::query

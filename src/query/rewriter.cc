@@ -1,0 +1,37 @@
+#include "query/rewriter.h"
+
+namespace dpsync::query {
+
+ExprPtr MakeNotDummyPredicate(const std::string& column) {
+  return std::make_unique<CompareExpr>(
+      CmpOp::kEq, std::make_unique<ColumnExpr>(column),
+      std::make_unique<LiteralExpr>(Value(static_cast<int64_t>(0))));
+}
+
+namespace {
+ExprPtr AndWith(ExprPtr existing, ExprPtr extra) {
+  if (!existing) return extra;
+  return std::make_unique<LogicalExpr>(LogicalExpr::Op::kAnd,
+                                       std::move(existing), std::move(extra));
+}
+}  // namespace
+
+SelectQuery RewriteForDummies(const SelectQuery& q) {
+  SelectQuery out = q;  // deep copy (SelectQuery clones its WHERE tree)
+  if (out.join) {
+    // Both join inputs are filtered on their own dummy flag, qualified so
+    // each predicate binds to the right side of the joined schema.
+    out.where = AndWith(std::move(out.where),
+                        MakeNotDummyPredicate(out.table + "." +
+                                              Schema::kDummyColumn));
+    out.where = AndWith(std::move(out.where),
+                        MakeNotDummyPredicate(out.join->table + "." +
+                                              Schema::kDummyColumn));
+  } else {
+    out.where =
+        AndWith(std::move(out.where), MakeNotDummyPredicate(Schema::kDummyColumn));
+  }
+  return out;
+}
+
+}  // namespace dpsync::query

@@ -1,0 +1,26 @@
+/// \file rewriter.h
+/// Dummy-aware query rewriting (Appendix B). Encrypted databases that do
+/// not natively understand dummy records can still give correct answers if
+/// every query is rewritten to exclude rows whose isDummy attribute is set:
+///
+///   Filter   p            ->  p AND isDummy = FALSE
+///   Project  pi(T, A)     ->  pi(filter(T, isDummy = FALSE), A)
+///   GroupBy  chi(T, A')   ->  chi(filter(T, isDummy = FALSE), A')
+///   Join     T1 x T2 on c ->  filter both sides on isDummy = FALSE first
+///
+/// The rewriter is a pure AST-to-AST transformation; it never inspects data.
+#pragma once
+
+#include "query/ast.h"
+
+namespace dpsync::query {
+
+/// Returns a copy of `q` with dummy-exclusion predicates added. For joins,
+/// both sides get a table-qualified `T.isDummy = 0` conjunct; for scans a
+/// bare `isDummy = 0` conjunct is AND-ed into the WHERE clause.
+SelectQuery RewriteForDummies(const SelectQuery& q);
+
+/// Builds the predicate `column = 0` (used by tests and the rewriter).
+ExprPtr MakeNotDummyPredicate(const std::string& column);
+
+}  // namespace dpsync::query

@@ -1,0 +1,59 @@
+#include "query/value.h"
+
+#include <sstream>
+
+namespace dpsync::query {
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type(), b = other.type();
+  if (a == ValueType::kNull || b == ValueType::kNull) {
+    if (a == b) return 0;
+    return a == ValueType::kNull ? -1 : 1;
+  }
+  if (a == ValueType::kString || b == ValueType::kString) {
+    // Mixed string/number comparisons order strings after numbers.
+    if (a != ValueType::kString) return -1;
+    if (b != ValueType::kString) return 1;
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a == ValueType::kInt && b == ValueType::kInt) {
+    int64_t x = AsInt(), y = other.AsInt();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  double x = AsDouble(), y = other.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+bool Value::Truthy() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kInt:
+      return AsInt() != 0;
+    case ValueType::kDouble:
+      return AsDouble() != 0.0;
+    case ValueType::kString:
+      return !AsString().empty();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace dpsync::query

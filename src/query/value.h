@@ -1,0 +1,64 @@
+/// \file value.h
+/// Typed scalar values for the relational layer. The evaluation schema
+/// (taxi trips) uses int64 and double; strings are supported so the layer
+/// is reusable beyond the paper's workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace dpsync::query {
+
+/// Value type tags.
+enum class ValueType { kNull, kInt, kDouble, kString };
+
+/// A dynamically typed scalar.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  /// Booleans are stored as int 0/1 (the isDummy attribute uses this).
+  static Value Bool(bool b) { return Value(static_cast<int64_t>(b ? 1 : 0)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      default:
+        return ValueType::kNull;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    if (type() == ValueType::kInt) return static_cast<double>(AsInt());
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// Numeric comparison coerces int<->double; strings compare
+  /// lexicographically; null compares equal to null and less than non-null.
+  /// Returns -1 / 0 / +1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Truthiness: non-zero numeric, non-empty string, non-null.
+  bool Truthy() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+}  // namespace dpsync::query

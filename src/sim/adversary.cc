@@ -1,0 +1,80 @@
+#include "sim/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpsync::sim {
+
+AttackReport RunTimingAttack(const UpdatePattern& pattern,
+                             const std::vector<bool>& true_arrivals,
+                             int64_t window) {
+  int64_t horizon = static_cast<int64_t>(true_arrivals.size());
+  std::vector<bool> predicted(static_cast<size_t>(horizon), false);
+
+  // The adversary assumes event time == upload time: each observed update
+  // of volume v at time t is interpreted as v arrivals in the window
+  // (t - window, t].
+  for (const auto& e : pattern.events()) {
+    if (e.t <= 0) continue;  // setup upload reveals only |D_0|
+    int64_t remaining = e.volume;
+    for (int64_t u = e.t; u > e.t - window && u >= 1 && remaining > 0; --u) {
+      if (u <= horizon) {
+        predicted[static_cast<size_t>(u - 1)] = true;
+        --remaining;
+      }
+    }
+  }
+
+  AttackReport report;
+  int64_t correct = 0, tp = 0, fp = 0, fn = 0;
+  for (int64_t i = 0; i < horizon; ++i) {
+    bool truth = true_arrivals[static_cast<size_t>(i)];
+    bool guess = predicted[static_cast<size_t>(i)];
+    if (truth == guess) ++correct;
+    if (guess && truth) ++tp;
+    if (guess && !truth) ++fp;
+    if (!guess && truth) ++fn;
+    report.true_arrivals += truth ? 1 : 0;
+    report.predicted_arrivals += guess ? 1 : 0;
+  }
+  report.per_tick_accuracy =
+      horizon > 0 ? static_cast<double>(correct) / static_cast<double>(horizon)
+                  : 0.0;
+  report.precision = (tp + fp) > 0
+                         ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                         : 0.0;
+  report.recall = (tp + fn) > 0
+                      ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                      : 0.0;
+  report.window_count_error = WindowCountError(pattern, true_arrivals, window);
+  return report;
+}
+
+double WindowCountError(const UpdatePattern& pattern,
+                        const std::vector<bool>& true_arrivals,
+                        int64_t window) {
+  if (window <= 0) window = 1;
+  int64_t horizon = static_cast<int64_t>(true_arrivals.size());
+  int64_t num_windows = (horizon + window - 1) / window;
+  if (num_windows == 0) return 0.0;
+  std::vector<double> observed(static_cast<size_t>(num_windows), 0.0);
+  std::vector<double> truth(static_cast<size_t>(num_windows), 0.0);
+  for (const auto& e : pattern.events()) {
+    if (e.t <= 0 || e.t > horizon) continue;
+    observed[static_cast<size_t>((e.t - 1) / window)] +=
+        static_cast<double>(e.volume);
+  }
+  for (int64_t i = 0; i < horizon; ++i) {
+    if (true_arrivals[static_cast<size_t>(i)]) {
+      truth[static_cast<size_t>(i / window)] += 1.0;
+    }
+  }
+  double err = 0.0;
+  for (int64_t w = 0; w < num_windows; ++w) {
+    err += std::fabs(observed[static_cast<size_t>(w)] -
+                     truth[static_cast<size_t>(w)]);
+  }
+  return err / static_cast<double>(num_windows);
+}
+
+}  // namespace dpsync::sim

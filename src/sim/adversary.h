@@ -1,0 +1,45 @@
+/// \file adversary.h
+/// A semi-honest server's view and attack toolkit. The adversary observes
+/// only the update pattern {(t, |gamma_t|)} (Definition 2) and tries to
+/// reconstruct the owner's true arrival history — the §1 IoT-building
+/// attack. Used by the security tests and the `update_pattern_attack`
+/// example to show the attack succeeding against SUR and failing against
+/// the DP strategies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/update_pattern.h"
+
+namespace dpsync::sim {
+
+/// Reconstruction quality of an update-pattern attack.
+struct AttackReport {
+  /// Fraction of time units whose arrival bit the adversary guessed
+  /// correctly (0.5 ~= coin flip on balanced data).
+  double per_tick_accuracy = 0.0;
+  /// Precision/recall over predicted arrival ticks.
+  double precision = 0.0;
+  double recall = 0.0;
+  /// L1 distance between true and inferred per-window arrival counts,
+  /// normalized by the number of windows.
+  double window_count_error = 0.0;
+  int64_t true_arrivals = 0;
+  int64_t predicted_arrivals = 0;
+};
+
+/// The §1 timing attack: predict that a record arrived at exactly the
+/// ticks where an update was posted (volume copies propagated across the
+/// preceding window). Perfect against SUR; should collapse against DP.
+AttackReport RunTimingAttack(const UpdatePattern& pattern,
+                             const std::vector<bool>& true_arrivals,
+                             int64_t window = 1);
+
+/// Per-window count reconstruction: the adversary sums observed volumes in
+/// fixed windows and compares with the true arrival counts per window.
+double WindowCountError(const UpdatePattern& pattern,
+                        const std::vector<bool>& true_arrivals,
+                        int64_t window);
+
+}  // namespace dpsync::sim

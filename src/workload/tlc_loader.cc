@@ -1,0 +1,115 @@
+#include "workload/tlc_loader.h"
+
+#include <cstdlib>
+
+#include "common/csv.h"
+
+namespace dpsync::workload {
+
+namespace {
+
+/// Cumulative days before each month (non-leap; 2020 is a leap year, which
+/// only matters for months after February — handled below).
+bool ParseInt(const std::string& s, size_t pos, size_t len, int* out) {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (size_t i = pos; i < pos + len; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int64_t ParseTlcMinute(const std::string& ts, const TlcLoadOptions& options) {
+  // Expected layout: "YYYY-MM-DD HH:MM:SS".
+  if (ts.size() < 16) return -1;
+  int year, month, day, hour, minute;
+  if (!ParseInt(ts, 0, 4, &year) || ts[4] != '-' ||
+      !ParseInt(ts, 5, 2, &month) || ts[7] != '-' ||
+      !ParseInt(ts, 8, 2, &day) || (ts[10] != ' ' && ts[10] != 'T') ||
+      !ParseInt(ts, 11, 2, &hour) || ts[13] != ':' ||
+      !ParseInt(ts, 14, 2, &minute)) {
+    return -1;
+  }
+  if (year != options.year || month != options.month) return -1;
+  if (day < 1 || day > options.days || hour > 23 || minute > 59) return -1;
+  return (static_cast<int64_t>(day) - 1) * 1440 + hour * 60 + minute;
+}
+
+StatusOr<TaxiTrace> LoadTlcCsv(const std::string& path,
+                               const TlcLoadOptions& options,
+                               TlcLoadStats* stats) {
+  auto rows = ReadCsv(path, /*skip_header=*/true);
+  if (!rows.ok()) return rows.status();
+
+  TlcLoadStats local;
+  TaxiTrace trace;
+  trace.config.provider = options.provider;
+  trace.config.horizon_minutes = static_cast<int64_t>(options.days) * 1440;
+  trace.arrivals.resize(static_cast<size_t>(trace.config.horizon_minutes));
+
+  int max_col = std::max({options.pickup_datetime_col, options.pu_location_col,
+                          options.do_location_col, options.distance_col,
+                          options.fare_col});
+  for (const auto& row : rows.value()) {
+    ++local.rows_read;
+    if (static_cast<int>(row.size()) <= max_col) {
+      ++local.invalid_dropped;  // step (1): incomplete row
+      continue;
+    }
+    const std::string& ts = row[static_cast<size_t>(options.pickup_datetime_col)];
+    const std::string& pu = row[static_cast<size_t>(options.pu_location_col)];
+    const std::string& doo = row[static_cast<size_t>(options.do_location_col)];
+    const std::string& dist = row[static_cast<size_t>(options.distance_col)];
+    const std::string& fare = row[static_cast<size_t>(options.fare_col)];
+    if (ts.empty() || pu.empty() || doo.empty() || dist.empty() ||
+        fare.empty()) {
+      ++local.invalid_dropped;  // step (1): missing value
+      continue;
+    }
+    char* end = nullptr;
+    int64_t pu_id = std::strtoll(pu.c_str(), &end, 10);
+    if (end == pu.c_str() || pu_id < 1 || pu_id > 265) {
+      ++local.invalid_dropped;
+      continue;
+    }
+    int64_t do_id = std::strtoll(doo.c_str(), &end, 10);
+    if (end == doo.c_str() || do_id < 1 || do_id > 265) {
+      ++local.invalid_dropped;
+      continue;
+    }
+    double distance = std::strtod(dist.c_str(), &end);
+    double fare_amount = std::strtod(fare.c_str(), nullptr);
+    if (distance < 0 || fare_amount < 0) {
+      ++local.invalid_dropped;  // step (1): invalid value
+      continue;
+    }
+    int64_t minute = ParseTlcMinute(ts, options);
+    if (minute < 0) {
+      ++local.out_of_month_dropped;
+      continue;
+    }
+    auto& slot = trace.arrivals[static_cast<size_t>(minute)];
+    if (slot) {
+      ++local.duplicates_dropped;  // step (2): keep one per minute
+      continue;
+    }
+    TripRecord trip;
+    trip.pick_time = minute;
+    trip.pickup_id = pu_id;
+    trip.dropoff_id = do_id;
+    trip.trip_distance = distance;
+    trip.fare = fare_amount;
+    trip.is_dummy = false;
+    slot = trip;
+    ++local.kept;
+  }
+  trace.config.target_records = local.kept;
+  if (stats) *stats = local;
+  return trace;
+}
+
+}  // namespace dpsync::workload

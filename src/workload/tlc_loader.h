@@ -1,0 +1,58 @@
+/// \file tlc_loader.h
+/// Loader for the official NYC TLC trip-record CSV format, so the real
+/// June-2020 Yellow/Green datasets can be fed to DP-Sync when available
+/// (our experiments use the synthetic generator — see DESIGN.md). Applies
+/// exactly the paper's preprocessing (§8, "Data"):
+///   (1) drop rows with incomplete/missing/invalid values;
+///   (2) drop duplicate records in the same minute, keeping one;
+///   (3) map pickup times to 1-minute slots of the configured month
+///       (rows outside the month are dropped, as the TLC data contains
+///       stray timestamps).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/taxi_generator.h"
+
+namespace dpsync::workload {
+
+/// Options describing the CSV layout and target month.
+struct TlcLoadOptions {
+  /// 0-based column indices in the CSV (defaults match the 2020 Yellow
+  /// schema: tpep_pickup_datetime, PULocationID, DOLocationID,
+  /// trip_distance, fare_amount).
+  int pickup_datetime_col = 1;
+  int pu_location_col = 7;
+  int do_location_col = 8;
+  int distance_col = 4;
+  int fare_col = 10;
+  /// Month window: timestamps are mapped to minutes since this instant.
+  int year = 2020;
+  int month = 6;  // June
+  /// Days in the month (43,200 minutes for a 30-day month).
+  int days = 30;
+  std::string provider = "YellowCab";
+};
+
+/// Statistics from a load (how much the preprocessing dropped).
+struct TlcLoadStats {
+  int64_t rows_read = 0;
+  int64_t invalid_dropped = 0;     ///< step (1)
+  int64_t duplicates_dropped = 0;  ///< step (2)
+  int64_t out_of_month_dropped = 0;
+  int64_t kept = 0;
+};
+
+/// Parses "YYYY-MM-DD HH:MM:SS" into the minute index within the options'
+/// month, or -1 if malformed / outside the month.
+int64_t ParseTlcMinute(const std::string& timestamp,
+                       const TlcLoadOptions& options);
+
+/// Loads a TLC-format CSV (with header) into a TaxiTrace, applying the
+/// paper's preprocessing. `stats` (optional) receives drop accounting.
+StatusOr<TaxiTrace> LoadTlcCsv(const std::string& path,
+                               const TlcLoadOptions& options,
+                               TlcLoadStats* stats = nullptr);
+
+}  // namespace dpsync::workload

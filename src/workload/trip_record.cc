@@ -1,0 +1,70 @@
+#include "workload/trip_record.h"
+
+#include <memory>
+
+namespace dpsync::workload {
+
+using query::Field;
+using query::Row;
+using query::Schema;
+using query::Value;
+using query::ValueType;
+
+const Schema& TripSchema() {
+  static const Schema* schema = new Schema({
+      {"pickTime", ValueType::kInt},
+      {"pickupID", ValueType::kInt},
+      {"dropoffID", ValueType::kInt},
+      {"tripDistance", ValueType::kDouble},
+      {"fare", ValueType::kDouble},
+      {Schema::kDummyColumn, ValueType::kInt},
+  });
+  return *schema;
+}
+
+Row TripRecord::ToRow() const {
+  return Row{Value(pick_time),     Value(pickup_id),
+             Value(dropoff_id),    Value(trip_distance),
+             Value(fare),          Value::Bool(is_dummy)};
+}
+
+TripRecord TripRecord::FromRow(const Row& row) {
+  TripRecord r;
+  r.pick_time = row.at(0).AsInt();
+  r.pickup_id = row.at(1).AsInt();
+  r.dropoff_id = row.at(2).AsInt();
+  r.trip_distance = row.at(3).AsDouble();
+  r.fare = row.at(4).AsDouble();
+  r.is_dummy = row.at(5).Truthy();
+  return r;
+}
+
+Record TripRecord::ToRecord() const {
+  Record rec;
+  rec.payload = query::SerializeRow(ToRow());
+  rec.is_dummy = is_dummy;
+  rec.arrival_time = pick_time;
+  return rec;
+}
+
+StatusOr<TripRecord> TripRecord::FromRecord(const Record& record) {
+  auto row = query::DeserializeRow(record.payload);
+  if (!row.ok()) return row.status();
+  return FromRow(row.value());
+}
+
+DummyFactory MakeTripDummyFactory(uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  return [rng]() {
+    TripRecord trip;
+    trip.is_dummy = true;
+    trip.pick_time = 0;  // dummies carry no meaningful event time
+    trip.pickup_id = rng->UniformInt(1, 265);
+    trip.dropoff_id = rng->UniformInt(1, 265);
+    trip.trip_distance = rng->UniformDouble() * 12.0;
+    trip.fare = 2.5 + trip.trip_distance * 2.5;
+    return trip.ToRecord();
+  };
+}
+
+}  // namespace dpsync::workload

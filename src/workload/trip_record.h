@@ -1,0 +1,44 @@
+/// \file trip_record.h
+/// The taxi trip-record schema used by the paper's evaluation (§8): NYC
+/// TLC-style trips with a pickup time (the record's arrival time unit),
+/// pickup/dropoff zone IDs, distance and fare, plus the isDummy attribute
+/// required for Appendix-B query rewriting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "core/record.h"
+#include "query/schema.h"
+
+namespace dpsync::workload {
+
+/// One taxi trip.
+struct TripRecord {
+  int64_t pick_time = 0;    ///< minute index within the simulated month
+  int64_t pickup_id = 0;    ///< TLC zone 1..265
+  int64_t dropoff_id = 0;   ///< TLC zone 1..265
+  double trip_distance = 0;  ///< miles
+  double fare = 0;           ///< USD
+  bool is_dummy = false;
+
+  query::Row ToRow() const;
+  static TripRecord FromRow(const query::Row& row);
+
+  /// Serializes into a core Record (payload = serialized row).
+  Record ToRecord() const;
+  /// Parses a Record's payload back into a TripRecord.
+  static StatusOr<TripRecord> FromRecord(const Record& record);
+};
+
+/// The trip table schema: pickTime, pickupID, dropoffID, tripDistance,
+/// fare, isDummy.
+const query::Schema& TripSchema();
+
+/// Returns a DummyFactory producing schema-valid dummy trips whose
+/// attribute distributions resemble real trips (so even a decrypted dummy
+/// looks plausible); isDummy is set, so rewritten queries ignore them.
+DummyFactory MakeTripDummyFactory(uint64_t seed);
+
+}  // namespace dpsync::workload

@@ -1,0 +1,129 @@
+// Known-answer tests for AES-128 (FIPS-197) and AES-128-GCM (NIST GCM
+// spec test cases), plus round-trip and tamper properties.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/aes_gcm.h"
+
+namespace dpsync::crypto {
+namespace {
+
+Bytes Hex(const std::string& h) {
+  Bytes b;
+  EXPECT_TRUE(FromHex(h, &b));
+  return b;
+}
+
+TEST(Aes128Test, Fips197AppendixB) {
+  Aes128 aes(Hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Bytes pt = Hex("3243f6a8885a308d313198a2e0370734");
+  uint8_t out[16];
+  aes.EncryptBlock(pt.data(), out);
+  EXPECT_EQ(ToHex(out, 16), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128Test, Fips197AppendixCVector) {
+  Aes128 aes(Hex("000102030405060708090a0b0c0d0e0f"));
+  Bytes pt = Hex("00112233445566778899aabbccddeeff");
+  uint8_t out[16];
+  aes.EncryptBlock(pt.data(), out);
+  EXPECT_EQ(ToHex(out, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128Test, InPlaceEncryption) {
+  Aes128 aes(Hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Bytes block = Hex("3243f6a8885a308d313198a2e0370734");
+  aes.EncryptBlock(block.data(), block.data());
+  EXPECT_EQ(ToHex(block), "3925841d02dc09fbdc118597196a0b32");
+}
+
+// NIST GCM spec, Test Case 1: empty plaintext, empty AAD, zero key/IV.
+TEST(AesGcmTest, NistCase1EmptyEverything) {
+  Aes128Gcm gcm(Bytes(16, 0));
+  Bytes nonce(12, 0);
+  Bytes sealed = gcm.Seal(nonce, {}, {});
+  ASSERT_EQ(sealed.size(), 16u);  // tag only
+  EXPECT_EQ(ToHex(sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+// NIST GCM spec, Test Case 2: one zero block.
+TEST(AesGcmTest, NistCase2SingleZeroBlock) {
+  Aes128Gcm gcm(Bytes(16, 0));
+  Bytes nonce(12, 0);
+  Bytes sealed = gcm.Seal(nonce, {}, Bytes(16, 0));
+  ASSERT_EQ(sealed.size(), 32u);
+  EXPECT_EQ(ToHex(Bytes(sealed.begin(), sealed.begin() + 16)),
+            "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(ToHex(Bytes(sealed.begin() + 16, sealed.end())),
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+// NIST GCM spec, Test Case 3: 4-block plaintext, no AAD.
+TEST(AesGcmTest, NistCase3FourBlocks) {
+  Aes128Gcm gcm(Hex("feffe9928665731c6d6a8f9467308308"));
+  Bytes nonce = Hex("cafebabefacedbaddecaf888");
+  Bytes pt = Hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+  Bytes sealed = gcm.Seal(nonce, {}, pt);
+  EXPECT_EQ(ToHex(Bytes(sealed.begin(), sealed.end() - 16)),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985");
+  EXPECT_EQ(ToHex(Bytes(sealed.end() - 16, sealed.end())),
+            "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+// NIST GCM spec, Test Case 4: truncated plaintext with AAD.
+TEST(AesGcmTest, NistCase4WithAad) {
+  Aes128Gcm gcm(Hex("feffe9928665731c6d6a8f9467308308"));
+  Bytes nonce = Hex("cafebabefacedbaddecaf888");
+  Bytes pt = Hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  Bytes aad = Hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  Bytes sealed = gcm.Seal(nonce, aad, pt);
+  EXPECT_EQ(ToHex(Bytes(sealed.end() - 16, sealed.end())),
+            "5bc94fbc3221a5db94fae95ae7121a47");
+  auto opened = gcm.Open(nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), pt);
+}
+
+TEST(AesGcmTest, TamperDetected) {
+  Aes128Gcm gcm(Bytes(16, 7));
+  Bytes nonce(12, 1);
+  Bytes sealed = gcm.Seal(nonce, {}, ToBytes("payload"));
+  sealed[0] ^= 1;
+  EXPECT_FALSE(gcm.Open(nonce, {}, sealed).ok());
+}
+
+TEST(AesGcmTest, WrongAadRejected) {
+  Aes128Gcm gcm(Bytes(16, 7));
+  Bytes nonce(12, 1);
+  Bytes sealed = gcm.Seal(nonce, ToBytes("a"), ToBytes("payload"));
+  EXPECT_FALSE(gcm.Open(nonce, ToBytes("b"), sealed).ok());
+}
+
+TEST(AesGcmTest, ShortInputRejected) {
+  Aes128Gcm gcm(Bytes(16, 7));
+  EXPECT_FALSE(gcm.Open(Bytes(12, 1), {}, Bytes(8, 0)).ok());
+}
+
+class AesGcmRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AesGcmRoundTripTest, VariousLengths) {
+  Aes128Gcm gcm(Bytes(16, 0x42));
+  Bytes nonce(12, 0);
+  nonce[0] = static_cast<uint8_t>(GetParam());
+  Bytes pt(GetParam(), 0x3c);
+  auto opened = gcm.Open(nonce, {}, gcm.Seal(nonce, {}, pt));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value(), pt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, AesGcmRoundTripTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 64, 100, 255));
+
+}  // namespace
+}  // namespace dpsync::crypto

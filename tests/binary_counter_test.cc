@@ -1,0 +1,117 @@
+// Tests for the continual-observation binary counter: exactness of the
+// underlying block decomposition, error scaling, and the DP property of
+// the whole transcript on neighboring streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/stats.h"
+#include "dp/binary_counter.h"
+
+namespace dpsync::dp {
+namespace {
+
+TEST(BinaryCounterTest, NoiselessLimitIsExact) {
+  // With a huge budget the noise vanishes and the block decomposition
+  // must reproduce the exact running count at every step.
+  Rng rng(1);
+  BinaryCounter counter(1e9, /*horizon=*/256);
+  int64_t exact = 0;
+  for (int64_t t = 1; t <= 256; ++t) {
+    int64_t bit = (t % 3 == 0) ? 1 : 0;
+    exact += bit;
+    double released = counter.Step(bit, &rng);
+    EXPECT_NEAR(released, static_cast<double>(exact), 1e-3) << "t=" << t;
+  }
+  EXPECT_EQ(counter.true_count(), exact);
+}
+
+TEST(BinaryCounterTest, TracksCountWithinPolylogError) {
+  Rng rng(2);
+  const double eps = 1.0;
+  const int64_t horizon = 4096;
+  BinaryCounter counter(eps, horizon);
+  RunningStat abs_err;
+  int64_t exact = 0;
+  for (int64_t t = 1; t <= horizon; ++t) {
+    int64_t bit = (t % 2 == 0) ? 1 : 0;
+    exact += bit;
+    double released = counter.Step(bit, &rng);
+    abs_err.Add(std::fabs(released - static_cast<double>(exact)));
+  }
+  // Error per release ~ sqrt(#blocks) * levels/eps <= log^{1.5}(T)/eps.
+  double levels = static_cast<double>(counter.levels());
+  double bound = levels * std::sqrt(levels) / eps;
+  EXPECT_LT(abs_err.mean(), bound);
+  EXPECT_GT(abs_err.mean(), 0.1);  // noise genuinely present
+}
+
+TEST(BinaryCounterTest, LevelsMatchHorizon) {
+  Rng rng(3);
+  EXPECT_EQ(BinaryCounter(1.0, 1).levels(), 1);
+  EXPECT_EQ(BinaryCounter(1.0, 2).levels(), 2);
+  EXPECT_EQ(BinaryCounter(1.0, 1024).levels(), 11);
+  EXPECT_DOUBLE_EQ(BinaryCounter(2.0, 1024).node_scale(), 11.0 / 2.0);
+}
+
+TEST(BinaryCounterTest, ErrorGrowsOnlyPolylogInHorizon) {
+  // Mean |error| at T=4096 should be far below linear-in-T, and only a
+  // small factor above the error at T=256.
+  auto mean_err = [](int64_t horizon, uint64_t seed) {
+    Rng rng(seed);
+    BinaryCounter counter(0.5, horizon);
+    RunningStat err;
+    int64_t exact = 0;
+    for (int64_t t = 1; t <= horizon; ++t) {
+      exact += 1;
+      err.Add(std::fabs(counter.Step(1, &rng) - static_cast<double>(exact)));
+    }
+    return err.mean();
+  };
+  double small = mean_err(256, 5);
+  double large = mean_err(4096, 6);
+  EXPECT_LT(large, small * 6.0);  // polylog growth, not 16x linear
+}
+
+// Transcript-level empirical DP: neighboring bit streams (one flipped bit)
+// must induce bounded likelihood ratios on the rounded final release.
+class BinaryCounterDpTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BinaryCounterDpTest, FinalReleaseLikelihoodRatioBounded) {
+  const double eps = GetParam();
+  const int64_t horizon = 32;
+  std::vector<int64_t> stream_a(horizon, 0), stream_b(horizon, 0);
+  for (int64_t t = 0; t < horizon; t += 3) stream_a[static_cast<size_t>(t)] = 1;
+  stream_b = stream_a;
+  stream_b[13] = 1 - stream_b[13];  // neighboring: one event flipped
+
+  Rng rng(7);
+  const int n = 60000;
+  auto histogram = [&](const std::vector<int64_t>& stream) {
+    std::map<int64_t, int> hist;
+    for (int i = 0; i < n; ++i) {
+      BinaryCounter counter(eps, horizon);
+      double last = 0;
+      for (int64_t bit : stream) last = counter.Step(bit, &rng);
+      hist[static_cast<int64_t>(std::llround(last))]++;
+    }
+    return hist;
+  };
+  auto ha = histogram(stream_a);
+  auto hb = histogram(stream_b);
+  for (const auto& [bucket, ca] : ha) {
+    auto it = hb.find(bucket);
+    if (it == hb.end()) continue;
+    if (ca < 800 || it->second < 800) continue;
+    double ratio = static_cast<double>(ca) / it->second;
+    EXPECT_LE(ratio, std::exp(eps) * 1.3) << "bucket " << bucket;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.3) << "bucket " << bucket;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, BinaryCounterDpTest,
+                         ::testing::Values(0.5, 1.0));
+
+}  // namespace
+}  // namespace dpsync::dp

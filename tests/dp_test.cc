@@ -1,0 +1,324 @@
+// Tests for the DP substrate: Laplace/geometric mechanisms, sparse vector,
+// composition accounting, and the Table-4 pattern simulators — including
+// empirical differential-privacy distinguisher tests that estimate the
+// privacy loss of released update patterns on neighboring streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "dp/accountant.h"
+#include "dp/laplace.h"
+#include "dp/mechanisms.h"
+#include "dp/svt.h"
+
+namespace dpsync::dp {
+namespace {
+
+TEST(LaplaceMechanismTest, NoiseIsCentered) {
+  LaplaceMechanism mech(1.0);
+  Rng rng(1);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.Add(mech.Perturb(10.0, &rng) - 10.0);
+  EXPECT_NEAR(s.mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.variance(), 2.0, 0.1);  // Var = 2 (1/eps)^2 = 2
+}
+
+TEST(LaplaceMechanismTest, ScaleIsSensitivityOverEpsilon) {
+  LaplaceMechanism mech(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(mech.scale(), 4.0);
+}
+
+TEST(LaplaceMechanismTest, PerturbCountRounds) {
+  LaplaceMechanism mech(1000.0);  // nearly no noise
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(mech.PerturbCount(7, &rng), 7);
+}
+
+TEST(LaplaceMechanismTest, TailProbability) {
+  EXPECT_NEAR(LaplaceMechanism::TailProbability(1.0, 2.0), std::exp(-2.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(LaplaceMechanism::TailProbability(1.0, 0.0), 1.0);
+}
+
+// Empirical DP check: the likelihood ratio of observing any output bucket
+// under neighboring inputs c and c+1 must be bounded by e^eps (within
+// sampling error). This is the standard histogram-based DP distinguisher.
+class LaplaceDpTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceDpTest, HistogramLikelihoodRatioBounded) {
+  const double eps = GetParam();
+  LaplaceMechanism mech(eps);
+  Rng rng(42);
+  const int n = 400000;
+  std::map<int64_t, int> hist_a, hist_b;
+  for (int i = 0; i < n; ++i) hist_a[mech.PerturbCount(10, &rng)]++;
+  for (int i = 0; i < n; ++i) hist_b[mech.PerturbCount(11, &rng)]++;
+  // Only consider buckets with enough mass for a stable ratio estimate.
+  for (const auto& [bucket, count_a] : hist_a) {
+    auto it = hist_b.find(bucket);
+    if (it == hist_b.end()) continue;
+    int count_b = it->second;
+    if (count_a < 500 || count_b < 500) continue;
+    double ratio = static_cast<double>(count_a) / count_b;
+    EXPECT_LE(ratio, std::exp(eps) * 1.15) << "bucket " << bucket;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.15) << "bucket " << bucket;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, LaplaceDpTest,
+                         ::testing::Values(0.25, 0.5, 1.0));
+
+TEST(GeometricMechanismTest, UnbiasedAndInteger) {
+  GeometricMechanism mech(1.0);
+  Rng rng(3);
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) {
+    s.Add(static_cast<double>(mech.PerturbCount(5, &rng)));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+}
+
+TEST(GeometricMechanismTest, SmallerEpsilonMoreNoise) {
+  Rng rng(4);
+  GeometricMechanism tight(2.0), loose(0.2);
+  RunningStat st, sl;
+  for (int i = 0; i < 50000; ++i) {
+    st.Add(std::fabs(static_cast<double>(tight.PerturbCount(0, &rng))));
+    sl.Add(std::fabs(static_cast<double>(loose.PerturbCount(0, &rng))));
+  }
+  EXPECT_LT(st.mean(), sl.mean());
+}
+
+TEST(ValidateEpsilonTest, AcceptsPositive) {
+  EXPECT_TRUE(ValidateEpsilon(0.5).ok());
+}
+
+TEST(ValidateEpsilonTest, RejectsNonPositiveAndNonFinite) {
+  EXPECT_FALSE(ValidateEpsilon(0.0).ok());
+  EXPECT_FALSE(ValidateEpsilon(-1.0).ok());
+  EXPECT_FALSE(ValidateEpsilon(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(ValidateEpsilon(std::nan("")).ok());
+}
+
+// ------------------------------------------------------------------- SVT
+
+TEST(SvtTest, HighCountExceeds) {
+  Rng rng(5);
+  AboveNoisyThreshold svt(10.0, 1.0, &rng);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) hits += svt.Exceeds(100, &rng);
+  EXPECT_GT(hits, 990);  // far above threshold: nearly always fires
+}
+
+TEST(SvtTest, LowCountRarelyExceeds) {
+  Rng rng(6);
+  AboveNoisyThreshold svt(100.0, 1.0, &rng);
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) hits += svt.Exceeds(0, &rng);
+  EXPECT_LT(hits, 10);
+}
+
+TEST(SvtTest, ResetRedrawsThreshold) {
+  Rng rng(7);
+  AboveNoisyThreshold svt(10.0, 1.0, &rng);
+  double t1 = svt.noisy_threshold();
+  svt.Reset(&rng);
+  EXPECT_NE(t1, svt.noisy_threshold());
+  EXPECT_DOUBLE_EQ(svt.threshold(), 10.0);
+}
+
+TEST(SvtTest, FiringProbabilityMonotoneInCount) {
+  Rng rng(8);
+  AboveNoisyThreshold svt(20.0, 0.5, &rng);
+  auto fire_rate = [&](int64_t c) {
+    int hits = 0;
+    for (int i = 0; i < 4000; ++i) hits += svt.Exceeds(c, &rng);
+    return hits / 4000.0;
+  };
+  double lo = fire_rate(5), mid = fire_rate(20), hi = fire_rate(35);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+}
+
+// ------------------------------------------------------------ Accountant
+
+TEST(AccountantTest, SequentialAddsWithinGroup) {
+  PrivacyAccountant acc;
+  acc.Charge("g", 0.3, Composition::kSequential);
+  acc.Charge("g", 0.2, Composition::kSequential);
+  EXPECT_DOUBLE_EQ(acc.GroupEpsilon("g"), 0.5);
+}
+
+TEST(AccountantTest, ParallelTakesMaxWithinGroup) {
+  PrivacyAccountant acc;
+  acc.Charge("g", 0.3, Composition::kParallel);
+  acc.Charge("g", 0.5, Composition::kParallel);
+  EXPECT_DOUBLE_EQ(acc.GroupEpsilon("g"), 0.5);
+}
+
+TEST(AccountantTest, MixedComposition) {
+  PrivacyAccountant acc;
+  acc.Charge("g", 0.3, Composition::kSequential);
+  acc.Charge("g", 0.5, Composition::kParallel);
+  acc.Charge("g", 0.4, Composition::kParallel);
+  EXPECT_DOUBLE_EQ(acc.GroupEpsilon("g"), 0.8);  // 0.3 + max(0.5, 0.4)
+}
+
+TEST(AccountantTest, CrossGroupTotals) {
+  PrivacyAccountant acc;
+  acc.Charge("setup", 0.5, Composition::kSequential);
+  acc.Charge("updates", 0.5, Composition::kParallel);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonParallel(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonSequential(), 1.0);
+}
+
+TEST(AccountantTest, DpTimerCompositionMatchesTheorem10) {
+  // M_timer = M_setup (eps, disjoint D_0) + M_unit windows (eps each,
+  // disjoint) + M_flush (0-DP): total guarantee is eps under parallel
+  // composition across the disjoint partitions.
+  const double eps = 0.5;
+  PrivacyAccountant acc;
+  acc.Charge("setup", eps, Composition::kParallel);
+  for (int window = 0; window < 10; ++window) {
+    acc.Charge("window", eps, Composition::kParallel);
+  }
+  acc.Charge("flush", 0.0, Composition::kSequential);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonParallel(), eps);
+}
+
+TEST(AccountantTest, ResetClears) {
+  PrivacyAccountant acc;
+  acc.Charge("g", 1.0, Composition::kSequential);
+  acc.Reset();
+  EXPECT_EQ(acc.num_charges(), 0u);
+  EXPECT_DOUBLE_EQ(acc.GroupEpsilon("g"), 0.0);
+}
+
+// ---------------------------------------------------- Pattern simulators
+
+UpdateStreamView MakeStream(int64_t horizon, int64_t every) {
+  UpdateStreamView s;
+  s.arrivals.resize(static_cast<size_t>(horizon), false);
+  for (int64_t t = 0; t < horizon; t += every) {
+    s.arrivals[static_cast<size_t>(t)] = true;
+  }
+  return s;
+}
+
+TEST(TimerPatternTest, UpdatesOnSchedule) {
+  Rng rng(9);
+  auto stream = MakeStream(300, 3);
+  auto pattern = SimulateTimerPattern(stream, 1.0, /*T=*/30,
+                                      /*flush_interval=*/0, 0, &rng);
+  ASSERT_FALSE(pattern.empty());
+  EXPECT_EQ(pattern[0].t, 0);  // setup
+  for (size_t i = 1; i < pattern.size(); ++i) {
+    EXPECT_EQ(pattern[i].t % 30, 0) << "update off schedule";
+  }
+  EXPECT_EQ(pattern.size(), 1u + 300 / 30);
+}
+
+TEST(TimerPatternTest, FlushPointsPresentAndConstant) {
+  Rng rng(10);
+  auto stream = MakeStream(200, 5);
+  auto pattern =
+      SimulateTimerPattern(stream, 1.0, /*T=*/60, /*flush=*/50, /*s=*/7, &rng);
+  int flushes = 0;
+  for (const auto& p : pattern) {
+    if (p.t % 50 == 0 && p.t > 0 && p.t % 60 != 0) {
+      EXPECT_DOUBLE_EQ(p.count, 7.0);
+      ++flushes;
+    }
+  }
+  EXPECT_EQ(flushes, 4);  // t = 50, 100, 150, 200
+}
+
+TEST(TimerPatternTest, NoisyCountsTrackWindowCounts) {
+  Rng rng(11);
+  auto stream = MakeStream(3000, 2);  // 15 arrivals per 30-window
+  auto pattern = SimulateTimerPattern(stream, 5.0, 30, 0, 0, &rng);
+  RunningStat s;
+  for (size_t i = 1; i < pattern.size(); ++i) s.Add(pattern[i].count);
+  EXPECT_NEAR(s.mean(), 15.0, 0.5);
+}
+
+TEST(AntPatternTest, FiresNearThreshold) {
+  Rng rng(12);
+  auto stream = MakeStream(5000, 2);  // one arrival every 2 ticks
+  // High epsilon => little SVT noise => releases land near theta.
+  auto pattern = SimulateAntPattern(stream, 20.0, /*theta=*/20, 0, 0, &rng);
+  // Skip setup; released counts should be near theta.
+  RunningStat s;
+  for (size_t i = 1; i < pattern.size(); ++i) s.Add(pattern[i].count);
+  EXPECT_GT(s.count(), 50);
+  EXPECT_NEAR(s.mean(), 20.0, 6.0);
+}
+
+TEST(AntPatternTest, SparserDataFiresLessOften) {
+  Rng rng(13);
+  // High epsilon so firing is data-driven rather than noise-driven.
+  auto dense = SimulateAntPattern(MakeStream(4000, 2), 10.0, 25, 0, 0, &rng);
+  auto sparse = SimulateAntPattern(MakeStream(4000, 40), 10.0, 25, 0, 0, &rng);
+  EXPECT_GT(dense.size(), sparse.size() * 3);
+}
+
+TEST(AntPatternTest, LowEpsilonFiresMoreOftenThanHighEpsilon) {
+  // Observation 4 (paper §8.2): with small epsilon the large SVT noise
+  // triggers uploads before enough data accumulates, so update frequency
+  // *increases* as epsilon decreases.
+  Rng rng(14);
+  auto stream = MakeStream(4000, 8);
+  auto noisy = SimulateAntPattern(stream, 0.1, 25, 0, 0, &rng);
+  auto tight = SimulateAntPattern(stream, 10.0, 25, 0, 0, &rng);
+  EXPECT_GT(noisy.size(), tight.size() * 2);
+}
+
+// Empirical DP distinguisher on the *full released pattern*: neighboring
+// streams (one arrival added) must produce released update-count sums whose
+// distributions have bounded likelihood ratio. We project the pattern to a
+// low-dimensional statistic (total released volume, rounded) — any
+// post-processing of an eps-DP output is itself eps-DP, so the bound must
+// hold on the projection too.
+class PatternDpTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PatternDpTest, TimerPatternProjectionSatisfiesDp) {
+  const double eps = GetParam();
+  auto base = MakeStream(120, 4);
+  auto neighbor = base;
+  neighbor.arrivals[57] = !neighbor.arrivals[57];  // add/remove one update
+
+  Rng rng(99);
+  const int n = 60000;
+  std::map<int64_t, int> hist_a, hist_b;
+  for (int i = 0; i < n; ++i) {
+    double total = 0;
+    for (const auto& p : SimulateTimerPattern(base, eps, 30, 0, 0, &rng)) {
+      total += p.count;
+    }
+    hist_a[static_cast<int64_t>(std::llround(total))]++;
+  }
+  for (int i = 0; i < n; ++i) {
+    double total = 0;
+    for (const auto& p : SimulateTimerPattern(neighbor, eps, 30, 0, 0, &rng)) {
+      total += p.count;
+    }
+    hist_b[static_cast<int64_t>(std::llround(total))]++;
+  }
+  for (const auto& [bucket, count_a] : hist_a) {
+    auto it = hist_b.find(bucket);
+    if (it == hist_b.end()) continue;
+    if (count_a < 800 || it->second < 800) continue;
+    double ratio = static_cast<double>(count_a) / it->second;
+    EXPECT_LE(ratio, std::exp(eps) * 1.25) << "bucket " << bucket;
+    EXPECT_GE(ratio, std::exp(-eps) / 1.25) << "bucket " << bucket;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, PatternDpTest,
+                         ::testing::Values(0.5, 1.0));
+
+}  // namespace
+}  // namespace dpsync::dp

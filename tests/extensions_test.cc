@@ -1,0 +1,292 @@
+// Tests for the extension features: the TLC CSV loader (with the paper's
+// preprocessing), multi-record-per-tick arrivals, geometric-noise strategy
+// variants, the L-1 StealthDB engine + volume-padding countermeasure, and
+// the Crypt-eps analyst budget limit.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/dp_timer.h"
+#include "core/engine.h"
+#include "core/naive_strategies.h"
+#include "edb/crypte_engine.h"
+#include "edb/volume_hiding.h"
+#include "query/parser.h"
+#include "workload/tlc_loader.h"
+#include "workload/trip_record.h"
+
+namespace dpsync {
+namespace {
+
+using workload::TripRecord;
+
+// ------------------------------------------------------------ TLC loader
+
+class TlcLoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/dpsync_tlc_test.csv";
+    std::ofstream out(path_);
+    // Header mirrors the 2020 Yellow layout (11 columns; we only read 5).
+    out << "VendorID,tpep_pickup_datetime,tpep_dropoff_datetime,passenger_"
+           "count,trip_distance,RatecodeID,store_and_fwd_flag,PULocationID,"
+           "DOLocationID,payment_type,fare_amount\n";
+    auto row = [&](const std::string& ts, const std::string& pu,
+                   const std::string& doo, const std::string& dist,
+                   const std::string& fare) {
+      out << "1," << ts << ",2020-06-01 00:20:00,1," << dist << ",1,N," << pu
+          << "," << doo << ",1," << fare << "\n";
+    };
+    row("2020-06-01 00:08:42", "132", "45", "3.2", "14.5");   // kept, min 8
+    row("2020-06-01 00:08:59", "100", "10", "1.0", "5.0");    // dup minute 8
+    row("2020-06-02 13:30:00", "7", "7", "0.5", "3.0");       // kept
+    row("2020-05-31 23:59:00", "1", "1", "1.0", "4.0");       // out of month
+    row("2020-06-15 07:00:00", "999", "45", "1.0", "4.0");    // bad zone
+    row("2020-06-15 07:01:00", "45", "45", "-2.0", "4.0");    // bad distance
+    row("garbage-timestamp", "45", "45", "1.0", "4.0");       // bad ts
+    row("2020-06-30 23:59:00", "265", "1", "2.0", "9.0");     // kept, last min
+  }
+
+  std::string path_;
+};
+
+TEST_F(TlcLoaderTest, AppliesPaperPreprocessing) {
+  workload::TlcLoadOptions opt;
+  workload::TlcLoadStats stats;
+  auto trace = workload::LoadTlcCsv(path_, opt, &stats);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(stats.rows_read, 8);
+  EXPECT_EQ(stats.kept, 3);
+  EXPECT_EQ(stats.duplicates_dropped, 1);
+  EXPECT_EQ(stats.invalid_dropped, 2);      // bad zone, bad distance
+  EXPECT_EQ(stats.out_of_month_dropped, 2);  // May row + garbage timestamp
+  EXPECT_EQ(trace->record_count(), 3);
+  EXPECT_EQ(trace->config.horizon_minutes, 43200);
+}
+
+TEST_F(TlcLoaderTest, MapsTimestampsToMinuteSlots) {
+  workload::TlcLoadOptions opt;
+  auto trace = workload::LoadTlcCsv(path_, opt, nullptr);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(trace->arrivals[8].has_value());  // 00:08 on day 1
+  EXPECT_EQ(trace->arrivals[8]->pickup_id, 132);
+  EXPECT_DOUBLE_EQ(trace->arrivals[8]->trip_distance, 3.2);
+  // Day 2, 13:30 -> 1440 + 13*60 + 30.
+  EXPECT_TRUE(trace->arrivals[1440 + 13 * 60 + 30].has_value());
+  // Last minute of the month.
+  EXPECT_TRUE(trace->arrivals[43200 - 1].has_value());
+}
+
+TEST_F(TlcLoaderTest, MissingFileFails) {
+  workload::TlcLoadOptions opt;
+  EXPECT_FALSE(workload::LoadTlcCsv("/no/such/file.csv", opt).ok());
+}
+
+TEST(ParseTlcMinuteTest, ParsesAndValidates) {
+  workload::TlcLoadOptions opt;  // June 2020
+  EXPECT_EQ(workload::ParseTlcMinute("2020-06-01 00:00:00", opt), 0);
+  EXPECT_EQ(workload::ParseTlcMinute("2020-06-01 01:30:59", opt), 90);
+  EXPECT_EQ(workload::ParseTlcMinute("2020-06-30 23:59:00", opt), 43199);
+  EXPECT_EQ(workload::ParseTlcMinute("2020-07-01 00:00:00", opt), -1);
+  EXPECT_EQ(workload::ParseTlcMinute("2019-06-01 00:00:00", opt), -1);
+  EXPECT_EQ(workload::ParseTlcMinute("2020-06-31 00:00:00", opt), -1);
+  EXPECT_EQ(workload::ParseTlcMinute("not a time", opt), -1);
+  EXPECT_EQ(workload::ParseTlcMinute("", opt), -1);
+}
+
+// ----------------------------------------------- Multi-record arrivals
+
+class NullBackend : public SogdbBackend {
+ public:
+  Status Setup(const std::vector<Record>&) override { return Status::Ok(); }
+  Status Update(const std::vector<Record>& g) override {
+    count_ += static_cast<int64_t>(g.size());
+    return Status::Ok();
+  }
+  int64_t outsourced_count() const override { return count_; }
+  int64_t count_ = 0;
+};
+
+Record SomeRecord(int64_t t) {
+  TripRecord trip;
+  trip.pick_time = t;
+  return trip.ToRecord();
+}
+
+TEST(TickBatchTest, SurSyncsWholeBatch) {
+  NullBackend backend;
+  DpSyncEngine engine(std::make_unique<SurStrategy>(), &backend,
+                      workload::MakeTripDummyFactory(1), 2);
+  ASSERT_TRUE(engine.Setup({}).ok());
+  ASSERT_TRUE(engine.TickBatch({SomeRecord(1), SomeRecord(1), SomeRecord(1)})
+                  .ok());
+  EXPECT_EQ(backend.count_, 3);
+  EXPECT_EQ(engine.logical_gap(), 0);
+}
+
+TEST(TickBatchTest, TimerCountsAllArrivals) {
+  NullBackend backend;
+  DpTimerConfig cfg;
+  cfg.period = 10;
+  cfg.epsilon = 100.0;  // ~noiseless
+  cfg.flush_interval = 0;
+  DpSyncEngine engine(std::make_unique<DpTimerStrategy>(cfg), &backend,
+                      workload::MakeTripDummyFactory(3), 4);
+  ASSERT_TRUE(engine.Setup({}).ok());
+  for (int t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(engine.TickBatch({SomeRecord(t), SomeRecord(t)}).ok());
+  }
+  // 20 arrivals in the window; near-noiseless count fetches ~20.
+  EXPECT_NEAR(static_cast<double>(backend.count_), 20.0, 1.0);
+  EXPECT_EQ(engine.counters().received_total, 20);
+}
+
+TEST(TickBatchTest, EmptyBatchIsANullUpdate) {
+  NullBackend backend;
+  DpSyncEngine engine(std::make_unique<SurStrategy>(), &backend,
+                      workload::MakeTripDummyFactory(5), 6);
+  ASSERT_TRUE(engine.Setup({}).ok());
+  ASSERT_TRUE(engine.TickBatch({}).ok());
+  EXPECT_EQ(engine.now(), 1);
+  EXPECT_EQ(backend.count_, 0);
+}
+
+// ------------------------------------------------------- Geometric noise
+
+TEST(NoiseKindTest, PerturbCountWithDispatches) {
+  Rng rng(7);
+  // Geometric is integer-valued by construction; Laplace rounds. Both must
+  // stay near the true count at high epsilon.
+  for (auto kind : {dp::NoiseKind::kLaplace, dp::NoiseKind::kGeometric}) {
+    int64_t v = dp::PerturbCountWith(kind, 50.0, 42, &rng);
+    EXPECT_NEAR(static_cast<double>(v), 42.0, 2.0) << dp::NoiseKindName(kind);
+  }
+}
+
+TEST(NoiseKindTest, TimerWithGeometricNoiseStillTracksCounts) {
+  DpTimerConfig cfg;
+  cfg.period = 10;
+  cfg.epsilon = 2.0;
+  cfg.noise = dp::NoiseKind::kGeometric;
+  cfg.flush_interval = 0;
+  DpTimerStrategy timer(cfg);
+  Rng rng(8);
+  int64_t fetched = 0;
+  int64_t windows = 0;
+  for (int t = 1; t <= 1000; ++t) {
+    for (const auto& d : timer.OnTick(t, 1, &rng)) fetched += d.fetch_count;
+    if (t % 10 == 0) ++windows;
+  }
+  EXPECT_NEAR(static_cast<double>(fetched) / static_cast<double>(windows),
+              10.0, 2.0);
+}
+
+TEST(NoiseKindTest, NamesAreStable) {
+  EXPECT_STREQ(dp::NoiseKindName(dp::NoiseKind::kLaplace), "laplace");
+  EXPECT_STREQ(dp::NoiseKindName(dp::NoiseKind::kGeometric), "geometric");
+}
+
+// ------------------------------------------- L-1 engine + volume padding
+
+Record Trip(int64_t t, int64_t zone, bool dummy = false) {
+  TripRecord trip;
+  trip.pick_time = t;
+  trip.pickup_id = zone;
+  trip.is_dummy = dummy;
+  return trip.ToRecord();
+}
+
+TEST(NextPowerOfTwoTest, Values) {
+  EXPECT_EQ(edb::NextPowerOfTwo(-3), 1);
+  EXPECT_EQ(edb::NextPowerOfTwo(0), 1);
+  EXPECT_EQ(edb::NextPowerOfTwo(1), 1);
+  EXPECT_EQ(edb::NextPowerOfTwo(2), 2);
+  EXPECT_EQ(edb::NextPowerOfTwo(3), 4);
+  EXPECT_EQ(edb::NextPowerOfTwo(17), 32);
+  EXPECT_EQ(edb::NextPowerOfTwo(1024), 1024);
+  EXPECT_EQ(edb::NextPowerOfTwo(1025), 2048);
+}
+
+TEST(StealthDbTest, RevealsExactResponseVolume) {
+  edb::StealthDbServer server;
+  auto t = server.CreateTable("YellowCab", workload::TripSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()
+                  ->Setup({Trip(1, 60), Trip(2, 70), Trip(3, 200),
+                           Trip(4, 60, /*dummy=*/true)})
+                  .ok());
+  auto q = query::ParseSelect(
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100");
+  auto r = server.Query(q.value());
+  ASSERT_TRUE(r.ok());
+  // Volume = real matching records only: the dummy never matches, so the
+  // server learns the true count -> the L-1 leak.
+  EXPECT_EQ(r->stats.revealed_volume, 2);
+  EXPECT_EQ(server.leakage().query_class, edb::LeakageClass::kL1);
+}
+
+TEST(StealthDbTest, L1IsConditionallyCompatible) {
+  edb::StealthDbServer server;
+  auto verdict = edb::CheckCompatibility(server.leakage());
+  EXPECT_TRUE(verdict.compatible);
+  EXPECT_TRUE(verdict.needs_volume_padding);
+}
+
+TEST(VolumePaddingTest, PadsToPowerOfTwo) {
+  edb::StealthDbServer inner;
+  edb::VolumePaddedServer server(&inner);
+  auto t = server.CreateTable("YellowCab", workload::TripSchema());
+  ASSERT_TRUE(t.ok());
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 5; ++i) records.push_back(Trip(i, 60));
+  ASSERT_TRUE(t.value()->Setup(records).ok());
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  auto r = server.Query(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.revealed_volume, 8);  // 5 -> next pow2
+  // Result itself is unchanged by the padding (it affects leakage only).
+  EXPECT_DOUBLE_EQ(r->result.scalar, 5.0);
+}
+
+TEST(VolumePaddingTest, UpgradesLeakageClass) {
+  edb::StealthDbServer inner;
+  edb::VolumePaddedServer server(&inner);
+  EXPECT_EQ(server.leakage().query_class, edb::LeakageClass::kL0);
+  auto verdict = edb::CheckCompatibility(server.leakage());
+  EXPECT_TRUE(verdict.compatible);
+  EXPECT_FALSE(verdict.needs_volume_padding);
+  EXPECT_EQ(server.name(), "StealthDB+pad");
+}
+
+// ------------------------------------------------ Crypt-eps budget limit
+
+TEST(CryptBudgetTest, RefusesAfterLimit) {
+  edb::CryptEpsConfig cfg;
+  cfg.query_epsilon = 3.0;
+  cfg.total_budget_limit = 7.0;  // allows exactly 2 queries
+  edb::CryptEpsServer server(cfg);
+  auto t = server.CreateTable("YellowCab", workload::TripSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->Setup({Trip(1, 60)}).ok());
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  EXPECT_TRUE(server.Query(q.value()).ok());
+  EXPECT_TRUE(server.Query(q.value()).ok());
+  auto third = server.Query(q.value());
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_DOUBLE_EQ(server.consumed_query_budget(), 6.0);
+}
+
+TEST(CryptBudgetTest, ZeroLimitMeansUnlimited) {
+  edb::CryptEpsConfig cfg;
+  cfg.total_budget_limit = 0.0;
+  edb::CryptEpsServer server(cfg);
+  auto t = server.CreateTable("YellowCab", workload::TripSchema());
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->Setup({Trip(1, 60)}).ok());
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(server.Query(q.value()).ok());
+}
+
+}  // namespace
+}  // namespace dpsync

@@ -1,0 +1,205 @@
+// Path ORAM tests: functional correctness, capacity handling, stash
+// behaviour, and the statistical obliviousness property (leaf-access
+// distribution independent of the logical access pattern).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/bytes.h"
+#include "oram/path_oram.h"
+
+namespace dpsync::oram {
+namespace {
+
+Bytes Payload(uint64_t id) {
+  Bytes b(16, 0);
+  StoreLE64(b.data(), id * 1000003);
+  return b;
+}
+
+PathOram::Config SmallConfig(bool trace = false) {
+  PathOram::Config cfg;
+  cfg.capacity = 256;
+  cfg.seed = 11;
+  cfg.record_trace = trace;
+  return cfg;
+}
+
+TEST(PathOramTest, WriteThenRead) {
+  PathOram oram(SmallConfig());
+  ASSERT_TRUE(oram.Write(1, Payload(1)).ok());
+  auto r = oram.Read(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Payload(1));
+}
+
+TEST(PathOramTest, OverwriteReplacesValue) {
+  PathOram oram(SmallConfig());
+  ASSERT_TRUE(oram.Write(1, Payload(1)).ok());
+  ASSERT_TRUE(oram.Write(1, Payload(99)).ok());
+  EXPECT_EQ(oram.Read(1).value(), Payload(99));
+  EXPECT_EQ(oram.size(), 1u);
+}
+
+TEST(PathOramTest, ReadMissingIsNotFound) {
+  PathOram oram(SmallConfig());
+  EXPECT_EQ(oram.Read(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PathOramTest, RemoveDeletes) {
+  PathOram oram(SmallConfig());
+  ASSERT_TRUE(oram.Write(7, Payload(7)).ok());
+  ASSERT_TRUE(oram.Remove(7).ok());
+  EXPECT_FALSE(oram.Read(7).ok());
+  EXPECT_EQ(oram.size(), 0u);
+}
+
+TEST(PathOramTest, RemoveMissingFails) {
+  PathOram oram(SmallConfig());
+  EXPECT_FALSE(oram.Remove(7).ok());
+}
+
+TEST(PathOramTest, ReservedIdRejected) {
+  PathOram oram(SmallConfig());
+  EXPECT_FALSE(oram.Write(OramBlock::kInvalidId, Payload(0)).ok());
+}
+
+TEST(PathOramTest, CapacityEnforced) {
+  PathOram::Config cfg;
+  cfg.capacity = 8;
+  cfg.seed = 3;
+  PathOram oram(cfg);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(oram.Write(i, Payload(i)).ok()) << i;
+  }
+  EXPECT_EQ(oram.Write(100, Payload(100)).code(), StatusCode::kOutOfRange);
+  // Overwriting an existing block is still allowed at capacity.
+  EXPECT_TRUE(oram.Write(3, Payload(33)).ok());
+}
+
+TEST(PathOramTest, ManyBlocksAllRecoverable) {
+  PathOram::Config cfg;
+  cfg.capacity = 2048;
+  cfg.seed = 17;
+  PathOram oram(cfg);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(oram.Write(i, Payload(i)).ok()) << i;
+  }
+  EXPECT_EQ(oram.size(), 2000u);
+  for (uint64_t i = 0; i < 2000; i += 37) {
+    auto r = oram.Read(i);
+    ASSERT_TRUE(r.ok()) << i;
+    EXPECT_EQ(r.value(), Payload(i)) << i;
+  }
+}
+
+TEST(PathOramTest, StashStaysSmall) {
+  PathOram::Config cfg;
+  cfg.capacity = 1024;
+  cfg.seed = 23;
+  PathOram oram(cfg);
+  Rng rng(5);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(oram.Write(i, Payload(i)).ok());
+  }
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t id = static_cast<uint64_t>(rng.UniformInt(0, 999));
+    ASSERT_TRUE(oram.Read(id).ok());
+  }
+  // Theory: stash exceeds ~O(log N) with negligible probability for Z=4.
+  EXPECT_LT(oram.max_stash_size(), 120u);
+}
+
+TEST(PathOramTest, AccessCountTracksOperations) {
+  PathOram oram(SmallConfig());
+  ASSERT_TRUE(oram.Write(1, Payload(1)).ok());
+  ASSERT_TRUE(oram.Read(1).ok());
+  ASSERT_TRUE(oram.Remove(1).ok());
+  EXPECT_EQ(oram.access_count(), 3);
+}
+
+// Obliviousness: the observable leaf sequence must look uniform regardless
+// of the logical access pattern. We access a *single hot block* repeatedly
+// and check that the touched leaves cover the leaf range near-uniformly
+// (chi-squared against uniform, loose bound).
+TEST(PathOramTest, HotBlockAccessLeavesLookUniform) {
+  auto cfg = SmallConfig(/*trace=*/true);
+  PathOram oram(cfg);
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(oram.Write(i, Payload(i)).ok());
+  }
+  const int kAccesses = 20000;
+  for (int i = 0; i < kAccesses; ++i) {
+    ASSERT_TRUE(oram.Read(7).ok());
+  }
+  // Count leaf frequencies over the trailing accesses.
+  std::map<uint64_t, int> freq;
+  const auto& trace = oram.trace();
+  size_t start = trace.size() - kAccesses;
+  for (size_t i = start; i < trace.size(); ++i) freq[trace[i].leaf]++;
+  double expected = static_cast<double>(kAccesses) /
+                    static_cast<double>(oram.num_leaves());
+  double chi2 = 0;
+  for (uint64_t leaf = 0; leaf < oram.num_leaves(); ++leaf) {
+    double observed = static_cast<double>(freq[leaf]);
+    chi2 += (observed - expected) * (observed - expected) / expected;
+  }
+  // dof = num_leaves - 1 = 255; 99.9th percentile ~ 340.
+  EXPECT_LT(chi2, 360.0);
+}
+
+// Two very different logical workloads must induce statistically similar
+// observable traces (here: mean leaf value close to the uniform mean).
+TEST(PathOramTest, TraceIndependentOfWorkload) {
+  auto run = [](bool sequential) {
+    auto cfg = SmallConfig(/*trace=*/true);
+    cfg.seed = 777;
+    PathOram oram(cfg);
+    for (uint64_t i = 0; i < 128; ++i) {
+      EXPECT_TRUE(oram.Write(i, Payload(i)).ok());
+    }
+    Rng rng(31);
+    for (int i = 0; i < 8000; ++i) {
+      uint64_t id = sequential ? static_cast<uint64_t>(i % 128)
+                               : static_cast<uint64_t>(rng.UniformInt(0, 7));
+      EXPECT_TRUE(oram.Read(id).ok());
+    }
+    double sum = 0;
+    for (const auto& a : oram.trace()) sum += static_cast<double>(a.leaf);
+    return sum / static_cast<double>(oram.trace().size());
+  };
+  double mean_seq = run(true);
+  double mean_hot = run(false);
+  double uniform_mean = (256.0 - 1.0) / 2.0;  // leaves 0..255
+  EXPECT_NEAR(mean_seq, uniform_mean, 4.0);
+  EXPECT_NEAR(mean_hot, uniform_mean, 4.0);
+}
+
+class OramSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OramSizeTest, FillDrainRoundTrip) {
+  PathOram::Config cfg;
+  cfg.capacity = GetParam();
+  cfg.seed = GetParam() * 7 + 1;
+  PathOram oram(cfg);
+  size_t n = cfg.capacity;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(oram.Write(i, Payload(i)).ok());
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    auto r = oram.Read(i);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), Payload(i));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(oram.Remove(i).ok());
+  }
+  EXPECT_EQ(oram.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, OramSizeTest,
+                         ::testing::Values(2, 4, 16, 100, 512, 1000));
+
+}  // namespace
+}  // namespace dpsync::oram

@@ -1,0 +1,195 @@
+// Cross-strategy property tests (TEST_P over the full strategy matrix):
+// invariants every synchronization policy must uphold regardless of its
+// privacy/accuracy trade-off, checked on randomized streams.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.h"
+#include "core/strategy_factory.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/rewriter.h"
+#include "workload/taxi_generator.h"
+#include "workload/trip_record.h"
+
+namespace dpsync {
+namespace {
+
+class RecordingBackend : public SogdbBackend {
+ public:
+  Status Setup(const std::vector<Record>& g) override { return Add(g); }
+  Status Update(const std::vector<Record>& g) override {
+    ++update_calls_;
+    return Add(g);
+  }
+  int64_t outsourced_count() const override {
+    return static_cast<int64_t>(received_.size());
+  }
+  const std::vector<Record>& received() const { return received_; }
+  int64_t update_calls() const { return update_calls_; }
+
+ private:
+  Status Add(const std::vector<Record>& g) {
+    received_.insert(received_.end(), g.begin(), g.end());
+    return Status::Ok();
+  }
+  std::vector<Record> received_;
+  int64_t update_calls_ = 0;
+};
+
+using MatrixParam = std::tuple<StrategyKind, uint64_t /*seed*/>;
+
+class StrategyMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(StrategyMatrixTest, CoreInvariantsHold) {
+  auto [kind, seed] = GetParam();
+  Rng rng(seed);
+  StrategyParams params;
+  params.flush_interval = 700;
+  params.flush_size = 8;
+  RecordingBackend backend;
+  DpSyncEngine engine(MakeStrategy(kind, params, &rng), &backend,
+                      workload::MakeTripDummyFactory(seed ^ 0xff), seed);
+
+  // Initial database of 20 records.
+  std::vector<Record> initial;
+  for (int64_t i = 0; i < 20; ++i) {
+    workload::TripRecord trip;
+    trip.pick_time = 0;
+    trip.pickup_id = i + 1;
+    initial.push_back(trip.ToRecord());
+  }
+  ASSERT_TRUE(engine.Setup(std::move(initial)).ok());
+
+  Rng arrivals(seed * 31 + 7);
+  const int64_t horizon = 2100;
+  for (int64_t t = 1; t <= horizon; ++t) {
+    std::optional<Record> arrival;
+    if (arrivals.Bernoulli(0.35)) {
+      workload::TripRecord trip;
+      trip.pick_time = t;
+      trip.pickup_id = arrivals.UniformInt(1, 265);
+      arrival = trip.ToRecord();
+    }
+    ASSERT_TRUE(engine.Tick(std::move(arrival)).ok());
+
+    // Invariant 1: conservation — every record the owner holds is either
+    // still cached or was shipped as a real record.
+    const auto& c = engine.counters();
+    ASSERT_EQ(c.received_total + c.initial_size,
+              c.real_synced + engine.logical_gap())
+        << engine.strategy().name() << " at t=" << t;
+  }
+
+  // Invariant 2: the update pattern transcript exactly accounts for the
+  // server's holdings.
+  EXPECT_EQ(engine.update_pattern().total_volume(), backend.outsourced_count());
+  EXPECT_EQ(engine.update_pattern().num_updates() - 1,  // minus setup event
+            backend.update_calls());
+
+  // Invariant 3: server holdings = real + dummy accounting.
+  EXPECT_EQ(backend.outsourced_count(),
+            engine.counters().real_synced + engine.counters().dummy_synced);
+
+  // Invariant 4 (P3, order half): real records reach the server in FIFO
+  // arrival order.
+  int64_t last_time = -1;
+  int64_t last_zone = -1;
+  for (const auto& r : backend.received()) {
+    if (r.is_dummy) continue;
+    auto trip = workload::TripRecord::FromRecord(r);
+    ASSERT_TRUE(trip.ok());
+    if (trip->pick_time == 0) {
+      // Initial DB: zones were assigned in increasing order.
+      ASSERT_EQ(last_time, -1) << "initial records must precede stream";
+      EXPECT_GT(trip->pickup_id, last_zone);
+      last_zone = trip->pickup_id;
+    } else {
+      EXPECT_GT(trip->pick_time, last_time);
+      last_time = trip->pick_time;
+    }
+  }
+
+  // Invariant 5: every shipped record still decrypts/parses (payloads are
+  // never corrupted by the pipeline).
+  for (const auto& r : backend.received()) {
+    EXPECT_TRUE(workload::TripRecord::FromRecord(r).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyMatrixTest,
+    ::testing::Combine(::testing::Values(StrategyKind::kSur, StrategyKind::kOto,
+                                         StrategyKind::kSet,
+                                         StrategyKind::kDpTimer,
+                                         StrategyKind::kDpAnt),
+                       ::testing::Values(11u, 29u, 47u)));
+
+// The analyst's view must converge once the stream stops (P3, eventual
+// consistency) for every strategy that uploads at all (OTO excluded).
+class ConvergenceTest : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(ConvergenceTest, QueriesConvergeAfterStreamEnds) {
+  StrategyKind kind = GetParam();
+  Rng rng(5);
+  StrategyParams params;
+  params.flush_interval = 300;
+  params.flush_size = 10;
+  RecordingBackend backend;
+  DpSyncEngine engine(MakeStrategy(kind, params, &rng), &backend,
+                      workload::MakeTripDummyFactory(6), 7);
+  ASSERT_TRUE(engine.Setup({}).ok());
+
+  query::Table logical;
+  logical.name = "T";
+  logical.schema = workload::TripSchema();
+
+  Rng arrivals(8);
+  for (int64_t t = 1; t <= 600; ++t) {
+    std::optional<Record> arrival;
+    if (arrivals.Bernoulli(0.4)) {
+      workload::TripRecord trip;
+      trip.pick_time = t;
+      trip.pickup_id = arrivals.UniformInt(1, 100);
+      logical.rows.push_back(trip.ToRow());
+      arrival = trip.ToRecord();
+    }
+    ASSERT_TRUE(engine.Tick(std::move(arrival)).ok());
+  }
+  // Quiet period long enough for flushes to drain any residue.
+  for (int64_t t = 601; t <= 600 + 300 * 40; ++t) {
+    ASSERT_TRUE(engine.Tick(std::nullopt).ok());
+    if (engine.logical_gap() == 0) break;
+  }
+  ASSERT_EQ(engine.logical_gap(), 0) << StrategyKindName(kind);
+
+  // Count real records on the "server" (dummy-aware view): must equal the
+  // logical database exactly.
+  query::Table server_view;
+  server_view.name = "T";
+  server_view.schema = workload::TripSchema();
+  for (const auto& r : backend.received()) {
+    auto row = query::DeserializeRow(r.payload);
+    ASSERT_TRUE(row.ok());
+    server_view.rows.push_back(std::move(row.value()));
+  }
+  query::Catalog catalog;
+  catalog.AddTable(&server_view);
+  query::Executor executor(&catalog);
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM T");
+  auto rewritten = query::RewriteForDummies(q.value());
+  auto server_count = executor.Execute(rewritten);
+  ASSERT_TRUE(server_count.ok());
+  EXPECT_DOUBLE_EQ(server_count->scalar,
+                   static_cast<double>(logical.rows.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ConvergenceTest,
+                         ::testing::Values(StrategyKind::kSur,
+                                           StrategyKind::kSet,
+                                           StrategyKind::kDpTimer,
+                                           StrategyKind::kDpAnt));
+
+}  // namespace
+}  // namespace dpsync
