@@ -5,15 +5,12 @@
 #include "common/bytes.h"
 #include "crypto/aes.h"
 #include "crypto/aes_gcm.h"
+#include "test_util.h"
 
 namespace dpsync::crypto {
 namespace {
 
-Bytes Hex(const std::string& h) {
-  Bytes b;
-  EXPECT_TRUE(FromHex(h, &b));
-  return b;
-}
+using testutil::Hex;
 
 TEST(Aes128Test, Fips197AppendixB) {
   Aes128 aes(Hex("2b7e151628aed2a6abf7158809cf4f3c"));

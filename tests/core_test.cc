@@ -12,24 +12,13 @@
 #include "core/local_cache.h"
 #include "core/naive_strategies.h"
 #include "core/strategy_factory.h"
+#include "test_util.h"
 
 namespace dpsync {
 namespace {
 
-Record MakeRecord(int64_t id) {
-  Record r;
-  r.payload = Bytes{static_cast<uint8_t>(id), static_cast<uint8_t>(id >> 8)};
-  return r;
-}
-
-DummyFactory TestDummyFactory() {
-  return [] {
-    Record r;
-    r.payload = Bytes{0xdd};
-    r.is_dummy = true;
-    return r;
-  };
-}
+using testutil::MakeRecord;
+using testutil::TestDummyFactory;
 
 // ------------------------------------------------------------ LocalCache
 

@@ -11,15 +11,12 @@
 #include "crypto/poly1305.h"
 #include "crypto/record_cipher.h"
 #include "crypto/sha256.h"
+#include "test_util.h"
 
 namespace dpsync::crypto {
 namespace {
 
-Bytes Hex(const std::string& h) {
-  Bytes b;
-  EXPECT_TRUE(FromHex(h, &b));
-  return b;
-}
+using testutil::Hex;
 
 // ---------------------------------------------------------------- SHA-256
 

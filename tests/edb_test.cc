@@ -10,6 +10,7 @@
 #include "edb/oblidb_engine.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "test_util.h"
 #include "workload/trip_record.h"
 
 namespace dpsync::edb {
@@ -17,17 +18,7 @@ namespace {
 
 using workload::TripRecord;
 using workload::TripSchema;
-
-Record Trip(int64_t t, int64_t zone, bool dummy = false) {
-  TripRecord trip;
-  trip.pick_time = t;
-  trip.pickup_id = zone;
-  trip.dropoff_id = zone;
-  trip.trip_distance = 1.0;
-  trip.fare = 5.0;
-  trip.is_dummy = dummy;
-  return trip.ToRecord();
-}
+using testutil::Trip;
 
 // --------------------------------------------------------------- Leakage
 

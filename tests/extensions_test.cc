@@ -12,6 +12,7 @@
 #include "edb/crypte_engine.h"
 #include "edb/volume_hiding.h"
 #include "query/parser.h"
+#include "test_util.h"
 #include "workload/tlc_loader.h"
 #include "workload/trip_record.h"
 
@@ -188,13 +189,7 @@ TEST(NoiseKindTest, NamesAreStable) {
 
 // ------------------------------------------- L-1 engine + volume padding
 
-Record Trip(int64_t t, int64_t zone, bool dummy = false) {
-  TripRecord trip;
-  trip.pick_time = t;
-  trip.pickup_id = zone;
-  trip.is_dummy = dummy;
-  return trip.ToRecord();
-}
+using testutil::Trip;
 
 TEST(NextPowerOfTwoTest, Values) {
   EXPECT_EQ(edb::NextPowerOfTwo(-3), 1);

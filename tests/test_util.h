@@ -1,0 +1,94 @@
+/// \file test_util.h
+/// Shared helpers for the dpsync test suites: deterministic RNG seeding,
+/// record/dummy factories, and Status assertion macros. Keep suite-specific
+/// fixtures in their own files; only genuinely cross-suite helpers live here.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/record.h"
+#include "workload/trip_record.h"
+
+namespace dpsync::testutil {
+
+/// Base seed for deterministic tests. Derive per-case RNGs with MakeRng(salt)
+/// so two helpers in one test never share a stream.
+inline constexpr uint64_t kTestSeed = 42;
+
+inline Rng MakeRng(uint64_t salt = 0) { return Rng(kTestSeed + salt); }
+
+/// Decodes a hex string, failing the current test on malformed input.
+inline Bytes Hex(const std::string& h) {
+  Bytes b;
+  EXPECT_TRUE(FromHex(h, &b)) << "bad hex literal: " << h;
+  return b;
+}
+
+/// Minimal opaque record whose payload encodes `id` (little-endian 16-bit).
+inline Record MakeRecord(int64_t id) {
+  Record r;
+  r.payload = Bytes{static_cast<uint8_t>(id), static_cast<uint8_t>(id >> 8)};
+  return r;
+}
+
+/// Fixed-payload dummy factory for cache/engine tests that never decode
+/// payloads. Workload-faithful suites should prefer
+/// workload::MakeTripDummyFactory.
+inline DummyFactory TestDummyFactory() {
+  return [] {
+    Record r;
+    r.payload = Bytes{0xdd};
+    r.is_dummy = true;
+    return r;
+  };
+}
+
+/// Schema-valid taxi trip record arriving at time `t` in zone `zone`.
+inline Record Trip(int64_t t, int64_t zone, bool dummy = false) {
+  workload::TripRecord trip;
+  trip.pick_time = t;
+  trip.pickup_id = zone;
+  trip.dropoff_id = zone;
+  trip.trip_distance = 1.0;
+  trip.fare = 5.0;
+  trip.is_dummy = dummy;
+  return trip.ToRecord();
+}
+
+namespace internal {
+inline const Status& ToStatus(const Status& s) { return s; }
+template <typename T>
+const Status& ToStatus(const StatusOr<T>& s) {
+  return s.status();
+}
+}  // namespace internal
+
+}  // namespace dpsync::testutil
+
+/// Assert that a Status or StatusOr expression is OK; on failure, print the
+/// status rendering. ASSERT_OK aborts the test, EXPECT_OK continues.
+#define ASSERT_OK(expr)                                          \
+  do {                                                           \
+    const auto& dpsync_st_ = (expr);                             \
+    ASSERT_TRUE(::dpsync::testutil::internal::ToStatus(dpsync_st_).ok()) \
+        << #expr << " = "                                        \
+        << ::dpsync::testutil::internal::ToStatus(dpsync_st_).ToString(); \
+  } while (0)
+
+#define EXPECT_OK(expr)                                          \
+  do {                                                           \
+    const auto& dpsync_st_ = (expr);                             \
+    EXPECT_TRUE(::dpsync::testutil::internal::ToStatus(dpsync_st_).ok()) \
+        << #expr << " = "                                        \
+        << ::dpsync::testutil::internal::ToStatus(dpsync_st_).ToString(); \
+  } while (0)
+
+/// Expect that a Status or StatusOr expression is an error.
+#define EXPECT_NOT_OK(expr)                                      \
+  EXPECT_FALSE(::dpsync::testutil::internal::ToStatus(expr).ok())

@@ -1,0 +1,509 @@
+// minigtest — a single-header, dependency-free subset of the GoogleTest API.
+//
+// Last-resort fallback used only when neither an installed GoogleTest nor a
+// network-fetched one is available (see cmake/DPSyncGoogleTest.cmake). It
+// implements exactly the surface the dpsync test suites use:
+//
+//   TEST / TEST_F / TEST_P, ::testing::Test, ::testing::TestWithParam<T>,
+//   INSTANTIATE_TEST_SUITE_P with ::testing::Values / ::testing::Combine,
+//   EXPECT_*/ASSERT_* (EQ NE LT LE GT GE TRUE FALSE NEAR DOUBLE_EQ FLOAT_EQ
+//   STREQ), ::testing::TempDir(), SUCCEED/FAIL/ADD_FAILURE, "<< msg"
+//   streaming on all assertion macros.
+//
+// Not GoogleTest: no death tests, no matchers, no --gtest_filter.
+#ifndef MINIGTEST_GTEST_H_
+#define MINIGTEST_GTEST_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+// ---- Failure bookkeeping ---------------------------------------------------
+
+namespace internal {
+
+struct RegisteredTest {
+  std::string suite;
+  std::string name;
+  std::function<void()> run;
+};
+
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+  void Add(RegisteredTest t) { tests_.push_back(std::move(t)); }
+  const std::vector<RegisteredTest>& tests() const { return tests_; }
+
+  bool current_failed = false;   // any failure in the running test
+  bool current_skipped = false;  // GTEST_SKIP tripped
+  bool fatal_requested = false;  // an ASSERT_* tripped (skip TestBody)
+  int total_failures = 0;
+
+ private:
+  std::vector<RegisteredTest> tests_;
+};
+
+// Value printers for failure messages.
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, decltype(void(std::declval<std::ostringstream&>()
+                                     << std::declval<const T&>()))>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintValue(const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_same_v<T, std::nullptr_t>) {
+    return "nullptr";
+  } else if constexpr (std::is_same_v<T, unsigned char> ||
+                       std::is_same_v<T, signed char> ||
+                       std::is_same_v<T, char>) {
+    return std::to_string(static_cast<int>(v));
+  } else if constexpr (std::is_convertible_v<T, std::string>) {
+    return "\"" + std::string(v) + "\"";
+  } else if constexpr (IsStreamable<T>::value) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<unprintable " + std::to_string(sizeof(T)) + "-byte object>";
+  }
+}
+
+}  // namespace internal
+
+// Result of one assertion check: contextually false on failure, carries the
+// formatted message.
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool ok) : ok_(ok) {}
+  AssertionResult(bool ok, std::string msg) : ok_(ok), msg_(std::move(msg)) {}
+  explicit operator bool() const { return ok_; }
+  const std::string& message() const { return msg_; }
+
+ private:
+  bool ok_;
+  std::string msg_;
+};
+
+// Collects the user's "<< extra" text appended to an assertion macro.
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+  std::string str() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+namespace internal {
+
+// `AssertHelper(...) = Message()` reports the failure; operator= has lower
+// precedence than the user's operator<< chain, so extras attach first. This
+// mirrors the real GoogleTest expansion and lets ASSERT_* prefix the whole
+// statement with `return`.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string msg, bool fatal)
+      : file_(file), line_(line), msg_(std::move(msg)), fatal_(fatal) {}
+  void operator=(const Message& m) const {
+    std::string full = msg_;
+    if (!m.str().empty()) full += "\n" + m.str();
+    std::fprintf(stderr, "%s:%d: Failure\n%s\n", file_, line_, full.c_str());
+    Registry::Get().current_failed = true;
+    Registry::Get().total_failures++;
+    if (fatal_) Registry::Get().fatal_requested = true;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string msg_;
+  bool fatal_;
+};
+
+class SkipHelper {
+ public:
+  SkipHelper(const char* file, int line) : file_(file), line_(line) {}
+  void operator=(const Message& m) const {
+    std::fprintf(stderr, "%s:%d: Skipped\n%s\n", file_, line_,
+                 m.str().c_str());
+    Registry::Get().current_skipped = true;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+};
+
+// ---- Comparison helpers ----------------------------------------------------
+
+template <typename A, typename B>
+AssertionResult CmpHelperEQ(const char* ea, const char* eb, const A& a,
+                            const B& b) {
+  if (a == b) return AssertionResult(true);
+  return AssertionResult(
+      false, std::string("Expected equality of these values:\n  ") + ea +
+                 "\n    Which is: " + PrintValue(a) + "\n  " + eb +
+                 "\n    Which is: " + PrintValue(b));
+}
+inline AssertionResult CmpHelperSTREQ(const char* ea, const char* eb,
+                                      const char* a, const char* b) {
+  bool eq = (a == nullptr || b == nullptr) ? a == b : std::strcmp(a, b) == 0;
+  if (eq) return AssertionResult(true);
+  return AssertionResult(
+      false, std::string("Expected equality of:\n  ") + ea + "\n    Which is: " +
+                 (a ? "\"" + std::string(a) + "\"" : "(null)") + "\n  " + eb +
+                 "\n    Which is: " +
+                 (b ? "\"" + std::string(b) + "\"" : "(null)"));
+}
+
+#define MINIGTEST_DEFINE_CMP_HELPER(name, op)                                \
+  template <typename A, typename B>                                          \
+  AssertionResult CmpHelper##name(const char* ea, const char* eb,            \
+                                  const A& a, const B& b) {                  \
+    if (a op b) return AssertionResult(true);                                \
+    return AssertionResult(false, std::string("Expected: (") + ea + ") " #op \
+                                      " (" + eb + "), actual: " +            \
+                                      PrintValue(a) + " vs " +               \
+                                      PrintValue(b));                        \
+  }
+MINIGTEST_DEFINE_CMP_HELPER(NE, !=)
+MINIGTEST_DEFINE_CMP_HELPER(LT, <)
+MINIGTEST_DEFINE_CMP_HELPER(LE, <=)
+MINIGTEST_DEFINE_CMP_HELPER(GT, >)
+MINIGTEST_DEFINE_CMP_HELPER(GE, >=)
+#undef MINIGTEST_DEFINE_CMP_HELPER
+
+inline AssertionResult CmpHelperBool(const char* expr, bool value,
+                                     bool expected) {
+  if (value == expected) return AssertionResult(true);
+  return AssertionResult(false, std::string("Value of: ") + expr +
+                                    "\n  Actual: " + (value ? "true" : "false") +
+                                    "\nExpected: " +
+                                    (expected ? "true" : "false"));
+}
+
+inline AssertionResult CmpHelperNear(const char* ea, const char* eb,
+                                     const char* et, double a, double b,
+                                     double tol) {
+  if (std::fabs(a - b) <= tol) return AssertionResult(true);
+  return AssertionResult(
+      false, std::string("The difference between ") + ea + " and " + eb +
+                 " is " + std::to_string(std::fabs(a - b)) +
+                 ", which exceeds " + et + "\n  " + ea + " evaluates to " +
+                 std::to_string(a) + ",\n  " + eb + " evaluates to " +
+                 std::to_string(b));
+}
+
+}  // namespace internal
+
+// ---- Fixtures --------------------------------------------------------------
+
+class Test {
+ public:
+  virtual ~Test() = default;
+
+ protected:
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+
+ public:
+  virtual void TestBody() = 0;
+  void Run() {
+    SetUp();
+    if (!internal::Registry::Get().fatal_requested) TestBody();
+    TearDown();
+  }
+};
+
+template <typename P>
+class TestWithParam : public Test {
+ public:
+  using ParamType = P;
+  const P& GetParam() const { return *param_; }
+  static void SetParamStorage(const P* p) { param_ = p; }
+
+ private:
+  static inline const P* param_ = nullptr;
+};
+
+// ---- Param generators ------------------------------------------------------
+
+template <typename P>
+struct ParamGenerator {
+  using value_type = P;
+  std::vector<P> values;
+};
+
+template <typename... Ts>
+auto Values(Ts&&... vals) {
+  using P = typename std::common_type<Ts...>::type;
+  return ParamGenerator<P>{{static_cast<P>(std::forward<Ts>(vals))...}};
+}
+
+namespace internal {
+template <typename Tuple, std::size_t I>
+std::vector<Tuple> CombineProduct(const std::vector<Tuple>& acc) {
+  return acc;
+}
+template <typename Tuple, std::size_t I, typename G, typename... Rest>
+std::vector<Tuple> CombineProduct(const std::vector<Tuple>& acc, const G& g,
+                                  const Rest&... rest) {
+  std::vector<Tuple> next;
+  for (const auto& t : acc)
+    for (const auto& v : g.values) {
+      Tuple c = t;
+      std::get<I>(c) = v;
+      next.push_back(c);
+    }
+  return CombineProduct<Tuple, I + 1>(next, rest...);
+}
+}  // namespace internal
+
+template <typename... Gs>
+auto Combine(const Gs&... gens) {
+  using Tuple = std::tuple<typename std::decay_t<Gs>::value_type...>;
+  std::vector<Tuple> acc{Tuple{}};
+  return ParamGenerator<Tuple>{
+      internal::CombineProduct<Tuple, 0>(acc, gens...)};
+}
+
+// ---- TempDir ---------------------------------------------------------------
+
+inline std::string TempDir() {
+  const char* t = std::getenv("TMPDIR");
+  std::string dir = t ? t : "/tmp";
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir;
+}
+
+// ---- Registration ----------------------------------------------------------
+
+namespace internal {
+
+template <typename Fixture>
+int RegisterTest(const char* suite, const char* name) {
+  Registry::Get().Add({suite, name, [] {
+                         Fixture f;
+                         f.Run();
+                       }});
+  return 0;
+}
+
+// Per-fixture registry of TEST_P cases. The registry is keyed by the user's
+// fixture type; each case supplies its generated subclass via AddCase<C>().
+template <typename Fixture>
+struct ParamSuite {
+  static std::vector<std::pair<std::string, std::function<void()>>>& Cases() {
+    static std::vector<std::pair<std::string, std::function<void()>>> c;
+    return c;
+  }
+  template <typename CaseClass>
+  static int AddCase(const char* name) {
+    Cases().emplace_back(name, [] {
+      CaseClass f;
+      f.Run();
+    });
+    return 0;
+  }
+};
+
+// Instantiates every TEST_P case of `Fixture` registered so far, once per
+// parameter value. The shim requires INSTANTIATE_TEST_SUITE_P to appear
+// after the TEST_P bodies in the translation unit (the dpsync suites do).
+template <typename Fixture, typename Gen>
+int InstantiateParamSuite(const char* prefix, const char* suite,
+                          const Gen& gen) {
+  using P = typename Fixture::ParamType;
+  // Deliberately leaked per-call storage: GetParam() hands out pointers into
+  // it for the life of the program. Must NOT be a function-local static —
+  // two INSTANTIATE calls for the same <Fixture, Gen> pair would silently
+  // share the first call's parameter values.
+  auto* params = new std::vector<P>(gen.values.begin(), gen.values.end());
+  for (std::size_t i = 0; i < params->size(); ++i) {
+    for (auto& kase : ParamSuite<Fixture>::Cases()) {
+      const P* p = &(*params)[i];
+      auto body = kase.second;
+      Registry::Get().Add({std::string(prefix) + "/" + suite,
+                           kase.first + "/" + std::to_string(i), [p, body] {
+                             Fixture::SetParamStorage(p);
+                             body();
+                           }});
+    }
+  }
+  return 0;
+}
+
+}  // namespace internal
+
+inline int RunAllTests() {
+  auto& reg = internal::Registry::Get();
+  int failed_tests = 0;
+  const auto& tests = reg.tests();
+  // An empty registry means a registration bug (e.g. a TEST_P suite that
+  // never instantiated), not a passing suite — fail loudly.
+  if (tests.empty()) {
+    std::fprintf(stderr, "minigtest: no tests registered — failing.\n");
+    return 1;
+  }
+  std::printf("[==========] Running %zu tests (minigtest).\n", tests.size());
+  for (const auto& t : tests) {
+    reg.current_failed = false;
+    reg.current_skipped = false;
+    reg.fatal_requested = false;
+    std::printf("[ RUN      ] %s.%s\n", t.suite.c_str(), t.name.c_str());
+    t.run();
+    if (reg.current_failed) {
+      ++failed_tests;
+      std::printf("[  FAILED  ] %s.%s\n", t.suite.c_str(), t.name.c_str());
+    } else if (reg.current_skipped) {
+      std::printf("[  SKIPPED ] %s.%s\n", t.suite.c_str(), t.name.c_str());
+    } else {
+      std::printf("[       OK ] %s.%s\n", t.suite.c_str(), t.name.c_str());
+    }
+  }
+  std::printf("[==========] %zu tests ran; %d failed.\n", tests.size(),
+              failed_tests);
+  return failed_tests == 0 ? 0 : 1;
+}
+
+}  // namespace testing
+
+// ---- Test declaration macros -----------------------------------------------
+
+#define MINIGTEST_CONCAT_(a, b) a##b
+#define MINIGTEST_CONCAT(a, b) MINIGTEST_CONCAT_(a, b)
+#define MINIGTEST_CLASS(suite, name) suite##_##name##_MiniGTest
+
+#define MINIGTEST_TEST_(suite, name, parent)                                 \
+  class MINIGTEST_CLASS(suite, name) : public parent {                       \
+    void TestBody() override;                                                \
+  };                                                                         \
+  static const int MINIGTEST_CONCAT(minigtest_reg_, __LINE__) =              \
+      ::testing::internal::RegisterTest<MINIGTEST_CLASS(suite, name)>(       \
+          #suite, #name);                                                    \
+  void MINIGTEST_CLASS(suite, name)::TestBody()
+
+#define TEST(suite, name) MINIGTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MINIGTEST_TEST_(fixture, name, fixture)
+
+#define TEST_P(fixture, name)                                                \
+  class MINIGTEST_CLASS(fixture, name) : public fixture {                    \
+    void TestBody() override;                                                \
+  };                                                                         \
+  static const int MINIGTEST_CONCAT(minigtest_preg_, __LINE__) =             \
+      ::testing::internal::ParamSuite<fixture>::AddCase<MINIGTEST_CLASS(     \
+          fixture, name)>(#name);                                            \
+  void MINIGTEST_CLASS(fixture, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, gen, ...)                  \
+  static const int MINIGTEST_CONCAT(minigtest_inst_, __LINE__) =             \
+      ::testing::internal::InstantiateParamSuite<fixture>(#prefix, #fixture, \
+                                                          gen)
+#define INSTANTIATE_TEST_CASE_P INSTANTIATE_TEST_SUITE_P
+
+// ---- Assertion macros ------------------------------------------------------
+
+// `if (ar) ; else <maybe return> AssertHelper(...) = Message() << extras;`
+#define MINIGTEST_CHECK_(expr_result, fatal, on_fail)                        \
+  if (const ::testing::AssertionResult mg_ar = (expr_result))                \
+    ;                                                                        \
+  else                                                                       \
+    on_fail ::testing::internal::AssertHelper(__FILE__, __LINE__,            \
+                                              mg_ar.message(), fatal) =      \
+        ::testing::Message()
+
+#define MINIGTEST_EXPECT_(expr_result) MINIGTEST_CHECK_(expr_result, false, )
+#define MINIGTEST_ASSERT_(expr_result) MINIGTEST_CHECK_(expr_result, true, return)
+
+#define EXPECT_EQ(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperEQ(#a, #b, (a), (b)))
+#define ASSERT_EQ(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperEQ(#a, #b, (a), (b)))
+#define EXPECT_NE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperNE(#a, #b, (a), (b)))
+#define ASSERT_NE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperNE(#a, #b, (a), (b)))
+#define EXPECT_LT(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperLT(#a, #b, (a), (b)))
+#define ASSERT_LT(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperLT(#a, #b, (a), (b)))
+#define EXPECT_LE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperLE(#a, #b, (a), (b)))
+#define ASSERT_LE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperLE(#a, #b, (a), (b)))
+#define EXPECT_GT(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperGT(#a, #b, (a), (b)))
+#define ASSERT_GT(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperGT(#a, #b, (a), (b)))
+#define EXPECT_GE(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperGE(#a, #b, (a), (b)))
+#define ASSERT_GE(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperGE(#a, #b, (a), (b)))
+
+#define EXPECT_TRUE(c)                                                       \
+  MINIGTEST_EXPECT_(                                                         \
+      ::testing::internal::CmpHelperBool(#c, static_cast<bool>(c), true))
+#define ASSERT_TRUE(c)                                                       \
+  MINIGTEST_ASSERT_(                                                         \
+      ::testing::internal::CmpHelperBool(#c, static_cast<bool>(c), true))
+#define EXPECT_FALSE(c)                                                      \
+  MINIGTEST_EXPECT_(                                                         \
+      ::testing::internal::CmpHelperBool(#c, static_cast<bool>(c), false))
+#define ASSERT_FALSE(c)                                                      \
+  MINIGTEST_ASSERT_(                                                         \
+      ::testing::internal::CmpHelperBool(#c, static_cast<bool>(c), false))
+
+#define EXPECT_NEAR(a, b, tol)                                               \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperNear(                      \
+      #a, #b, #tol, static_cast<double>(a), static_cast<double>(b),          \
+      static_cast<double>(tol)))
+#define ASSERT_NEAR(a, b, tol)                                               \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperNear(                      \
+      #a, #b, #tol, static_cast<double>(a), static_cast<double>(b),          \
+      static_cast<double>(tol)))
+
+// 4-ULP equality is approximated with a tight relative tolerance.
+#define EXPECT_DOUBLE_EQ(a, b) \
+  EXPECT_NEAR(a, b, 1e-12 * (1.0 + std::fabs(static_cast<double>(a))))
+#define ASSERT_DOUBLE_EQ(a, b) \
+  ASSERT_NEAR(a, b, 1e-12 * (1.0 + std::fabs(static_cast<double>(a))))
+#define EXPECT_FLOAT_EQ(a, b) \
+  EXPECT_NEAR(a, b, 1e-6 * (1.0 + std::fabs(static_cast<double>(a))))
+
+#define EXPECT_STREQ(a, b) \
+  MINIGTEST_EXPECT_(::testing::internal::CmpHelperSTREQ(#a, #b, (a), (b)))
+#define ASSERT_STREQ(a, b) \
+  MINIGTEST_ASSERT_(::testing::internal::CmpHelperSTREQ(#a, #b, (a), (b)))
+
+#define ADD_FAILURE() \
+  MINIGTEST_EXPECT_(::testing::AssertionResult(false, "Failed"))
+#define FAIL() \
+  MINIGTEST_ASSERT_(::testing::AssertionResult(false, "Failed"))
+#define SUCCEED() \
+  MINIGTEST_EXPECT_(::testing::AssertionResult(true))
+#define GTEST_SKIP() \
+  return ::testing::internal::SkipHelper(__FILE__, __LINE__) = \
+      ::testing::Message()
+
+#endif  // MINIGTEST_GTEST_H_

@@ -1,0 +1,3 @@
+#include "gtest/gtest.h"
+
+int main(int, char**) { return testing::RunAllTests(); }
