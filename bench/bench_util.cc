@@ -1,8 +1,86 @@
 #include "bench_util.h"
 
+#include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "edb/storage_backend.h"
 
 namespace dpsync::bench {
+
+namespace {
+
+/// Accumulates one pre-rendered JSON object per MustRun call; flushed to
+/// BENCH_<name>.json at exit (or via WriteJsonReport).
+struct ReportState {
+  std::string name;
+  std::vector<std::string> entries;
+  bool armed = false;
+  bool written = false;
+};
+
+ReportState& Report() {
+  static ReportState state;
+  return state;
+}
+
+std::string Slug(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!out.empty() && out.back() != '_') {
+      out.push_back('_');
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out.empty() ? "bench" : out;
+}
+
+/// The binary's own name where the platform offers it; else a title slug.
+/// (argv[0] via /proc/self/cmdline, NOT /proc/self/comm — the kernel
+/// truncates comm to 15 chars, which would misname fig5_privacy_sweep &co.)
+std::string BinaryName(const std::string& fallback_title) {
+#ifdef __linux__
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  std::string argv0;
+  if (cmdline && std::getline(cmdline, argv0, '\0') && !argv0.empty()) {
+    size_t slash = argv0.find_last_of('/');
+    return Slug(slash == std::string::npos ? argv0 : argv0.substr(slash + 1));
+  }
+#endif
+  return Slug(fallback_title);
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan literals
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void RenderQueries(std::ostringstream& os,
+                   const std::vector<sim::QueryOutcome>& queries) {
+  os << "[";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& q = queries[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << q.name << "\",\"mean_l1\":" << Num(q.mean_l1)
+       << ",\"max_l1\":" << Num(q.max_l1)
+       << ",\"mean_qet\":" << Num(q.mean_qet) << ",\"mean_qet_measured\":"
+       << Num(q.qet_measured.Summarize().mean()) << "}";
+  }
+  os << "]";
+}
+
+void WriteReportAtExit() { WriteJsonReport(); }
+
+}  // namespace
 
 bool FastMode() {
   const char* v = std::getenv("DPSYNC_FAST");
@@ -29,15 +107,65 @@ void PrintSeries(std::ostream& os, const std::string& tag,
 }
 
 sim::ExperimentResult MustRun(const sim::ExperimentConfig& config) {
+  auto start = std::chrono::steady_clock::now();
   auto r = sim::RunExperiment(config);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   if (!r.ok()) {
     std::cerr << "experiment failed: " << r.status().ToString() << std::endl;
     std::exit(1);
   }
+  const auto& result = r.value();
+  std::ostringstream os;
+  os << "{\"engine\":\"" << result.engine_name << "\",\"strategy\":\""
+     << result.strategy_name << "\",\"epsilon\":" << Num(result.epsilon)
+     << ",\"backend\":\"" << edb::StorageBackendKindName(config.backend)
+     << "\",\"num_shards\":" << config.num_shards
+     << ",\"horizon_minutes\":" << config.yellow.horizon_minutes
+     << ",\"wall_seconds\":" << Num(wall) << ",\"queries\":";
+  RenderQueries(os, result.queries);
+  os << ",\"mean_logical_gap\":" << Num(result.mean_logical_gap)
+     << ",\"final_total_mb\":" << Num(result.final_total_mb)
+     << ",\"final_dummy_mb\":" << Num(result.final_dummy_mb)
+     << ",\"real_synced\":" << result.real_synced
+     << ",\"dummy_synced\":" << result.dummy_synced
+     << ",\"updates_posted\":" << result.updates_posted << "}";
+  Report().entries.push_back(os.str());
   return std::move(r.value());
 }
 
+bool WriteJsonReport() {
+  ReportState& report = Report();
+  if (!report.armed || report.written) return true;
+  const char* dir = std::getenv("DPSYNC_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + report.name + ".json"
+                         : "BENCH_" + report.name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write bench report " << path << std::endl;
+    return false;
+  }
+  out << "{\"bench\":\"" << report.name
+      << "\",\"fast_mode\":" << (FastMode() ? "true" : "false")
+      << ",\"experiments\":[";
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    if (i) out << ",";
+    out << "\n  " << report.entries[i];
+  }
+  out << "\n]}\n";
+  report.written = true;
+  return true;
+}
+
 void Banner(const std::string& title, const std::string& paper_ref) {
+  ReportState& report = Report();
+  if (!report.armed) {
+    report.name = BinaryName(title);
+    report.armed = true;
+    std::atexit(WriteReportAtExit);
+  }
   std::cout << "==========================================================\n"
             << title << "\n(reproduces " << paper_ref
             << " of DP-Sync, SIGMOD'21)\n"

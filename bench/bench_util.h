@@ -25,10 +25,19 @@ void ApplyFastMode(sim::ExperimentConfig* config);
 void PrintSeries(std::ostream& os, const std::string& tag,
                  const Series& series, size_t max_points = 60);
 
-/// Runs one experiment and dies with a message on error.
+/// Runs one experiment and dies with a message on error. Every run is also
+/// recorded in the machine-readable report (see WriteJsonReport).
 sim::ExperimentResult MustRun(const sim::ExperimentConfig& config);
 
-/// Header banner for a figure binary.
+/// Header banner for a figure binary. Also names and arms the JSON report:
+/// when the process exits, every MustRun recorded since is written to
+/// `BENCH_<name>.json` (in $DPSYNC_BENCH_JSON_DIR, default the working
+/// directory) so CI can archive per-figure numbers and diff them across
+/// commits. `name` defaults to the binary name on Linux.
 void Banner(const std::string& title, const std::string& paper_ref);
+
+/// Forces the report to disk immediately (exit also triggers this).
+/// Returns false (after printing a warning) if the file cannot be written.
+bool WriteJsonReport();
 
 }  // namespace dpsync::bench

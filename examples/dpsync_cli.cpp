@@ -18,6 +18,10 @@
 ///   --records=<int>      target yellow records      (default 18429)
 ///   --interval=<int>     query firing interval      (default 360)
 ///   --seed=<int>         experiment seed            (default 99)
+///   --backend=memory|segment  physical table storage (default memory)
+///   --shards=<int>       shards per table           (default 1)
+///   --storage-dir=<path> segment-log root; each run writes a fresh
+///                        subdirectory (default: temp, cleaned up)
 ///   --no-join            skip the second table and Q3
 ///   --csv=<path>         also write series to a CSV file
 #include <cstdlib>
@@ -46,6 +50,8 @@ int Usage(const char* argv0) {
                "       [--eps=E] [--T=N] [--theta=N] [--flush-f=N] "
                "[--flush-s=N]\n"
                "       [--horizon=N] [--records=N] [--interval=N] [--seed=N]\n"
+               "       [--backend=memory|segment] [--shards=N] "
+               "[--storage-dir=path]\n"
                "       [--no-join] [--csv=path]\n";
   return 2;
 }
@@ -96,6 +102,15 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "seed", &v)) {
       cfg.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "backend", &v)) {
+      if (v == "memory") cfg.backend = edb::StorageBackendKind::kInMemory;
+      else if (v == "segment") cfg.backend = edb::StorageBackendKind::kSegmentLog;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "shards", &v)) {
+      cfg.num_shards = static_cast<int>(std::strtol(v.c_str(), nullptr, 10));
+      if (cfg.num_shards < 1) return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "storage-dir", &v)) {
+      cfg.storage_dir = v;
     } else if (std::strcmp(argv[i], "--no-join") == 0) {
       cfg.enable_green = false;
       cfg.queries = sim::DefaultQueries(false);
@@ -109,7 +124,9 @@ int main(int argc, char** argv) {
   std::cerr << "running " << StrategyKindName(cfg.strategy) << " on "
             << sim::EngineKindName(cfg.engine) << ", eps="
             << cfg.params.epsilon << ", horizon="
-            << cfg.yellow.horizon_minutes << "...\n";
+            << cfg.yellow.horizon_minutes << ", storage="
+            << edb::StorageBackendKindName(cfg.backend) << " x"
+            << cfg.num_shards << " shard(s)...\n";
   auto result = sim::RunExperiment(cfg);
   if (!result.ok()) {
     std::cerr << "experiment failed: " << result.status().ToString() << "\n";

@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace dpsync {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t max_chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t chunks = std::min({max_chunks, n, num_threads()});
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  // Even split; the first (n % chunks) chunks take one extra element. The
+  // caller thread runs chunk 0 itself so ParallelFor always makes progress
+  // even when every worker is busy.
+  size_t base = n / chunks;
+  size_t extra = n % chunks;
+  // done_mu/done_cv/pending live on the caller's stack: workers must only
+  // touch them under the mutex (decrement AND notify inside the critical
+  // section), or the caller could observe completion and destroy them
+  // while a worker still holds a reference.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t pending = chunks - 1;
+  size_t begin = base + (0 < extra ? 1 : 0);  // chunk 0 is [0, begin)
+  size_t first_end = begin;
+  for (size_t c = 1; c < chunks; ++c) {
+    size_t len = base + (c < extra ? 1 : 0);
+    size_t end = begin + len;
+    Submit([&, c, begin, end] {
+      fn(c, begin, end);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--pending == 0) done_cv.notify_one();
+    });
+    begin = end;
+  }
+  fn(0, 0, first_end);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+ThreadPool* SharedPool() {
+  static ThreadPool pool([] {
+    size_t hw = std::thread::hardware_concurrency();
+    return std::min<size_t>(16, std::max<size_t>(2, hw));
+  }());
+  return &pool;
+}
+
+}  // namespace dpsync

@@ -1,0 +1,57 @@
+/// \file thread_pool.h
+/// A small reusable fixed-size thread pool. The edb layer uses it to fan
+/// scans out across table shards; anything else that wants deterministic
+/// chunked parallelism (partition the work, submit one task per chunk,
+/// merge in chunk order) can share the same pool via SharedPool().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dpsync {
+
+/// Fixed-size worker pool executing submitted tasks FIFO. Threads are
+/// started in the constructor and joined in the destructor; Submit after
+/// destruction begins is undefined. All methods are thread-safe.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Partitions [0, n) into at most `max_chunks` contiguous chunks and runs
+  /// `fn(chunk_index, begin, end)` for each, in parallel, blocking until all
+  /// chunks finish. Chunk boundaries depend only on (n, max_chunks), so any
+  /// chunk-indexed merge the caller performs is deterministic. Runs inline
+  /// (no pool hop) when the work collapses to a single chunk.
+  void ParallelFor(size_t n, size_t max_chunks,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool, created on first use with one worker per
+/// hardware thread (clamped to [2, 16]). Never returns null.
+ThreadPool* SharedPool();
+
+}  // namespace dpsync

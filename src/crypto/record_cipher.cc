@@ -34,6 +34,15 @@ StatusOr<Bytes> RecordCipher::Open(const Bytes& nonce,
   return std::get<Aead>(aead_).Open(nonce, /*aad=*/{}, sealed);
 }
 
+Status RecordCipher::RestoreNonceHighWater(uint64_t high_water) {
+  if (high_water < nonce_counter_) {
+    return Status::FailedPrecondition(
+        "nonce high-water restore would rewind the counter (nonce reuse)");
+  }
+  nonce_counter_ = high_water;
+  return Status::Ok();
+}
+
 StatusOr<Bytes> RecordCipher::Encrypt(const Bytes& plaintext) {
   if (plaintext.size() > kPlaintextSize - 2) {
     return Status::InvalidArgument("record payload exceeds fixed record size");

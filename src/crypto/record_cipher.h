@@ -50,6 +50,18 @@ class RecordCipher {
   /// Number of records sealed so far (== nonces consumed).
   uint64_t seal_count() const { return nonce_counter_; }
 
+  /// The next nonce value that will be consumed. Durable backends persist
+  /// this at flush time; on reopen, RestoreNonceHighWater() with the
+  /// persisted value guarantees no nonce is ever reused, even if the
+  /// process died between the last flush and the crash.
+  uint64_t nonce_high_water() const { return nonce_counter_; }
+
+  /// Fast-forwards the nonce counter to `high_water` (a value previously
+  /// read from nonce_high_water() and persisted). Refuses to move the
+  /// counter backwards — rewinding would reissue nonces already bound to
+  /// ciphertexts, which is catastrophic for both AEADs.
+  Status RestoreNonceHighWater(uint64_t high_water);
+
   CipherSuite suite() const { return suite_; }
 
  private:

@@ -1,47 +1,45 @@
 #include "dp/accountant.h"
 
 #include <algorithm>
-#include <map>
 
 namespace dpsync::dp {
 
 void PrivacyAccountant::Charge(const std::string& group, double epsilon,
                                Composition comp) {
-  charges_.push_back({group, epsilon, comp});
+  ++num_charges_;
+  GroupTotals& totals = groups_[group];
+  if (comp == Composition::kSequential) {
+    totals.sequential += epsilon;
+  } else {
+    totals.parallel_max = std::max(totals.parallel_max, epsilon);
+  }
 }
 
 double PrivacyAccountant::GroupEpsilon(const std::string& group) const {
   // Within a group: sequential charges add; parallel charges take the max
   // with the running parallel budget (they touch disjoint sub-partitions).
-  double sequential = 0.0;
-  double parallel_max = 0.0;
-  for (const auto& c : charges_) {
-    if (c.group != group) continue;
-    if (c.comp == Composition::kSequential) {
-      sequential += c.epsilon;
-    } else {
-      parallel_max = std::max(parallel_max, c.epsilon);
-    }
-  }
-  return sequential + parallel_max;
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0.0;
+  return it->second.sequential + it->second.parallel_max;
 }
 
 double PrivacyAccountant::TotalEpsilonParallel() const {
-  std::map<std::string, bool> groups;
-  for (const auto& c : charges_) groups[c.group] = true;
   double total = 0.0;
-  for (const auto& [g, _] : groups) total = std::max(total, GroupEpsilon(g));
+  for (const auto& [_, t] : groups_) {
+    total = std::max(total, t.sequential + t.parallel_max);
+  }
   return total;
 }
 
 double PrivacyAccountant::TotalEpsilonSequential() const {
-  std::map<std::string, bool> groups;
-  for (const auto& c : charges_) groups[c.group] = true;
   double total = 0.0;
-  for (const auto& [g, _] : groups) total += GroupEpsilon(g);
+  for (const auto& [_, t] : groups_) total += t.sequential + t.parallel_max;
   return total;
 }
 
-void PrivacyAccountant::Reset() { charges_.clear(); }
+void PrivacyAccountant::Reset() {
+  groups_.clear();
+  num_charges_ = 0;
+}
 
 }  // namespace dpsync::dp

@@ -5,8 +5,9 @@
 /// paper's Theorems 10/11 (overall eps-DP for DP-Timer and DP-ANT).
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
-#include <vector>
 
 #include "common/status.h"
 
@@ -23,6 +24,11 @@ enum class Composition {
 /// Groups model disjoint-data partitions: mechanisms in the same group
 /// compose sequentially; across groups, parallel composition applies when
 /// the caller declares the groups disjoint.
+///
+/// Charges fold into per-group running totals as they arrive, so
+/// GroupEpsilon is O(log groups) and the Total* queries are O(groups) —
+/// engines can check budgets every tick over month-long streams without
+/// the per-query full-ledger scan going quadratic.
 class PrivacyAccountant {
  public:
   /// Records one mechanism invocation.
@@ -43,17 +49,20 @@ class PrivacyAccountant {
   double TotalEpsilonSequential() const;
 
   /// Number of charges recorded.
-  size_t num_charges() const { return charges_.size(); }
+  size_t num_charges() const { return num_charges_; }
 
   void Reset();
 
  private:
-  struct Charge_ {
-    std::string group;
-    double epsilon;
-    Composition comp;
+  /// Running composition state for one group: sequential charges add,
+  /// parallel charges keep the max (disjoint sub-partitions). The group's
+  /// consumed epsilon is always `sequential + parallel_max`.
+  struct GroupTotals {
+    double sequential = 0.0;
+    double parallel_max = 0.0;
   };
-  std::vector<Charge_> charges_;
+  std::map<std::string, GroupTotals> groups_;
+  size_t num_charges_ = 0;
 };
 
 }  // namespace dpsync::dp

@@ -24,7 +24,7 @@ StatusOr<EdbTable*> CryptEpsServer::CreateTable(const std::string& name,
         "schema must carry an isDummy attribute for dummy-aware rewriting");
   }
   auto table = std::make_unique<EncryptedTableStore>(
-      name, schema, keys_.DeriveKey("table-aead:" + name));
+      name, schema, keys_.DeriveKey("table-aead:" + name), config_.storage);
   EdbTable* handle = table.get();
   tables_[name] = std::move(table);
   return handle;
@@ -77,7 +77,7 @@ StatusOr<QueryResponse> CryptEpsServer::Query(const query::SelectQuery& q) {
   query::Table plain;
   plain.name = table->table_name();
   plain.schema = table->schema();
-  plain.borrowed_rows = view.value();
+  plain.borrowed_parts = std::move(view.value());
   query::Catalog catalog;
   catalog.AddTable(&plain);
   query::Executor executor(&catalog);

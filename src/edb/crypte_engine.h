@@ -33,6 +33,8 @@ struct CryptEpsConfig {
   /// PermissionDenied. 0 disables the limit (the paper's experiments do
   /// not enforce one).
   double total_budget_limit = 0.0;
+  /// Physical storage for every table (backend kind, shard count, dir).
+  StorageConfig storage;
 };
 
 /// The Crypt-eps server.

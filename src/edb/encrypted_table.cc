@@ -1,15 +1,57 @@
 #include "edb/encrypted_table.h"
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
 namespace dpsync::edb {
 
+namespace {
+
+/// Below this many pending records a scan stays on the calling thread —
+/// fan-out overhead beats the decryption work for small deltas.
+constexpr size_t kParallelScanThreshold = 4096;
+
+uint64_t SchemaHash(const query::Schema& schema) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& f : schema.fields()) {
+    h = Fnv1a64(reinterpret_cast<const uint8_t*>(f.name.data()),
+                f.name.size(), h);
+    uint8_t type_tag = static_cast<uint8_t>(f.type);
+    h = Fnv1a64(&type_tag, 1, h);
+  }
+  return h;
+}
+
+}  // namespace
+
 EncryptedTableStore::EncryptedTableStore(std::string name,
-                                         query::Schema schema, Bytes key)
+                                         query::Schema schema, Bytes key,
+                                         StorageConfig storage)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      cipher_(std::move(key)) {}
+      cipher_(std::move(key)),
+      storage_(std::move(storage)),
+      router_(std::max(1, storage_.num_shards)) {
+  uint64_t schema_hash = SchemaHash(schema_);
+  for (int s = 0; s < router_.num_shards(); ++s) {
+    auto backend = MakeStorageBackend(
+        storage_, name_, s, crypto::RecordCipher::kCiphertextSize, schema_hash);
+    if (!backend.ok()) {
+      // Constructors cannot fail; surface the error on first use instead.
+      init_status_ = backend.status();
+      shards_.clear();
+      break;
+    }
+    shards_.push_back(std::move(backend.value()));
+  }
+  enclave_rows_.resize(static_cast<size_t>(router_.num_shards()));
+  enclave_upto_.assign(static_cast<size_t>(router_.num_shards()), 0);
+  dirty_.assign(static_cast<size_t>(router_.num_shards()), 0);
+}
 
-Status EncryptedTableStore::AppendEncrypted(
-    const std::vector<Record>& records) {
+Status EncryptedTableStore::AppendEncrypted(const std::vector<Record>& records,
+                                            bool setup_batch) {
   // NOTE: no per-call reserve — SET-style workloads post one-record updates
   // tens of thousands of times, and an exact-size reserve would force a
   // reallocation (and full copy) on every call. Amortized push_back growth
@@ -17,46 +59,227 @@ Status EncryptedTableStore::AppendEncrypted(
   for (const Record& r : records) {
     auto ct = cipher_.Encrypt(r.payload);
     if (!ct.ok()) return ct.status();
-    ciphertexts_.push_back(std::move(ct.value()));
+    int shard = router_.Route(r.payload);
+    DPSYNC_RETURN_IF_ERROR(shards_[shard]->Append(ct.value()));
+    dirty_[static_cast<size_t>(shard)] = 1;
+    journal_.emplace_back(static_cast<uint32_t>(shard),
+                          static_cast<uint32_t>(shards_[shard]->Count() - 1));
+  }
+  if (storage_.flush_every_update) {
+    // Setup commits every shard so the table's full topology is
+    // materialized on disk even for shards gamma_0 never touched;
+    // steady-state updates only pay for the shards they wrote.
+    return setup_batch ? Flush() : FlushDirtyShards();
   }
   return Status::Ok();
 }
 
 Status EncryptedTableStore::Setup(const std::vector<Record>& gamma0) {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
   if (setup_done_) return Status::FailedPrecondition("Setup already run");
   setup_done_ = true;
-  return AppendEncrypted(gamma0);
+  return AppendEncrypted(gamma0, /*setup_batch=*/true);
 }
 
 Status EncryptedTableStore::Update(const std::vector<Record>& gamma) {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
   if (!setup_done_) return Status::FailedPrecondition("Update before Setup");
   ++update_calls_;
-  return AppendEncrypted(gamma);
+  return AppendEncrypted(gamma, /*setup_batch=*/false);
 }
 
-StatusOr<const std::vector<query::Row>*> EncryptedTableStore::EnclaveView()
-    const {
-  for (; enclave_upto_ < ciphertexts_.size(); ++enclave_upto_) {
-    auto payload = cipher_.Decrypt(ciphertexts_[enclave_upto_]);
-    if (!payload.ok()) return payload.status();
-    auto row = query::DeserializeRow(payload.value());
-    if (!row.ok()) return row.status();
-    enclave_rows_.push_back(std::move(row.value()));
+int64_t EncryptedTableStore::outsourced_bytes() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->SizeBytes();
+  return total;
+}
+
+Status EncryptedTableStore::Flush() {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    DPSYNC_RETURN_IF_ERROR(shards_[s]->Flush(cipher_.nonce_high_water()));
+    dirty_[s] = 0;
   }
-  return &enclave_rows_;
+  return Status::Ok();
+}
+
+Status EncryptedTableStore::FlushDirtyShards() {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!dirty_[s]) continue;
+    DPSYNC_RETURN_IF_ERROR(shards_[s]->Flush(cipher_.nonce_high_water()));
+    dirty_[s] = 0;
+  }
+  return Status::Ok();
+}
+
+Status EncryptedTableStore::Reopen() {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  journal_.clear();
+  for (auto& rows : enclave_rows_) rows.clear();
+  std::fill(enclave_upto_.begin(), enclave_upto_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+
+  uint64_t persisted = 0;
+  uint64_t tail_bound = 0;
+  uint64_t total_tail_records = 0;
+  int64_t total = 0;
+  bool attached_existing = false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    auto info = shards_[s]->Reopen();
+    if (!info.ok()) return info.status();
+    persisted = std::max(persisted, info.value().nonce_high_water);
+    tail_bound = std::max(tail_bound, info.value().tail_nonce_bound);
+    total_tail_records += info.value().tail_records;
+    attached_existing |= info.value().attached_existing;
+    total += shards_[s]->Count();
+  }
+  // Every committed record consumed exactly one nonce, so the persisted
+  // counter can never be behind the committed total. If it is, a header
+  // was tampered with or commit ordering broke — resuming would reissue
+  // nonces already bound to ciphertexts. Fail loudly.
+  if (persisted < static_cast<uint64_t>(total)) {
+    return Status::FailedPrecondition(
+        "persisted nonce high-water mark (" + std::to_string(persisted) +
+        ") is behind the committed record count (" + std::to_string(total) +
+        ") for table " + name_);
+  }
+  // Discarded tails burned real nonces, so the restored counter must move
+  // past them — but tail bytes are attacker-writable, so their claim is
+  // only honored if it is plausible: the dead process consumed at most one
+  // nonce per tail record beyond the newest persisted mark. An
+  // out-of-range claim (e.g. a tampered prefix near 2^64 that would wrap
+  // the counter back into reuse) is rejected loudly, like any other
+  // tampering.
+  if (tail_bound > persisted + total_tail_records) {
+    return Status::FailedPrecondition(
+        "uncommitted tail names nonce " + std::to_string(tail_bound - 1) +
+        ", beyond the " + std::to_string(total_tail_records) +
+        " nonces a real crash could have burned past mark " +
+        std::to_string(persisted) + " — tampered tail for table " + name_);
+  }
+  persisted = std::max(persisted, tail_bound);
+  // Restore, but never rewind: an in-process reopen keeps the live counter,
+  // which may already be past the mark (encrypt-then-crash-before-flush).
+  if (persisted > cipher_.nonce_high_water()) {
+    DPSYNC_RETURN_IF_ERROR(cipher_.RestoreNonceHighWater(persisted));
+  }
+  // Rebuild the journal shard-major: the global arrival order is not
+  // persisted, and every consumer of the recovered store is
+  // order-insensitive (aggregates).
+  journal_.reserve(static_cast<size_t>(total));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    int64_t n = shards_[s]->Count();
+    for (int64_t i = 0; i < n; ++i) {
+      journal_.emplace_back(static_cast<uint32_t>(s),
+                            static_cast<uint32_t>(i));
+    }
+  }
+  // Recovered durable state implies Setup ran in some incarnation (even if
+  // gamma_0 was empty — the files only exist because the first commit
+  // happened); without it, keep whatever this instance already knew.
+  setup_done_ = setup_done_ || attached_existing || total > 0;
+  return Status::Ok();
+}
+
+Status EncryptedTableStore::CatchUpShard(int shard) const {
+  auto& rows = enclave_rows_[static_cast<size_t>(shard)];
+  size_t& upto = enclave_upto_[static_cast<size_t>(shard)];
+  int64_t count = shards_[static_cast<size_t>(shard)]->Count();
+  return shards_[static_cast<size_t>(shard)]->Scan(
+      static_cast<int64_t>(upto), count,
+      [&](int64_t, const Bytes& ct) -> Status {
+        auto payload = cipher_.Decrypt(ct);
+        if (!payload.ok()) return payload.status();
+        auto row = query::DeserializeRow(payload.value());
+        if (!row.ok()) return row.status();
+        rows.push_back(std::move(row.value()));
+        ++upto;
+        return Status::Ok();
+      });
+}
+
+StatusOr<std::vector<const std::vector<query::Row>*>>
+EncryptedTableStore::EnclaveView() const {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  size_t pending = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    pending += static_cast<size_t>(shards_[s]->Count()) - enclave_upto_[s];
+  }
+  if (pending >= kParallelScanThreshold && shards_.size() > 1) {
+    // Fan the per-shard catch-up across the pool: shards touch disjoint
+    // mirrors, so the only coordination is the final status reduction
+    // (first failing shard wins, deterministically).
+    std::vector<Status> statuses(shards_.size());
+    SharedPool()->ParallelFor(
+        shards_.size(), shards_.size(), [&](size_t, size_t begin, size_t end) {
+          for (size_t s = begin; s < end; ++s) {
+            statuses[s] = CatchUpShard(static_cast<int>(s));
+          }
+        });
+    for (const auto& st : statuses) DPSYNC_RETURN_IF_ERROR(st);
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      DPSYNC_RETURN_IF_ERROR(CatchUpShard(static_cast<int>(s)));
+    }
+  }
+  std::vector<const std::vector<query::Row>*> parts;
+  parts.reserve(shards_.size());
+  for (const auto& rows : enclave_rows_) parts.push_back(&rows);
+  return parts;
 }
 
 StatusOr<std::vector<query::Row>> EncryptedTableStore::DecryptAll() const {
-  std::vector<query::Row> rows;
-  rows.reserve(ciphertexts_.size());
-  for (const Bytes& ct : ciphertexts_) {
-    auto payload = cipher_.Decrypt(ct);
-    if (!payload.ok()) return payload.status();
-    auto row = query::DeserializeRow(payload.value());
-    if (!row.ok()) return row.status();
-    rows.push_back(std::move(row.value()));
-  }
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  const size_t n = journal_.size();
+  std::vector<query::Row> rows(n);
+  size_t max_chunks = n >= kParallelScanThreshold
+                          ? SharedPool()->num_threads()
+                          : size_t{1};
+  std::vector<Status> statuses(std::max<size_t>(1, max_chunks));
+  SharedPool()->ParallelFor(n, max_chunks,
+                            [&](size_t chunk, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto [shard, offset] = journal_[i];
+      auto ct = shards_[shard]->Get(static_cast<int64_t>(offset));
+      if (!ct.ok()) {
+        statuses[chunk] = ct.status();
+        return;
+      }
+      auto payload = cipher_.Decrypt(ct.value());
+      if (!payload.ok()) {
+        statuses[chunk] = payload.status();
+        return;
+      }
+      auto row = query::DeserializeRow(payload.value());
+      if (!row.ok()) {
+        statuses[chunk] = row.status();
+        return;
+      }
+      rows[i] = std::move(row.value());
+    }
+  });
+  for (const auto& st : statuses) DPSYNC_RETURN_IF_ERROR(st);
   return rows;
+}
+
+StatusOr<Bytes> EncryptedTableStore::CiphertextAt(int64_t index) const {
+  if (index < 0 || index >= outsourced_count()) {
+    return Status::OutOfRange("ciphertext index out of range");
+  }
+  const auto [shard, offset] = journal_[static_cast<size_t>(index)];
+  return shards_[shard]->Get(static_cast<int64_t>(offset));
+}
+
+StatusOr<std::vector<Bytes>> EncryptedTableStore::ciphertexts() const {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  std::vector<Bytes> out;
+  out.reserve(journal_.size());
+  for (const auto& [shard, offset] : journal_) {
+    auto ct = shards_[shard]->Get(static_cast<int64_t>(offset));
+    if (!ct.ok()) return ct.status();
+    out.push_back(std::move(ct.value()));
+  }
+  return out;
 }
 
 }  // namespace dpsync::edb

@@ -1,16 +1,29 @@
 /// \file encrypted_table.h
-/// Server-side storage for one outsourced table: an append-only array of
-/// fixed-size AEAD ciphertexts (atomic record encryption, §4.1). Both
+/// Server-side storage for one outsourced table: an append-only collection
+/// of fixed-size AEAD ciphertexts (atomic record encryption, §4.1). Both
 /// engines build on this store; it implements the owner-facing
 /// Setup/Update protocols and the enclave/decryption-side full scan.
+///
+/// Since the storage-spine refactor the store is a *sharded container*: a
+/// ShardRouter hashes each record's identity onto one of N shards, each
+/// shard owning a pluggable StorageBackend (in-memory vector or durable
+/// segment log — see storage_backend.h / docs/STORAGE.md) plus its own
+/// enclave-resident plaintext mirror. Full scans fan out across shards on
+/// the shared thread pool. A per-table append journal preserves the global
+/// arrival order, so single-shard behavior is bit-identical to the
+/// pre-refactor store.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "crypto/record_cipher.h"
 #include "edb/encrypted_database.h"
+#include "edb/shard_router.h"
+#include "edb/storage_backend.h"
 #include "query/schema.h"
 
 namespace dpsync::edb {
@@ -19,53 +32,109 @@ namespace dpsync::edb {
 class EncryptedTableStore : public EdbTable {
  public:
   /// \param key 32-byte AEAD key shared owner<->enclave (never the server)
-  EncryptedTableStore(std::string name, query::Schema schema, Bytes key);
+  /// \param storage backend kind, shard count and (for durable backends)
+  ///        the on-disk location. The default reproduces the original
+  ///        single-shard in-memory store exactly.
+  EncryptedTableStore(std::string name, query::Schema schema, Bytes key,
+                      StorageConfig storage = {});
 
   // --- owner-facing SOGDB protocols -------------------------------------
   Status Setup(const std::vector<Record>& gamma0) override;
   Status Update(const std::vector<Record>& gamma) override;
   int64_t outsourced_count() const override {
-    return static_cast<int64_t>(ciphertexts_.size());
+    return static_cast<int64_t>(journal_.size());
   }
-  int64_t outsourced_bytes() const override {
-    return outsourced_count() *
-           static_cast<int64_t>(crypto::RecordCipher::kCiphertextSize);
-  }
+  /// Derived from the backends (sum of per-shard stored bytes), so
+  /// variable-size future backends cannot drift from the reported metric.
+  int64_t outsourced_bytes() const override;
   const std::string& table_name() const override { return name_; }
+
+  // --- durability --------------------------------------------------------
+  /// Commits every shard and persists the cipher's nonce high-water mark.
+  /// Called automatically after Setup/Update unless
+  /// StorageConfig::flush_every_update is false.
+  Status Flush();
+
+  /// Re-attaches to the backends' durable state (simulating a restart):
+  /// every shard recovers its committed prefix, the append journal is
+  /// rebuilt (shard-major — global arrival order is not persisted), the
+  /// enclave mirrors are dropped, and the cipher's nonce counter is
+  /// restored from the persisted high-water mark. Fails loudly if the
+  /// persisted mark is behind the committed record count (nonce reuse).
+  Status Reopen();
 
   // --- trusted-side access ----------------------------------------------
   const query::Schema& schema() const { return schema_; }
 
   /// Decrypts every stored ciphertext into rows — the linear oblivious
   /// scan every L-0 query performs (touches all records unconditionally).
-  /// Fails if any ciphertext fails authentication.
+  /// Rows come back in global append order; the decryption work fans out
+  /// across the shared thread pool for large tables. Fails if any
+  /// ciphertext fails authentication.
   StatusOr<std::vector<query::Row>> DecryptAll() const;
 
   /// Incremental enclave view: decrypts only ciphertexts appended since
-  /// the last call and returns the full plaintext table. Real SGX engines
-  /// keep the working table in enclave memory across queries; this mirrors
-  /// that, so repeated queries cost O(delta) real time (the *virtual* QET
-  /// still charges the full oblivious scan — see cost_model.h).
-  StatusOr<const std::vector<query::Row>*> EnclaveView() const;
+  /// the last call and returns one plaintext partition per shard. Real SGX
+  /// engines keep the working table in enclave memory across queries; this
+  /// mirrors that, so repeated queries cost O(delta) real time (the
+  /// *virtual* QET still charges the full oblivious scan — see
+  /// cost_model.h). The returned pointers stay valid until the next
+  /// Update+EnclaveView or Reopen.
+  StatusOr<std::vector<const std::vector<query::Row>*>> EnclaveView() const;
 
-  /// Server-visible ciphertext array (for tests probing indistinguishability).
-  const std::vector<Bytes>& ciphertexts() const { return ciphertexts_; }
+  /// Ciphertext at a global append index (crosses shard boundaries via the
+  /// journal). Used by the ORAM mirror and by tests probing the server's
+  /// view.
+  StatusOr<Bytes> CiphertextAt(int64_t index) const;
+
+  /// Materializes the server-visible ciphertext array in append order
+  /// (copies; for tests probing indistinguishability).
+  StatusOr<std::vector<Bytes>> ciphertexts() const;
 
   /// Number of Pi_Update invocations served.
   int64_t update_calls() const { return update_calls_; }
 
+  /// The cipher's nonce high-water mark (next nonce to be consumed);
+  /// crash-recovery tests assert it survives Reopen().
+  uint64_t nonce_high_water() const { return cipher_.nonce_high_water(); }
+
+  /// Live shard count. Zero when backend construction failed in the
+  /// constructor (the deferred init_status_ error) — every per-shard
+  /// accessor below is only valid for indices < num_shards().
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  StorageBackendKind backend_kind() const { return storage_.backend; }
+  /// Records currently held by one shard (per-shard scan work; the cost
+  /// model consumes the sum, which equals outsourced_count()).
+  int64_t shard_count(int shard) const { return shards_[shard]->Count(); }
+  const StorageBackend& shard_backend(int shard) const {
+    return *shards_[shard];
+  }
+
  private:
-  Status AppendEncrypted(const std::vector<Record>& records);
+  Status AppendEncrypted(const std::vector<Record>& records,
+                         bool setup_batch);
+  /// Commits only the shards the last batches appended to (auto-flush
+  /// path: per-update commit cost scales with shards touched, not
+  /// num_shards).
+  Status FlushDirtyShards();
+  Status CatchUpShard(int shard) const;
 
   std::string name_;
   query::Schema schema_;
   crypto::RecordCipher cipher_;
-  std::vector<Bytes> ciphertexts_;
+  StorageConfig storage_;
+  ShardRouter router_;
+  Status init_status_;  ///< deferred backend-construction failure
+  std::vector<std::unique_ptr<StorageBackend>> shards_;
+  std::vector<uint8_t> dirty_;  ///< shards appended to since their last flush
+  /// Global append order -> (shard, offset within shard). Rebuilt
+  /// shard-major by Reopen().
+  std::vector<std::pair<uint32_t, uint32_t>> journal_;
   bool setup_done_ = false;
   int64_t update_calls_ = 0;
-  // Enclave-resident plaintext mirror (lazy, incremental).
-  mutable std::vector<query::Row> enclave_rows_;
-  mutable size_t enclave_upto_ = 0;
+  // Enclave-resident plaintext mirrors (lazy, incremental, one per shard).
+  mutable std::vector<std::vector<query::Row>> enclave_rows_;
+  mutable std::vector<size_t> enclave_upto_;
 };
 
 }  // namespace dpsync::edb

@@ -17,7 +17,8 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 ObliDbTable::ObliDbTable(std::string name, query::Schema schema, Bytes key,
                          const ObliDbConfig& config)
-    : store_(std::move(name), std::move(schema), std::move(key)) {
+    : store_(std::move(name), std::move(schema), std::move(key),
+             config.storage) {
   if (config.use_oram_index) {
     oram::PathOram::Config oram_cfg;
     oram_cfg.capacity = config.oram_capacity;
@@ -28,21 +29,23 @@ ObliDbTable::ObliDbTable(std::string name, query::Schema schema, Bytes key,
 
 Status ObliDbTable::MirrorToOram(size_t first_index) {
   if (!oram_) return Status::Ok();
-  const auto& cts = store_.ciphertexts();
-  for (size_t i = first_index; i < cts.size(); ++i) {
-    DPSYNC_RETURN_IF_ERROR(oram_->Write(i, cts[i]));
+  size_t n = static_cast<size_t>(store_.outsourced_count());
+  for (size_t i = first_index; i < n; ++i) {
+    auto ct = store_.CiphertextAt(static_cast<int64_t>(i));
+    if (!ct.ok()) return ct.status();
+    DPSYNC_RETURN_IF_ERROR(oram_->Write(i, ct.value()));
   }
   return Status::Ok();
 }
 
 Status ObliDbTable::Setup(const std::vector<Record>& gamma0) {
-  size_t before = store_.ciphertexts().size();
+  size_t before = static_cast<size_t>(store_.outsourced_count());
   DPSYNC_RETURN_IF_ERROR(store_.Setup(gamma0));
   return MirrorToOram(before);
 }
 
 Status ObliDbTable::Update(const std::vector<Record>& gamma) {
-  size_t before = store_.ciphertexts().size();
+  size_t before = static_cast<size_t>(store_.outsourced_count());
   DPSYNC_RETURN_IF_ERROR(store_.Update(gamma));
   return MirrorToOram(before);
 }
@@ -51,7 +54,7 @@ StatusOr<std::vector<query::Row>> ObliDbTable::EnclaveScan() {
   if (!oram_) return store_.DecryptAll();
   // Indexed mode: fetch every ciphertext through the ORAM so each touch is
   // an oblivious path access, then decrypt inside the enclave.
-  size_t n = store_.ciphertexts().size();
+  size_t n = static_cast<size_t>(store_.outsourced_count());
   for (size_t i = 0; i < n; ++i) {
     auto ct = oram_->Read(i);
     if (!ct.ok()) return ct.status();
@@ -130,10 +133,11 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
     if (!rows.ok()) return rows.status();
     plain.rows = std::move(rows.value());
   } else {
-    // Linear mode: enclave-resident mirror, decrypted incrementally.
+    // Linear mode: per-shard enclave-resident mirrors, decrypted
+    // incrementally; the executor fans the scan out across the partitions.
     auto view = table->store().EnclaveView();
     if (!view.ok()) return view.status();
-    plain.borrowed_rows = view.value();
+    plain.borrowed_parts = std::move(view.value());
   }
   query::Catalog catalog;
   catalog.AddTable(&plain);
@@ -143,10 +147,17 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
 
   QueryResponse resp;
   resp.result = std::move(result.value());
-  resp.stats.records_scanned = table->outsourced_count();
+  // Per-shard scan work summed across shards — identical to the flat
+  // store's record count, so virtual QET numbers are unchanged by
+  // sharding.
+  int64_t scanned = 0;
+  for (int s = 0; s < table->store().num_shards(); ++s) {
+    scanned += table->store().shard_count(s);
+  }
+  resp.stats.records_scanned = scanned;
   resp.stats.measured_seconds = SecondsSince(start);
   resp.stats.virtual_seconds =
-      ScanCost(cost_, table->outsourced_count(), !rewritten.group_by.empty());
+      ScanCost(cost_, scanned, !rewritten.group_by.empty());
   return resp;
 }
 
@@ -162,11 +173,11 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
   query::Table lt;
   lt.name = left->table_name();
   lt.schema = left->store().schema();
-  lt.borrowed_rows = lview.value();
+  lt.borrowed_parts = std::move(lview.value());
   query::Table rt;
   rt.name = right->table_name();
   rt.schema = right->store().schema();
-  rt.borrowed_rows = rview.value();
+  rt.borrowed_parts = std::move(rview.value());
 
   int64_t n1 = left->outsourced_count();
   int64_t n2 = right->outsourced_count();
@@ -181,19 +192,26 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
     query::ColumnExpr rkey(rewritten.join->right_column);
     int64_t count = 0;
     query::Row combined;
-    for (const auto& a : lt.data()) {
-      query::Value ka = lkey.Eval(lt.schema, a);
-      for (const auto& b : rt.data()) {
-        query::Value kb = rkey.Eval(rt.schema, b);
-        int match = (!ka.is_null() && !kb.is_null() && ka.Compare(kb) == 0);
-        int pass = 1;
-        if (rewritten.where) {
-          combined.clear();
-          combined.insert(combined.end(), a.begin(), a.end());
-          combined.insert(combined.end(), b.begin(), b.end());
-          pass = rewritten.where->Eval(joined, combined).Truthy() ? 1 : 0;
+    const auto lparts = lt.Parts();
+    const auto rparts = rt.Parts();
+    for (const auto* lpart : lparts) {
+      for (const auto& a : *lpart) {
+        query::Value ka = lkey.Eval(lt.schema, a);
+        for (const auto* rpart : rparts) {
+          for (const auto& b : *rpart) {
+            query::Value kb = rkey.Eval(rt.schema, b);
+            int match =
+                (!ka.is_null() && !kb.is_null() && ka.Compare(kb) == 0);
+            int pass = 1;
+            if (rewritten.where) {
+              combined.clear();
+              combined.insert(combined.end(), a.begin(), a.end());
+              combined.insert(combined.end(), b.begin(), b.end());
+              pass = rewritten.where->Eval(joined, combined).Truthy() ? 1 : 0;
+            }
+            count += match & pass;
+          }
         }
-        count += match & pass;
       }
     }
     result = query::QueryResult::Scalar(static_cast<double>(count));
@@ -205,12 +223,15 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
     // quadratic blow-up on dummies sharing a join key.
     auto drop_dummies = [](query::Table* t) {
       std::vector<query::Row> filtered;
-      filtered.reserve(t->data().size());
-      for (const auto& row : t->data()) {
-        if (!query::IsDummyRow(t->schema, row)) filtered.push_back(row);
+      filtered.reserve(t->TotalRows());
+      for (const auto* part : t->Parts()) {
+        for (const auto& row : *part) {
+          if (!query::IsDummyRow(t->schema, row)) filtered.push_back(row);
+        }
       }
       t->rows = std::move(filtered);
       t->borrowed_rows = nullptr;
+      t->borrowed_parts.clear();
     };
     drop_dummies(&lt);
     drop_dummies(&rt);

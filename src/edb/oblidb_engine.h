@@ -33,6 +33,8 @@ struct ObliDbConfig {
   /// Real oblivious nested-loop joins are executed up to this many pairs;
   /// larger joins use the hash-join + cost-model shortcut.
   int64_t oblivious_join_limit = 4'000'000;
+  /// Physical storage for every table (backend kind, shard count, dir).
+  StorageConfig storage;
 };
 
 /// One ObliDB table: encrypted store plus optional ORAM mirror.

@@ -1,0 +1,288 @@
+#include "edb/segment_log.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#ifdef _WIN32
+#define DPSYNC_FSYNC(f) std::fflush(f)
+#else
+#include <unistd.h>
+#define DPSYNC_FSYNC(f) (std::fflush(f) == 0 ? ::fsync(fileno(f)) : -1)
+#endif
+
+#include "common/bytes.h"
+
+namespace dpsync::edb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status IoError(const std::string& op, const std::string& path) {
+  return Status::Internal("segment log " + op + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+/// RAII wrapper for the short-lived read handles Reopen uses.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(const std::string& path, const char* mode)
+      : f(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f) std::fclose(f);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+}  // namespace
+
+SegmentLogBackend::SegmentLogBackend(std::string path, size_t record_size,
+                                     uint64_t schema_hash,
+                                     uint32_t shard_index,
+                                     uint32_t shard_count,
+                                     bool fsync_on_flush)
+    : path_(std::move(path)),
+      record_size_(record_size),
+      schema_hash_(schema_hash),
+      shard_index_(shard_index),
+      shard_count_(shard_count),
+      fsync_on_flush_(fsync_on_flush) {}
+
+SegmentLogBackend::~SegmentLogBackend() { CloseFile(); }
+
+void SegmentLogBackend::CloseFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status SegmentLogBackend::WriteHeader(uint64_t committed_count,
+                                      uint64_t nonce_high_water) {
+  uint8_t header[kHeaderSize] = {0};
+  std::memcpy(header, kMagic, 8);
+  StoreLE32(header + 8, kFormatVersion);
+  StoreLE32(header + 12, static_cast<uint32_t>(record_size_));
+  StoreLE64(header + 16, schema_hash_);
+  StoreLE64(header + 24, committed_count);
+  StoreLE64(header + 32, nonce_high_water);
+  StoreLE32(header + 40, shard_index_);
+  StoreLE32(header + 44, shard_count_);
+  if (std::fseek(file_, 0, SEEK_SET) != 0) return IoError("seek", path_);
+  if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
+    return IoError("header write", path_);
+  }
+  if (fsync_on_flush_) {
+    if (DPSYNC_FSYNC(file_) != 0) return IoError("fsync", path_);
+  } else if (std::fflush(file_) != 0) {
+    return IoError("flush", path_);
+  }
+  return Status::Ok();
+}
+
+Status SegmentLogBackend::EnsureFile() {
+  if (attached_) return Status::Ok();
+  std::error_code ec;
+  fs::path p(path_);
+  if (p.has_parent_path()) {
+    fs::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return Status::Internal("cannot create segment directory " +
+                              p.parent_path().string() + ": " + ec.message());
+    }
+  }
+  if (fs::exists(p, ec)) {
+    // A pre-existing file may hold committed records and a nonce mark this
+    // instance knows nothing about; silently appending to it could reuse
+    // nonces. The caller must Reopen() first.
+    return Status::FailedPrecondition(
+        "segment file already exists; Reopen() before writing: " + path_);
+  }
+  file_ = std::fopen(path_.c_str(), "w+b");
+  if (file_ == nullptr) return IoError("create", path_);
+  attached_ = true;
+  Status st = WriteHeader(0, 0);
+  if (!st.ok()) {
+    CloseFile();
+    attached_ = false;
+  }
+  return st;
+}
+
+Status SegmentLogBackend::Append(const Bytes& record) {
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument("segment log record has wrong size");
+  }
+  DPSYNC_RETURN_IF_ERROR(EnsureFile());
+  if (std::fseek(file_, 0, SEEK_END) != 0) return IoError("seek", path_);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return IoError("append", path_);
+  }
+  // Push the record out of the stdio buffer immediately: the crash model
+  // is process death, and a record stranded in a user-space buffer would
+  // vanish with the process *after* its nonce was consumed — Reopen's
+  // tail walk can only recover nonces that reached the file.
+  if (std::fflush(file_) != 0) return IoError("append flush", path_);
+  records_.push_back(record);
+  return Status::Ok();
+}
+
+StatusOr<Bytes> SegmentLogBackend::Get(int64_t index) const {
+  if (index < 0 || index >= Count()) {
+    return Status::OutOfRange("segment record index out of range");
+  }
+  return records_[static_cast<size_t>(index)];
+}
+
+Status SegmentLogBackend::Scan(
+    int64_t begin, int64_t end,
+    const std::function<Status(int64_t, const Bytes&)>& fn) const {
+  if (begin < 0 || end > Count() || begin > end) {
+    return Status::OutOfRange("segment scan range out of range");
+  }
+  for (int64_t i = begin; i < end; ++i) {
+    DPSYNC_RETURN_IF_ERROR(fn(i, records_[static_cast<size_t>(i)]));
+  }
+  return Status::Ok();
+}
+
+Status SegmentLogBackend::Flush(uint64_t nonce_high_water) {
+  DPSYNC_RETURN_IF_ERROR(EnsureFile());
+  DPSYNC_RETURN_IF_ERROR(
+      WriteHeader(static_cast<uint64_t>(records_.size()), nonce_high_water));
+  committed_count_ = Count();
+  flushed_nonce_high_water_ = nonce_high_water;
+  return Status::Ok();
+}
+
+StatusOr<StorageBackend::ReopenInfo> SegmentLogBackend::Reopen() {
+  CloseFile();
+  records_.clear();
+  committed_count_ = 0;
+  flushed_nonce_high_water_ = 0;
+  attached_ = false;
+
+  std::error_code ec;
+  if (!fs::exists(path_, ec)) {
+    // Nothing persisted yet: attach fresh. EnsureFile writes a zero header.
+    DPSYNC_RETURN_IF_ERROR(EnsureFile());
+    return ReopenInfo{};  // zero marks, no tail, attached_existing=false
+  }
+
+  uint64_t file_size = fs::file_size(path_, ec);
+  if (ec || file_size < kHeaderSize) {
+    return Status::Internal("segment file truncated below header: " + path_);
+  }
+
+  uint8_t header[kHeaderSize];
+  uint64_t nonce_high_water = 0;
+  uint64_t tail_nonce_bound = 0;
+  uint64_t tail_records = 0;
+  {
+    File file(path_, "rb");
+    if (!file.f) return IoError("open", path_);
+    if (std::fread(header, 1, kHeaderSize, file.f) != kHeaderSize) {
+      return IoError("header read", path_);
+    }
+    if (std::memcmp(header, kMagic, 8) != 0) {
+      return Status::Internal("bad segment magic: " + path_);
+    }
+    if (LoadLE32(header + 8) != kFormatVersion) {
+      return Status::Internal("unsupported segment version: " + path_);
+    }
+    if (LoadLE32(header + 12) != record_size_) {
+      return Status::Internal("segment record size mismatch: " + path_);
+    }
+    if (LoadLE64(header + 16) != schema_hash_) {
+      return Status::Internal(
+          "segment schema hash mismatch (file belongs to another table "
+          "layout): " +
+          path_);
+    }
+    // Topology check: a shard-count mismatch means this configuration
+    // would silently never read some committed shard files (or interleave
+    // two topologies in one directory). Refuse rather than lose data.
+    if (LoadLE32(header + 40) != shard_index_ ||
+        LoadLE32(header + 44) != shard_count_) {
+      return Status::FailedPrecondition(
+          "segment shard topology mismatch (file is shard " +
+          std::to_string(LoadLE32(header + 40)) + "/" +
+          std::to_string(LoadLE32(header + 44)) + ", store expects " +
+          std::to_string(shard_index_) + "/" + std::to_string(shard_count_) +
+          "): " + path_);
+    }
+    uint64_t committed = LoadLE64(header + 24);
+    nonce_high_water = LoadLE64(header + 32);
+
+    uint64_t committed_bytes = committed * record_size_;
+    if (file_size - kHeaderSize < committed_bytes) {
+      return Status::Internal(
+          "segment shorter than its committed record count: " + path_);
+    }
+    // The paper-level invariant: every committed record consumed one nonce,
+    // so a persisted counter behind the committed length means the header
+    // was tampered with or the flush ordering broke — re-encrypting from
+    // such a counter would reuse nonces. Fail loudly, never "repair".
+    if (nonce_high_water < committed) {
+      return Status::FailedPrecondition(
+          "persisted nonce high-water mark is behind the committed segment "
+          "length (would reuse nonces): " +
+          path_);
+    }
+
+    records_.reserve(committed);
+    for (uint64_t i = 0; i < committed; ++i) {
+      Bytes record(record_size_);
+      if (std::fread(record.data(), 1, record_size_, file.f) != record_size_) {
+        return IoError("record read", path_);
+      }
+      records_.push_back(std::move(record));
+    }
+
+    // The uncommitted tail is about to be discarded, but the dead process
+    // already *consumed* a nonce per tail record — and the server saw the
+    // bytes. Each record leads with its nonce counter (wire format:
+    // nonce || ct || tag), so walk the tail and report every nonce it
+    // managed to write. Only *report*: tail bytes are attacker-writable
+    // (a tampered prefix could name a nonce near 2^64 and wrap the
+    // counter into reuse), so the store validates the reported bound
+    // against the table-wide tail volume before restoring from it. A torn
+    // fragment shorter than the 8 counter bytes never carried keystream
+    // under its nonce and reports nothing.
+    for (;;) {
+      uint8_t prefix[8];
+      if (std::fread(prefix, 1, 8, file.f) != 8) break;
+      tail_nonce_bound = std::max(tail_nonce_bound, LoadLE64(prefix) + 1);
+      ++tail_records;
+      if (std::fseek(file.f, static_cast<long>(record_size_ - 8),
+                     SEEK_CUR) != 0) {
+        break;
+      }
+    }
+
+    committed_count_ = static_cast<int64_t>(committed);
+    flushed_nonce_high_water_ = nonce_high_water;
+  }
+
+  // Truncate the tail so the file and the restored state agree.
+  uint64_t keep =
+      kHeaderSize + static_cast<uint64_t>(committed_count_) * record_size_;
+  if (file_size > keep) {
+    fs::resize_file(path_, keep, ec);
+    if (ec) {
+      return Status::Internal("cannot truncate uncommitted tail of " + path_ +
+                              ": " + ec.message());
+    }
+  }
+  file_ = std::fopen(path_.c_str(), "r+b");
+  if (file_ == nullptr) return IoError("open", path_);
+  attached_ = true;
+  return ReopenInfo{flushed_nonce_high_water_, tail_nonce_bound, tail_records,
+                    /*attached_existing=*/true};
+}
+
+}  // namespace dpsync::edb

@@ -1,0 +1,86 @@
+#include "edb/storage_backend.h"
+
+#include <algorithm>
+
+#include "edb/segment_log.h"
+
+namespace dpsync::edb {
+
+std::string StorageBackendKindName(StorageBackendKind kind) {
+  switch (kind) {
+    case StorageBackendKind::kInMemory:
+      return "memory";
+    case StorageBackendKind::kSegmentLog:
+      return "segment-log";
+  }
+  return "?";
+}
+
+Status InMemoryBackend::Append(const Bytes& record) {
+  if (record.size() != record_size_) {
+    return Status::InvalidArgument("in-memory record has wrong size");
+  }
+  records_.push_back(record);
+  return Status::Ok();
+}
+
+StatusOr<Bytes> InMemoryBackend::Get(int64_t index) const {
+  if (index < 0 || index >= Count()) {
+    return Status::OutOfRange("in-memory record index out of range");
+  }
+  return records_[static_cast<size_t>(index)];
+}
+
+Status InMemoryBackend::Scan(
+    int64_t begin, int64_t end,
+    const std::function<Status(int64_t, const Bytes&)>& fn) const {
+  if (begin < 0 || end > Count() || begin > end) {
+    return Status::OutOfRange("in-memory scan range out of range");
+  }
+  for (int64_t i = begin; i < end; ++i) {
+    DPSYNC_RETURN_IF_ERROR(fn(i, records_[static_cast<size_t>(i)]));
+  }
+  return Status::Ok();
+}
+
+Status InMemoryBackend::Flush(uint64_t nonce_high_water) {
+  flushed_nonce_high_water_ = nonce_high_water;
+  return Status::Ok();
+}
+
+StatusOr<StorageBackend::ReopenInfo> InMemoryBackend::Reopen() {
+  // Process memory is the storage: every append survives "reopen" and the
+  // committed prefix is everything. The persisted mark is whatever the last
+  // Flush recorded — a never-flushed store reports a mark behind its length
+  // and the caller fails loudly, same as a tampered segment header. Nothing
+  // pre-existing is ever *attached* (the caller's own state is the truth),
+  // so attached_existing stays false.
+  return ReopenInfo{flushed_nonce_high_water_, /*tail_nonce_bound=*/0,
+                    /*tail_records=*/0, /*attached_existing=*/false};
+}
+
+StatusOr<std::unique_ptr<StorageBackend>> MakeStorageBackend(
+    const StorageConfig& config, const std::string& table_name, int shard,
+    size_t record_size, uint64_t schema_hash) {
+  switch (config.backend) {
+    case StorageBackendKind::kInMemory:
+      return std::unique_ptr<StorageBackend>(
+          std::make_unique<InMemoryBackend>(record_size));
+    case StorageBackendKind::kSegmentLog: {
+      if (config.dir.empty()) {
+        return Status::InvalidArgument(
+            "segment-log backend requires StorageConfig.dir");
+      }
+      std::string path = config.dir + "/" + table_name + "/" +
+                         std::to_string(shard) + ".seg";
+      return std::unique_ptr<StorageBackend>(std::make_unique<SegmentLogBackend>(
+          std::move(path), record_size, schema_hash,
+          static_cast<uint32_t>(shard),
+          static_cast<uint32_t>(std::max(1, config.num_shards)),
+          config.fsync_data));
+    }
+  }
+  return Status::InvalidArgument("unknown storage backend kind");
+}
+
+}  // namespace dpsync::edb

@@ -1,0 +1,145 @@
+/// \file storage_backend.h
+/// Pluggable physical storage for one shard of an encrypted table. The
+/// EncryptedTableStore owns encryption, sharding and enclave views; a
+/// StorageBackend only moves opaque fixed-size ciphertext records. Two
+/// implementations ship today: the original in-memory vector and a durable
+/// append-only segment log (segment_log.h). See docs/STORAGE.md for the
+/// interface contract and the segment wire format.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dpsync::edb {
+
+/// Which StorageBackend implementation backs each shard.
+enum class StorageBackendKind {
+  kInMemory,    ///< std::vector<Bytes>; no durability (the seed behavior)
+  kSegmentLog,  ///< append-only segment file per shard; crash-recoverable
+};
+
+std::string StorageBackendKindName(StorageBackendKind kind);
+
+/// Storage knobs threaded from the experiment config down to each table.
+struct StorageConfig {
+  StorageBackendKind backend = StorageBackendKind::kInMemory;
+  /// Number of shards per table; records are routed by identity hash.
+  int num_shards = 1;
+  /// Root directory for durable backends; segment files live at
+  /// `<dir>/<table>/<shard>.seg`. Required for kSegmentLog.
+  std::string dir;
+  /// Commit (Flush) after every Setup/Update batch, so each completed
+  /// Pi_Update is durable. Disable to control commit points manually
+  /// (crash-recovery tests do).
+  bool flush_every_update = true;
+  /// Issue a real fsync on every segment-log commit. Off by default: the
+  /// simulation's crash model is process death, which buffered writes
+  /// already survive, and per-update fsyncs dominate experiment wall time.
+  bool fsync_data = false;
+};
+
+/// Append-only record storage for one shard. Records are opaque,
+/// fixed-size ciphertexts; the fixed size makes offsets trivial for file
+/// backends. Implementations need not be thread-safe for writes; reads
+/// (Get/Scan/Count/SizeBytes) must be safe from concurrent threads once
+/// writes are quiescent — that is what the scan fan-out relies on.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Appends one record. `record` must be exactly the record size the
+  /// backend was created with.
+  virtual Status Append(const Bytes& record) = 0;
+
+  /// Returns record `index` (0-based, in append order within this shard).
+  virtual StatusOr<Bytes> Get(int64_t index) const = 0;
+
+  /// Invokes `fn(index, record)` for every record in [begin, end) in
+  /// order, stopping at the first non-OK return.
+  virtual Status Scan(
+      int64_t begin, int64_t end,
+      const std::function<Status(int64_t, const Bytes&)>& fn) const = 0;
+
+  /// Number of records currently stored.
+  virtual int64_t Count() const = 0;
+
+  /// Bytes of record data currently stored (excluding any header/metadata
+  /// overhead — the outsourced payload the experiment metrics report).
+  virtual int64_t SizeBytes() const = 0;
+
+  /// What Reopen() recovered.
+  struct ReopenInfo {
+    /// The nonce high-water mark persisted by the last Flush.
+    uint64_t nonce_high_water = 0;
+    /// One past the highest nonce found in the discarded uncommitted tail
+    /// (0 if there was no tail). The *caller* decides whether to advance
+    /// the counter past it: tail bytes are attacker-writable, so the store
+    /// cross-checks them against the table-wide tail volume before
+    /// trusting them (see EncryptedTableStore::Reopen).
+    uint64_t tail_nonce_bound = 0;
+    /// Number of (whole) records the discarded tail held.
+    uint64_t tail_records = 0;
+    /// True if durable state from a previous incarnation was attached
+    /// (lets the store distinguish "recovered table" from "fresh table"
+    /// even when the recovered table is empty).
+    bool attached_existing = false;
+  };
+
+  /// Commits all appended records and the caller's nonce high-water mark
+  /// durably. Records appended after the last Flush are not guaranteed to
+  /// survive Reopen.
+  virtual Status Flush(uint64_t nonce_high_water) = 0;
+
+  /// Re-attaches to the durable state (simulating a restart): discards any
+  /// uncommitted tail and returns what was recovered. Fails loudly if the
+  /// persisted counter is behind the committed segment length — restoring
+  /// it would reuse nonces.
+  virtual StatusOr<ReopenInfo> Reopen() = 0;
+
+  /// Human-readable identity for error messages ("mem", "seg:<path>").
+  virtual std::string DebugName() const = 0;
+};
+
+/// The seed in-memory backend: an append-only std::vector<Bytes>. Flush
+/// records the nonce high-water mark in memory only; Reopen keeps all
+/// appended records (process memory *is* the storage, so nothing can be
+/// torn) and reports the *last flushed* mark — a never-flushed store
+/// reports a mark behind its length and the caller fails loudly, same as
+/// a tampered segment header.
+class InMemoryBackend : public StorageBackend {
+ public:
+  explicit InMemoryBackend(size_t record_size) : record_size_(record_size) {}
+
+  Status Append(const Bytes& record) override;
+  StatusOr<Bytes> Get(int64_t index) const override;
+  Status Scan(int64_t begin, int64_t end,
+              const std::function<Status(int64_t, const Bytes&)>& fn)
+      const override;
+  int64_t Count() const override {
+    return static_cast<int64_t>(records_.size());
+  }
+  int64_t SizeBytes() const override {
+    return Count() * static_cast<int64_t>(record_size_);
+  }
+  Status Flush(uint64_t nonce_high_water) override;
+  StatusOr<ReopenInfo> Reopen() override;
+  std::string DebugName() const override { return "mem"; }
+
+ private:
+  size_t record_size_;
+  std::vector<Bytes> records_;
+  uint64_t flushed_nonce_high_water_ = 0;
+};
+
+/// Factory used by EncryptedTableStore: builds the backend for one shard.
+/// \param schema_hash binds segment files to their table schema
+StatusOr<std::unique_ptr<StorageBackend>> MakeStorageBackend(
+    const StorageConfig& config, const std::string& table_name, int shard,
+    size_t record_size, uint64_t schema_hash);
+
+}  // namespace dpsync::edb

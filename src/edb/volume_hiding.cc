@@ -11,8 +11,15 @@ int64_t NextPowerOfTwo(int64_t v) {
   return p;
 }
 
-StealthDbServer::StealthDbServer(uint64_t seed)
-    : inner_(ObliDbConfig{.master_seed = seed}) {}
+namespace {
+ObliDbConfig SeededConfig(uint64_t seed) {
+  ObliDbConfig cfg;
+  cfg.master_seed = seed;
+  return cfg;
+}
+}  // namespace
+
+StealthDbServer::StealthDbServer(uint64_t seed) : inner_(SeededConfig(seed)) {}
 
 StatusOr<EdbTable*> StealthDbServer::CreateTable(const std::string& name,
                                                  const query::Schema& schema) {

@@ -1,8 +1,37 @@
 #include "query/executor.h"
 
-#include <unordered_map>
+#include <algorithm>
+
+#include "common/thread_pool.h"
 
 namespace dpsync::query {
+
+namespace {
+
+/// Scans below this many total rows stay on the calling thread; the paper's
+/// unit-test tables never reach it, so small scans behave exactly as the
+/// pre-sharding executor did.
+constexpr size_t kParallelScanThreshold = 8192;
+
+/// Invokes `fn(row)` for every row with global index in [begin, end),
+/// walking the partition list in order.
+template <typename Fn>
+void ForEachRowInRange(const std::vector<const std::vector<Row>*>& parts,
+                       size_t begin, size_t end, Fn&& fn) {
+  size_t offset = 0;
+  for (const auto* part : parts) {
+    size_t part_end = offset + part->size();
+    if (part_end > begin) {
+      size_t lo = begin > offset ? begin - offset : 0;
+      size_t hi = (end < part_end ? end : part_end) - offset;
+      for (size_t i = lo; i < hi; ++i) fn((*part)[i]);
+    }
+    offset = part_end;
+    if (offset >= end) break;
+  }
+}
+
+}  // namespace
 
 void AggAccumulator::Add(const Value& v) {
   ++count_;
@@ -13,6 +42,16 @@ void AggAccumulator::Add(const Value& v) {
   if (!seen_ || d < min_) min_ = d;
   if (!seen_ || d > max_) max_ = d;
   seen_ = true;
+}
+
+void AggAccumulator::Merge(const AggAccumulator& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.seen_) {
+    if (!seen_ || other.min_ < min_) min_ = other.min_;
+    if (!seen_ || other.max_ > max_) max_ = other.max_;
+    seen_ = true;
+  }
 }
 
 double AggAccumulator::Result() const {
@@ -69,22 +108,53 @@ StatusOr<QueryResult> Executor::ExecuteScan(const SelectQuery& q,
   ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
   const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
 
+  // The L-0 oblivious scan: touch every row of every partition. Large
+  // tables fan out across the shared pool in fixed chunks; per-chunk
+  // partials merge in chunk order, so the answer is deterministic for a
+  // given partitioning. Expression evaluation is pure/const, which is what
+  // makes the row loop safe to run from pool threads.
+  const auto parts = table.Parts();
+  const size_t total = table.TotalRows();
+  const size_t max_chunks =
+      total >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
+
   if (q.group_by.empty()) {
+    std::vector<AggAccumulator> partials(std::max<size_t>(1, max_chunks),
+                                         AggAccumulator(agg->agg));
+    SharedPool()->ParallelFor(
+        total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
+          AggAccumulator& acc = partials[chunk];
+          ForEachRowInRange(parts, begin, end, [&](const Row& row) {
+            if (q.where && !q.where->Eval(table.schema, row).Truthy()) return;
+            acc.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
+          });
+        });
     AggAccumulator acc(agg->agg);
-    for (const Row& row : table.data()) {
-      if (q.where && !q.where->Eval(table.schema, row).Truthy()) continue;
-      acc.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
-    }
+    for (const auto& partial : partials) acc.Merge(partial);
     return QueryResult::Scalar(acc.Result());
   }
 
   ColumnExpr key_col(q.group_by[0]);
+  std::vector<std::map<Value, AggAccumulator>> partials(
+      std::max<size_t>(1, max_chunks));
+  SharedPool()->ParallelFor(
+      total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
+        auto& groups = partials[chunk];
+        ForEachRowInRange(parts, begin, end, [&](const Row& row) {
+          if (q.where && !q.where->Eval(table.schema, row).Truthy()) return;
+          Value key = key_col.Eval(table.schema, row);
+          auto [it, _] = groups.try_emplace(key, agg->agg);
+          it->second.Add(needs_value ? agg_col.Eval(table.schema, row)
+                                     : Value());
+        });
+      });
   std::map<Value, AggAccumulator> groups;
-  for (const Row& row : table.data()) {
-    if (q.where && !q.where->Eval(table.schema, row).Truthy()) continue;
-    Value key = key_col.Eval(table.schema, row);
-    auto [it, _] = groups.try_emplace(key, agg->agg);
-    it->second.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
+  for (auto& partial : partials) {
+    for (auto& [key, acc] : partial) {
+      auto [it, inserted] = groups.try_emplace(key, agg->agg);
+      (void)inserted;
+      it->second.Merge(acc);
+    }
   }
   QueryResult result;
   result.grouped = true;
@@ -106,23 +176,25 @@ StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
   ColumnExpr left_key(q.join->left_column);
   ColumnExpr right_key(q.join->right_column);
   std::map<Value, std::vector<const Row*>> right_index;
-  for (const Row& row : right.data()) {
+  const auto right_parts = right.Parts();
+  ForEachRowInRange(right_parts, 0, right.TotalRows(), [&](const Row& row) {
     // Evaluate the right key against the bare right schema (qualified
     // references fall back to the unqualified column).
     Value key = right_key.Eval(right.schema, row);
-    if (key.is_null()) continue;
+    if (key.is_null()) return;
     right_index[key].push_back(&row);
-  }
+  });
 
   ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
   const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
   AggAccumulator acc(agg->agg);
   Row combined;
-  for (const Row& lrow : left.data()) {
+  const auto left_parts = left.Parts();
+  ForEachRowInRange(left_parts, 0, left.TotalRows(), [&](const Row& lrow) {
     Value key = left_key.Eval(left.schema, lrow);
-    if (key.is_null()) continue;
+    if (key.is_null()) return;
     auto it = right_index.find(key);
-    if (it == right_index.end()) continue;
+    if (it == right_index.end()) return;
     for (const Row* rrow : it->second) {
       combined.clear();
       combined.reserve(lrow.size() + rrow->size());
@@ -131,7 +203,7 @@ StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
       if (q.where && !q.where->Eval(joined, combined).Truthy()) continue;
       acc.Add(needs_value ? agg_col.Eval(joined, combined) : Value());
     }
-  }
+  });
   return QueryResult::Scalar(acc.Result());
 }
 

@@ -21,18 +21,37 @@
 
 namespace dpsync::query {
 
-/// A named in-memory relation. Rows are either owned (`rows`) or borrowed
-/// from an external store (`borrowed_rows`) — the edb engines borrow their
-/// enclave-resident mirrors to avoid copying per query.
+/// A named in-memory relation. Rows are either owned (`rows`), borrowed
+/// from an external store (`borrowed_rows`), or borrowed as a list of
+/// per-shard partitions (`borrowed_parts`) — the edb engines borrow their
+/// enclave-resident shard mirrors to avoid copying per query, and the
+/// executor fans scans out across the partitions.
 struct Table {
   std::string name;
   Schema schema;
   std::vector<Row> rows;
   const std::vector<Row>* borrowed_rows = nullptr;
+  std::vector<const std::vector<Row>*> borrowed_parts;
 
-  /// The effective row set.
+  /// The effective row set when the table is NOT multi-partition. Callers
+  /// that may see sharded tables must use Parts()/TotalRows() instead.
   const std::vector<Row>& data() const {
     return borrowed_rows ? *borrowed_rows : rows;
+  }
+
+  /// The effective partitions (one per shard; exactly one for owned or
+  /// single-borrow tables). Pointers are non-null.
+  std::vector<const std::vector<Row>*> Parts() const {
+    if (!borrowed_parts.empty()) return borrowed_parts;
+    return {borrowed_rows ? borrowed_rows : &rows};
+  }
+
+  /// Total rows across all partitions.
+  size_t TotalRows() const {
+    if (borrowed_parts.empty()) return data().size();
+    size_t n = 0;
+    for (const auto* part : borrowed_parts) n += part->size();
+    return n;
   }
 };
 
@@ -82,6 +101,11 @@ class AggAccumulator {
 
   /// Final aggregate value (0 for empty COUNT/SUM, NaN-safe AVG -> 0).
   double Result() const;
+
+  /// Folds another accumulator into this one, as if its rows had been
+  /// Add()ed here in order. Lets parallel scans keep per-chunk partials
+  /// and merge them deterministically (chunk-index order).
+  void Merge(const AggAccumulator& other);
 
   int64_t count() const { return count_; }
 

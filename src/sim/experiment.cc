@@ -1,5 +1,16 @@
 #include "sim/experiment.h"
 
+#include <atomic>
+#include <filesystem>
+
+#ifdef _WIN32
+#include <process.h>
+#define DPSYNC_GETPID _getpid
+#else
+#include <unistd.h>
+#define DPSYNC_GETPID ::getpid
+#endif
+
 #include "crypto/record_cipher.h"
 #include "edb/crypte_engine.h"
 #include "edb/oblidb_engine.h"
@@ -48,13 +59,20 @@ ExperimentConfig::ExperimentConfig() {
 }
 
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed) {
+  return MakeServer(kind, seed, edb::StorageConfig{});
+}
+
+std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
+                                           const edb::StorageConfig& storage) {
   if (kind == EngineKind::kObliDb) {
     edb::ObliDbConfig cfg;
     cfg.master_seed = seed;
+    cfg.storage = storage;
     return std::make_unique<edb::ObliDbServer>(cfg);
   }
   edb::CryptEpsConfig cfg;
   cfg.master_seed = seed;
+  cfg.storage = storage;
   return std::make_unique<edb::CryptEpsServer>(cfg);
 }
 
@@ -102,9 +120,53 @@ Status SetupPipeline(TablePipeline* p, const workload::TaxiConfig& tc,
 
 }  // namespace
 
+namespace {
+
+/// Scoped storage directory for segment-log runs. Every run gets a unique
+/// fresh subdirectory — segment backends refuse to silently append to a
+/// previous incarnation's files, so reusing a directory across runs would
+/// abort the second run. Under an explicitly configured root the per-run
+/// subdirectories are kept for inspection; under the synthesized temp
+/// default they are removed when the run finishes.
+class ScopedStorageDir {
+ public:
+  explicit ScopedStorageDir(const ExperimentConfig& config) {
+    if (config.backend != edb::StorageBackendKind::kSegmentLog) return;
+    static std::atomic<uint64_t> counter{0};
+    std::string run = "dpsync-run-" + std::to_string(DPSYNC_GETPID()) + "-" +
+                      std::to_string(counter.fetch_add(1));
+    if (!config.storage_dir.empty()) {
+      dir_ = (std::filesystem::path(config.storage_dir) / run).string();
+      return;
+    }
+    std::error_code ec;
+    auto base = std::filesystem::temp_directory_path(ec);
+    if (ec) base = ".";
+    dir_ = (base / run).string();
+    owned_ = true;
+  }
+  ~ScopedStorageDir() {
+    if (!owned_) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best-effort cleanup
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  bool owned_ = false;
+};
+
+}  // namespace
+
 StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   Rng seeder(config.seed);
-  auto server = MakeServer(config.engine, seeder.Next());
+  ScopedStorageDir storage_dir(config);
+  edb::StorageConfig storage;
+  storage.backend = config.backend;
+  storage.num_shards = config.num_shards;
+  storage.dir = storage_dir.dir();
+  auto server = MakeServer(config.engine, seeder.Next(), storage);
 
   TablePipeline yellow;
   DPSYNC_RETURN_IF_ERROR(

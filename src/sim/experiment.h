@@ -15,6 +15,7 @@
 #include "core/engine.h"
 #include "core/strategy_factory.h"
 #include "edb/encrypted_database.h"
+#include "edb/storage_backend.h"
 #include "workload/taxi_generator.h"
 
 namespace dpsync::sim {
@@ -47,6 +48,17 @@ struct ExperimentConfig {
   int64_t size_sample_interval = 720;  ///< sampling of data-size series
   int64_t initial_db_size = 0;         ///< |D_0| records taken off the trace
   uint64_t seed = 99;
+  /// Physical storage behind the EDB server. Experiment metrics are
+  /// invariant in both knobs (see docs/STORAGE.md): sharding and
+  /// durability change where ciphertexts live, not what any query or
+  /// accounting observes.
+  edb::StorageBackendKind backend = edb::StorageBackendKind::kInMemory;
+  int num_shards = 1;
+  /// Segment-log root. Each run writes a unique fresh subdirectory
+  /// beneath it (segment files refuse silent reuse across runs). Empty =
+  /// a temp root whose per-run subdirectory is removed when the run
+  /// finishes; explicit roots keep theirs for inspection.
+  std::string storage_dir;
 
   ExperimentConfig();
 };
@@ -84,5 +96,9 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
 
 /// Convenience: builds the EdbServer for a kind (used by tests/examples).
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed);
+
+/// As above, with explicit physical-storage knobs.
+std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
+                                           const edb::StorageConfig& storage);
 
 }  // namespace dpsync::sim

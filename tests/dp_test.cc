@@ -4,8 +4,12 @@
 // privacy loss of released update patterns on neighboring streams.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -195,6 +199,60 @@ TEST(AccountantTest, ResetClears) {
   acc.Reset();
   EXPECT_EQ(acc.num_charges(), 0u);
   EXPECT_DOUBLE_EQ(acc.GroupEpsilon("g"), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonSequential(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonParallel(), 0.0);
+}
+
+TEST(AccountantTest, CachedTotalsMatchNaiveRecomputeOver100kCharges) {
+  // Regression guard for the running-total cache: replay a large
+  // pseudo-random charge stream into the accountant while keeping the full
+  // ledger here, then recompute every figure naively and compare. The
+  // naive pass is the pre-cache implementation (one full-ledger scan per
+  // group query).
+  struct LedgerEntry {
+    std::string group;
+    double epsilon;
+    Composition comp;
+  };
+  constexpr int kCharges = 100'000;
+  const std::vector<std::string> kGroups = {"setup", "window", "flush",
+                                            "svt", "release"};
+  PrivacyAccountant acc;
+  std::vector<LedgerEntry> ledger;
+  ledger.reserve(kCharges);
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < kCharges; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::string& group = kGroups[(state >> 33) % kGroups.size()];
+    double epsilon = static_cast<double>((state >> 11) % 1000) / 1000.0;
+    Composition comp = ((state >> 7) & 1) ? Composition::kSequential
+                                          : Composition::kParallel;
+    acc.Charge(group, epsilon, comp);
+    ledger.push_back({group, epsilon, comp});
+  }
+  ASSERT_EQ(acc.num_charges(), static_cast<size_t>(kCharges));
+
+  auto naive_group = [&](const std::string& group) {
+    double sequential = 0.0, parallel_max = 0.0;
+    for (const auto& c : ledger) {
+      if (c.group != group) continue;
+      if (c.comp == Composition::kSequential) {
+        sequential += c.epsilon;
+      } else {
+        parallel_max = std::max(parallel_max, c.epsilon);
+      }
+    }
+    return sequential + parallel_max;
+  };
+  double naive_sequential = 0.0, naive_parallel = 0.0;
+  for (const auto& g : kGroups) {
+    double eps = naive_group(g);
+    EXPECT_DOUBLE_EQ(acc.GroupEpsilon(g), eps) << g;
+    naive_sequential += eps;
+    naive_parallel = std::max(naive_parallel, eps);
+  }
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonSequential(), naive_sequential);
+  EXPECT_DOUBLE_EQ(acc.TotalEpsilonParallel(), naive_parallel);
 }
 
 // ---------------------------------------------------- Pattern simulators

@@ -113,7 +113,9 @@ TEST(EncryptedTableTest, DoubleSetupFails) {
 TEST(EncryptedTableTest, CiphertextsFixedSizeAndDistinct) {
   EncryptedTableStore store("T", TripSchema(), Bytes(32, 1));
   ASSERT_TRUE(store.Setup({Trip(1, 10), Trip(1, 10), Trip(2, 20, true)}).ok());
-  const auto& cts = store.ciphertexts();
+  auto cts_or = store.ciphertexts();
+  ASSERT_TRUE(cts_or.ok());
+  const auto& cts = cts_or.value();
   ASSERT_EQ(cts.size(), 3u);
   for (const auto& ct : cts) {
     EXPECT_EQ(ct.size(), crypto::RecordCipher::kCiphertextSize);
@@ -295,6 +297,114 @@ TEST(ObliDbOramTest, IndexedModeMatchesLinearMode) {
   ASSERT_NE(table, nullptr);
   ASSERT_NE(table->oram(), nullptr);
   EXPECT_GE(table->oram()->access_count(), 400);
+}
+
+// -------------------------------------------------------- Sharded engines
+
+std::vector<Record> ShardTestRecords() {
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 300; ++i) records.push_back(Trip(i, i % 40));
+  records.push_back(Trip(300, 10, /*dummy=*/true));
+  return records;
+}
+
+TEST(ShardedEngineTest, ObliDbAnswersIdenticalOnFourShards) {
+  ObliDbServer flat;
+  ObliDbConfig sharded_cfg;
+  sharded_cfg.storage.num_shards = 4;
+  ObliDbServer sharded(sharded_cfg);
+  for (ObliDbServer* server : {&flat, &sharded}) {
+    auto t = server->CreateTable("YellowCab", TripSchema());
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t.value()->Setup(ShardTestRecords()).ok());
+  }
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 5 AND 25",
+        "SELECT pickupID, COUNT(*) FROM YellowCab GROUP BY pickupID",
+        "SELECT SUM(fare) FROM YellowCab",
+        "SELECT AVG(tripDistance) FROM YellowCab"}) {
+    auto q = query::ParseSelect(sql);
+    ASSERT_TRUE(q.ok()) << sql;
+    auto a = flat.Query(q.value());
+    auto b = sharded.Query(q.value());
+    ASSERT_TRUE(a.ok()) << sql;
+    ASSERT_TRUE(b.ok()) << sql;
+    EXPECT_EQ(a->result.scalar, b->result.scalar) << sql;
+    EXPECT_EQ(a->result.groups, b->result.groups) << sql;
+    // Per-shard scan work aggregates to the flat count: QET unchanged.
+    EXPECT_EQ(a->stats.records_scanned, b->stats.records_scanned) << sql;
+    EXPECT_DOUBLE_EQ(a->stats.virtual_seconds, b->stats.virtual_seconds)
+        << sql;
+  }
+}
+
+TEST(ShardedEngineTest, ObliDbJoinIdenticalOnFourShards) {
+  ObliDbConfig cfg;
+  cfg.storage.num_shards = 4;
+  ObliDbServer sharded(cfg);
+  ObliDbServer flat;
+  for (ObliDbServer* server : {&flat, &sharded}) {
+    auto y = server->CreateTable("YellowCab", TripSchema());
+    auto g = server->CreateTable("GreenTaxi", TripSchema());
+    ASSERT_TRUE(y.ok());
+    ASSERT_TRUE(g.ok());
+    std::vector<Record> ys, gs;
+    for (int64_t t = 0; t < 50; ++t) ys.push_back(Trip(t, 10));
+    for (int64_t t = 25; t < 75; ++t) gs.push_back(Trip(t, 20));
+    ASSERT_TRUE(y.value()->Setup(ys).ok());
+    ASSERT_TRUE(g.value()->Setup(gs).ok());
+  }
+  auto q = query::ParseSelect(
+      "SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi ON "
+      "YellowCab.pickTime = GreenTaxi.pickTime");
+  auto a = flat.Query(q.value());
+  auto b = sharded.Query(q.value());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->result.scalar, 25.0);
+  EXPECT_DOUBLE_EQ(b->result.scalar, a->result.scalar);
+  EXPECT_EQ(b->stats.join_pairs, a->stats.join_pairs);
+}
+
+TEST(ShardedEngineTest, CryptEpsNoiseStreamUnchangedBySharding) {
+  // The DP release must depend only on the seed and the query stream —
+  // never on physical record placement.
+  CryptEpsConfig flat_cfg;
+  CryptEpsConfig sharded_cfg;
+  sharded_cfg.storage.num_shards = 4;
+  CryptEpsServer flat(flat_cfg);
+  CryptEpsServer sharded(sharded_cfg);
+  for (CryptEpsServer* server : {&flat, &sharded}) {
+    auto t = server->CreateTable("YellowCab", TripSchema());
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(t.value()->Setup(ShardTestRecords()).ok());
+  }
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  for (int i = 0; i < 5; ++i) {
+    auto a = flat.Query(q.value());
+    auto b = sharded.Query(q.value());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->result.scalar, b->result.scalar) << "query " << i;
+  }
+}
+
+TEST(ShardedEngineTest, OramIndexedModeWorksOverShards) {
+  ObliDbConfig cfg;
+  cfg.use_oram_index = true;
+  cfg.oram_capacity = 512;
+  cfg.storage.num_shards = 4;
+  ObliDbServer server(cfg);
+  auto t = server.CreateTable("YellowCab", TripSchema());
+  ASSERT_TRUE(t.ok());
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 200; ++i) records.push_back(Trip(i, i % 50));
+  ASSERT_TRUE(t.value()->Setup(records).ok());
+  auto q = query::ParseSelect(
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 10 AND 19");
+  auto r = server.Query(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->result.scalar, 40.0);
 }
 
 // -------------------------------------------------------------- Crypt-eps

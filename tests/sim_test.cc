@@ -1,7 +1,15 @@
 // Integration tests: full DP-Sync experiments (scaled-down traces) across
 // strategies and engines, checking every qualitative claim of §8, plus the
 // update-pattern adversary.
+//
+// DPSYNC_SMOKE_SIM=1 selects a further-reduced smoke mode (half a
+// simulated day, ~650 records) so sanitizer/CI sweeps finish ~8x faster;
+// assertions that scale with the trace are expressed in terms of the
+// config so both modes verify the same qualitative claims. The default
+// (local) run keeps the full five-day sweep.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 #include "sim/adversary.h"
 #include "sim/experiment.h"
@@ -9,7 +17,13 @@
 namespace dpsync::sim {
 namespace {
 
-/// Scaled-down config: ~5 simulated days, ~2.3k yellow records.
+bool SmokeMode() {
+  const char* v = std::getenv("DPSYNC_SMOKE_SIM");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Scaled-down config: ~5 simulated days, ~2.3k yellow records (smoke
+/// mode: half a day, ~650 records across both tables).
 ExperimentConfig SmallConfig(StrategyKind strategy, EngineKind engine) {
   ExperimentConfig cfg;
   cfg.engine = engine;
@@ -20,6 +34,19 @@ ExperimentConfig SmallConfig(StrategyKind strategy, EngineKind engine) {
   cfg.green.target_records = 3500;
   cfg.params.flush_interval = 1000;
   cfg.size_sample_interval = 360;
+  if (SmokeMode()) {
+    // Half a simulated day with the same record/horizon density as the
+    // full sweep (the SET-vs-DP volume ratios the tests assert depend on
+    // it), and proportionally tightened query/flush/sampling schedules so
+    // every series still collects enough points.
+    cfg.yellow.horizon_minutes = 720;
+    cfg.yellow.target_records = 300;
+    cfg.green.horizon_minutes = 720;
+    cfg.green.target_records = 350;
+    cfg.params.flush_interval = 180;
+    cfg.size_sample_interval = 90;
+    for (auto& q : cfg.queries) q.interval = (q.name == "Q3") ? 360 : 90;
+  }
   return cfg;
 }
 
@@ -46,11 +73,14 @@ TEST(ExperimentTest, OtoErrorGrowsUnbounded) {
 }
 
 TEST(ExperimentTest, SetExactButHeavy) {
-  auto r = RunExperiment(SmallConfig(StrategyKind::kSet, EngineKind::kObliDb));
+  auto cfg = SmallConfig(StrategyKind::kSet, EngineKind::kObliDb);
+  auto r = RunExperiment(cfg);
   ASSERT_TRUE(r.ok());
   for (const auto& q : r->queries) EXPECT_DOUBLE_EQ(q.mean_l1, 0.0) << q.name;
-  // SET outsources one record per tick per table: ~2 * horizon records.
-  EXPECT_GT(r->dummy_synced, 7200);
+  // SET outsources one record per tick per table (~2 * horizon posts, of
+  // which the real stream covers less than half): more than a full horizon
+  // of pure padding at either trace scale.
+  EXPECT_GT(r->dummy_synced, cfg.yellow.horizon_minutes);
 }
 
 TEST(ExperimentTest, DpStrategiesBoundedError) {
@@ -143,7 +173,12 @@ TEST(ExperimentTest, SeedChangesOutcome) {
   auto b = RunExperiment(cfg);
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
-  EXPECT_NE(a->queries[0].mean_l1, b->queries[0].mean_l1);
+  // Some individual metric can coincide by chance on a small trace (Q1's
+  // range filter often reports zero error under both seeds); the joint
+  // outcome must differ.
+  EXPECT_TRUE(a->queries[1].mean_l1 != b->queries[1].mean_l1 ||
+              a->final_total_mb != b->final_total_mb ||
+              a->dummy_synced != b->dummy_synced);
 }
 
 TEST(ExperimentTest, InitialDatabaseSupported) {
@@ -152,6 +187,80 @@ TEST(ExperimentTest, InitialDatabaseSupported) {
   auto r = RunExperiment(cfg);
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->queries[0].mean_l1, 0.0);
+}
+
+// ------------------------------------------- Storage backends & sharding
+
+/// Everything the experiment reports, flattened for exact comparison.
+std::vector<double> MetricVector(const ExperimentResult& r) {
+  std::vector<double> v;
+  for (const auto& q : r.queries) {
+    v.push_back(q.mean_l1);
+    v.push_back(q.max_l1);
+    v.push_back(q.mean_qet);
+    v.insert(v.end(), q.l1_error.value.begin(), q.l1_error.value.end());
+    v.insert(v.end(), q.qet.value.begin(), q.qet.value.end());
+  }
+  v.insert(v.end(), r.logical_gap.value.begin(), r.logical_gap.value.end());
+  v.insert(v.end(), r.total_mb.value.begin(), r.total_mb.value.end());
+  v.insert(v.end(), r.dummy_mb.value.begin(), r.dummy_mb.value.end());
+  v.push_back(r.mean_logical_gap);
+  v.push_back(r.final_total_mb);
+  v.push_back(r.final_dummy_mb);
+  v.push_back(static_cast<double>(r.real_synced));
+  v.push_back(static_cast<double>(r.dummy_synced));
+  v.push_back(static_cast<double>(r.updates_posted));
+  return v;
+}
+
+TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
+  // The acceptance bar for the storage-spine refactor: both engines, both
+  // backends, shard counts {1, 4} — every reported metric bit-identical to
+  // the single-shard in-memory baseline at the same seed. Physical storage
+  // placement must be unobservable in the simulation's outputs.
+  struct Variant {
+    edb::StorageBackendKind backend;
+    int num_shards;
+  };
+  const Variant variants[] = {
+      {edb::StorageBackendKind::kInMemory, 4},
+      {edb::StorageBackendKind::kSegmentLog, 1},
+      {edb::StorageBackendKind::kSegmentLog, 4},
+  };
+  for (auto engine : {EngineKind::kObliDb, EngineKind::kCryptEps}) {
+    auto base_cfg = SmallConfig(StrategyKind::kDpTimer, engine);
+    base_cfg.yellow.horizon_minutes = 720;
+    base_cfg.yellow.target_records = 350;
+    base_cfg.green.horizon_minutes = 720;
+    base_cfg.green.target_records = 400;
+    base_cfg.params.flush_interval = 180;
+    base_cfg.size_sample_interval = 90;
+    // Tight schedules so Q1/Q2 (and Q3's join path on ObliDB) all fire
+    // several times inside the short horizon.
+    for (auto& q : base_cfg.queries) q.interval = (q.name == "Q3") ? 360 : 90;
+    auto baseline = RunExperiment(base_cfg);
+    ASSERT_TRUE(baseline.ok()) << EngineKindName(engine);
+    auto expect = MetricVector(baseline.value());
+    ASSERT_FALSE(expect.empty());
+    for (const auto& variant : variants) {
+      auto cfg = base_cfg;
+      cfg.backend = variant.backend;
+      cfg.num_shards = variant.num_shards;
+      auto r = RunExperiment(cfg);
+      ASSERT_TRUE(r.ok())
+          << EngineKindName(engine) << " "
+          << edb::StorageBackendKindName(variant.backend) << " x"
+          << variant.num_shards;
+      auto got = MetricVector(r.value());
+      ASSERT_EQ(got.size(), expect.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], expect[i])
+            << EngineKindName(engine) << " "
+            << edb::StorageBackendKindName(variant.backend) << " x"
+            << variant.num_shards << " metric index " << i;
+      }
+    }
+  }
 }
 
 TEST(ExperimentTest, UpdatePatternExposedForAnalysis) {

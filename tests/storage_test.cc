@@ -1,0 +1,526 @@
+// Tests for the pluggable storage layer: the StorageBackend interface
+// (in-memory and durable segment log), shard routing, the sharded
+// EncryptedTableStore, and — the part everything else leans on — crash
+// recovery: write-kill-reopen must detect torn tails and tampering,
+// restore the nonce counter, and recover exactly the committed prefix
+// without ever reusing a nonce.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/record_cipher.h"
+#include "edb/encrypted_table.h"
+#include "edb/segment_log.h"
+#include "edb/shard_router.h"
+#include "edb/storage_backend.h"
+#include "query/parser.h"
+#include "test_util.h"
+#include "workload/trip_record.h"
+
+namespace dpsync::edb {
+namespace {
+
+namespace fs = std::filesystem;
+using testutil::Trip;
+using workload::TripRecord;
+using workload::TripSchema;
+
+constexpr size_t kRecordSize = crypto::RecordCipher::kCiphertextSize;
+
+/// Fresh scratch directory per test, removed on teardown.
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static int counter = 0;  // unique scratch dir per test case
+    dir_ = (fs::temp_directory_path() /
+            ("dpsync-storage-test-" + std::to_string(counter++)))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  StorageConfig SegmentConfig(int num_shards = 1,
+                              bool flush_every_update = true) const {
+    StorageConfig cfg;
+    cfg.backend = StorageBackendKind::kSegmentLog;
+    cfg.num_shards = num_shards;
+    cfg.dir = dir_;
+    cfg.flush_every_update = flush_every_update;
+    return cfg;
+  }
+
+  std::string SegPath(const std::string& table, int shard) const {
+    return dir_ + "/" + table + "/" + std::to_string(shard) + ".seg";
+  }
+
+  std::string dir_;
+};
+
+Bytes TestRecord(uint8_t fill) { return Bytes(kRecordSize, fill); }
+
+/// A record whose leading bytes carry a wire-format nonce counter (Reopen
+/// parses the tail's nonces to advance the recovered high-water mark).
+Bytes RecordWithNonce(uint64_t nonce, uint8_t fill) {
+  Bytes r(kRecordSize, fill);
+  StoreLE64(r.data(), nonce);
+  return r;
+}
+
+/// Multiset of pickup ids — order-insensitive row-content comparison.
+std::multiset<int64_t> PickupIds(const std::vector<query::Row>& rows) {
+  std::multiset<int64_t> ids;
+  for (const auto& row : rows) ids.insert(TripRecord::FromRow(row).pickup_id);
+  return ids;
+}
+
+// ------------------------------------------------------ In-memory backend
+
+TEST_F(StorageTest, InMemoryAppendGetScanCount) {
+  InMemoryBackend mem(kRecordSize);
+  ASSERT_OK(mem.Append(TestRecord(1)));
+  ASSERT_OK(mem.Append(TestRecord(2)));
+  EXPECT_EQ(mem.Count(), 2);
+  EXPECT_EQ(mem.SizeBytes(), static_cast<int64_t>(2 * kRecordSize));
+  auto r = mem.Get(1);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(), TestRecord(2));
+  EXPECT_NOT_OK(mem.Get(2));
+  EXPECT_NOT_OK(mem.Append(Bytes(3, 0)));  // wrong record size
+  int64_t seen = 0;
+  ASSERT_OK(mem.Scan(0, 2, [&](int64_t i, const Bytes& rec) {
+    EXPECT_EQ(rec, TestRecord(static_cast<uint8_t>(i + 1)));
+    ++seen;
+    return Status::Ok();
+  }));
+  EXPECT_EQ(seen, 2);
+}
+
+TEST_F(StorageTest, InMemoryReopenReportsLastFlushedMark) {
+  InMemoryBackend mem(kRecordSize);
+  ASSERT_OK(mem.Append(TestRecord(1)));
+  ASSERT_OK(mem.Flush(7));
+  auto mark = mem.Reopen();
+  ASSERT_OK(mark);
+  EXPECT_EQ(mark.value().nonce_high_water, 7u);
+  EXPECT_EQ(mem.Count(), 1);  // memory is the storage: nothing is lost
+}
+
+// ---------------------------------------------------- Segment-log backend
+
+TEST_F(StorageTest, SegmentLogRoundTripAcrossInstances) {
+  {
+    SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 0xabcd);
+    ASSERT_OK(seg.Append(TestRecord(1)));
+    ASSERT_OK(seg.Append(TestRecord(2)));
+    ASSERT_OK(seg.Flush(2));
+  }
+  SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 0xabcd);
+  auto mark = seg.Reopen();
+  ASSERT_OK(mark);
+  EXPECT_EQ(mark.value().nonce_high_water, 2u);
+  EXPECT_EQ(seg.Count(), 2);
+  auto r = seg.Get(0);
+  ASSERT_OK(r);
+  EXPECT_EQ(r.value(), TestRecord(1));
+}
+
+TEST_F(StorageTest, SegmentLogRequiresReopenOnExistingFile) {
+  {
+    SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+    ASSERT_OK(seg.Append(TestRecord(1)));
+    ASSERT_OK(seg.Flush(1));
+  }
+  SegmentLogBackend fresh(SegPath("T", 0), kRecordSize, 1);
+  auto st = fresh.Append(TestRecord(2));
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  ASSERT_OK(fresh.Reopen());
+  EXPECT_OK(fresh.Append(TestRecord(2)));
+}
+
+TEST_F(StorageTest, SegmentLogDiscardsUncommittedTailOnReopen) {
+  {
+    SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+    ASSERT_OK(seg.Append(RecordWithNonce(0, 1)));
+    ASSERT_OK(seg.Flush(1));
+    // Crash after two more uncommitted appends (no Flush).
+    ASSERT_OK(seg.Append(RecordWithNonce(1, 2)));
+    ASSERT_OK(seg.Append(RecordWithNonce(2, 3)));
+  }
+  SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+  auto mark = seg.Reopen();
+  ASSERT_OK(mark);
+  // The tail is dropped, but the nonces it burned are reported alongside
+  // the header mark (the store validates and applies the advance).
+  EXPECT_EQ(mark.value().nonce_high_water, 1u);
+  EXPECT_EQ(mark.value().tail_nonce_bound, 3u);
+  EXPECT_EQ(mark.value().tail_records, 2u);
+  EXPECT_EQ(seg.Count(), 1);
+  // The tail was physically truncated, so a second reopen agrees.
+  EXPECT_EQ(fs::file_size(SegPath("T", 0)),
+            SegmentLogBackend::kHeaderSize + kRecordSize);
+}
+
+TEST_F(StorageTest, SegmentLogDetectsTornRecordTail) {
+  {
+    SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+    ASSERT_OK(seg.Append(TestRecord(1)));
+    ASSERT_OK(seg.Flush(1));
+  }
+  {
+    // A torn write: half a record past the committed prefix.
+    std::ofstream f(SegPath("T", 0), std::ios::binary | std::ios::app);
+    Bytes half(kRecordSize / 2, 0xee);
+    f.write(reinterpret_cast<const char*>(half.data()),
+            static_cast<std::streamsize>(half.size()));
+  }
+  SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+  auto mark = seg.Reopen();
+  ASSERT_OK(mark);
+  EXPECT_EQ(seg.Count(), 1);  // torn tail detected and dropped
+  EXPECT_EQ(fs::file_size(SegPath("T", 0)),
+            SegmentLogBackend::kHeaderSize + kRecordSize);
+}
+
+TEST_F(StorageTest, SegmentLogFailsLoudlyWhenNonceMarkBehindLength) {
+  {
+    SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+    ASSERT_OK(seg.Append(TestRecord(1)));
+    ASSERT_OK(seg.Append(TestRecord(2)));
+    ASSERT_OK(seg.Flush(2));
+  }
+  {
+    // Tamper: rewind the persisted nonce mark below the committed count.
+    std::fstream f(SegPath("T", 0),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(32);
+    uint8_t one[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+    f.write(reinterpret_cast<const char*>(one), 8);
+  }
+  SegmentLogBackend seg(SegPath("T", 0), kRecordSize, 1);
+  auto mark = seg.Reopen();
+  ASSERT_FALSE(mark.ok());
+  EXPECT_EQ(mark.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StorageTest, SegmentLogRejectsForeignSchemaHash) {
+  {
+    SegmentLogBackend seg(SegPath("T", 0), kRecordSize, /*schema_hash=*/111);
+    ASSERT_OK(seg.Append(TestRecord(1)));
+    ASSERT_OK(seg.Flush(1));
+  }
+  SegmentLogBackend other(SegPath("T", 0), kRecordSize, /*schema_hash=*/222);
+  EXPECT_NOT_OK(other.Reopen());
+}
+
+TEST_F(StorageTest, ReopenWithDifferentShardCountFailsLoudly) {
+  // Writing with 4 shards, reopening with 1 would silently orphan shards
+  // 1-3 (the single-shard store never reads their files): the topology is
+  // persisted per segment and any mismatch must refuse to attach.
+  const Bytes key(32, 4);
+  {
+    EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(4));
+    std::vector<Record> records;
+    for (int64_t i = 0; i < 100; ++i) records.push_back(Trip(i, i));
+    ASSERT_OK(store.Setup(records));
+  }
+  EncryptedTableStore narrow("T", TripSchema(), key, SegmentConfig(1));
+  auto st = narrow.Reopen();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // The matching topology still attaches fine.
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(4));
+  ASSERT_OK(store.Reopen());
+  EXPECT_EQ(store.outsourced_count(), 100);
+}
+
+TEST_F(StorageTest, ReopenAfterEmptySetupKeepsTableUsable) {
+  // Setup with an empty gamma_0 is the experiment default; a crash right
+  // after it must not strand the table in "Update before Setup".
+  const Bytes key(32, 6);
+  {
+    EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+    ASSERT_OK(store.Setup({}));  // auto-flush commits the (empty) table
+  }
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+  ASSERT_OK(store.Reopen());
+  EXPECT_OK(store.Update({Trip(1, 10)}));
+  auto rows = store.DecryptAll();
+  ASSERT_OK(rows);
+  EXPECT_EQ(PickupIds(rows.value()), (std::multiset<int64_t>{10}));
+}
+
+// ----------------------------------------------------------- Shard router
+
+TEST(ShardRouterTest, DeterministicAndInRange) {
+  ShardRouter router(4);
+  std::map<int, int> histogram;
+  for (int64_t i = 0; i < 1000; ++i) {
+    Bytes payload = Trip(i, i % 50).payload;
+    int shard = router.Route(payload);
+    EXPECT_EQ(shard, router.Route(payload));  // identity-stable
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    histogram[shard]++;
+  }
+  // All four shards receive a healthy share of a 1000-record stream.
+  EXPECT_EQ(histogram.size(), 4u);
+  for (const auto& [shard, count] : histogram) {
+    EXPECT_GT(count, 100) << "shard " << shard;
+  }
+}
+
+TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
+  ShardRouter router(1);
+  EXPECT_EQ(router.Route(Trip(1, 2).payload), 0);
+}
+
+// ------------------------------------------------- Sharded EncryptedTable
+
+TEST_F(StorageTest, ShardedStoreSpreadsRecordsAndPreservesArrivalOrder) {
+  StorageConfig cfg;
+  cfg.num_shards = 4;
+  EncryptedTableStore store("T", TripSchema(), Bytes(32, 1), cfg);
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 200; ++i) records.push_back(Trip(i, i));
+  ASSERT_OK(store.Setup(records));
+  EXPECT_EQ(store.outsourced_count(), 200);
+  int64_t sum = 0;
+  int shards_used = 0;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    sum += store.shard_count(s);
+    if (store.shard_count(s) > 0) ++shards_used;
+  }
+  EXPECT_EQ(sum, 200);
+  EXPECT_EQ(shards_used, 4);
+  // DecryptAll crosses shards via the journal: global append order.
+  auto rows = store.DecryptAll();
+  ASSERT_OK(rows);
+  for (int64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(TripRecord::FromRow(rows.value()[static_cast<size_t>(i)])
+                  .pickup_id,
+              i);
+  }
+  // EnclaveView returns one partition per shard, covering every record.
+  auto view = store.EnclaveView();
+  ASSERT_OK(view);
+  ASSERT_EQ(view.value().size(), 4u);
+  size_t total = 0;
+  for (const auto* part : view.value()) total += part->size();
+  EXPECT_EQ(total, 200u);
+}
+
+TEST_F(StorageTest, ShardedStoreMatchesUnshardedContent) {
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 300; ++i) records.push_back(Trip(i, i % 37));
+  EncryptedTableStore flat("T", TripSchema(), Bytes(32, 1));
+  StorageConfig cfg;
+  cfg.num_shards = 4;
+  EncryptedTableStore sharded("T", TripSchema(), Bytes(32, 1), cfg);
+  ASSERT_OK(flat.Setup(records));
+  ASSERT_OK(sharded.Setup(records));
+  auto flat_rows = flat.DecryptAll();
+  auto sharded_rows = sharded.DecryptAll();
+  ASSERT_OK(flat_rows);
+  ASSERT_OK(sharded_rows);
+  EXPECT_EQ(PickupIds(flat_rows.value()), PickupIds(sharded_rows.value()));
+  EXPECT_EQ(flat.outsourced_bytes(), sharded.outsourced_bytes());
+}
+
+TEST_F(StorageTest, OutsourcedBytesDerivedFromBackend) {
+  EncryptedTableStore store("T", TripSchema(), Bytes(32, 1), SegmentConfig(2));
+  ASSERT_OK(store.Setup({Trip(1, 10), Trip(2, 20), Trip(3, 30)}));
+  int64_t from_backends = 0;
+  for (int s = 0; s < store.num_shards(); ++s) {
+    from_backends += store.shard_backend(s).SizeBytes();
+  }
+  EXPECT_EQ(store.outsourced_bytes(), from_backends);
+  EXPECT_EQ(store.outsourced_bytes(), static_cast<int64_t>(3 * kRecordSize));
+}
+
+TEST_F(StorageTest, SegmentStoreWithoutDirFailsOnFirstUse) {
+  StorageConfig cfg;
+  cfg.backend = StorageBackendKind::kSegmentLog;  // dir left empty
+  EncryptedTableStore store("T", TripSchema(), Bytes(32, 1), cfg);
+  EXPECT_NOT_OK(store.Setup({Trip(1, 10)}));
+}
+
+// -------------------------------------------------------- Crash recovery
+
+TEST_F(StorageTest, WriteKillReopenRecoversCommittedPrefixAndNonces) {
+  const Bytes key(32, 7);
+  uint64_t committed_mark = 0;
+  std::set<Bytes> pre_crash_nonces;
+  {
+    // Manual commit points so the "kill" lands mid-Update.
+    EncryptedTableStore store("T", TripSchema(), key,
+                              SegmentConfig(1, /*flush_every_update=*/false));
+    ASSERT_OK(store.Setup({Trip(1, 10), Trip(2, 20)}));
+    ASSERT_OK(store.Update({Trip(3, 30)}));
+    ASSERT_OK(store.Flush());  // commit: {10, 20, 30}
+    committed_mark = store.nonce_high_water();
+    // Mid-Update "kill": records appended, commit never reached.
+    ASSERT_OK(store.Update({Trip(4, 40), Trip(5, 50)}));
+    // Everything written so far — including the doomed tail — reached the
+    // (adversarial) server; its nonces must never be paired with new
+    // plaintexts.
+    auto pre_cts = store.ciphertexts();
+    ASSERT_OK(pre_cts);
+    for (const auto& ct : pre_cts.value()) {
+      pre_crash_nonces.insert(Bytes(ct.begin(), ct.begin() + 12));
+    }
+    // Process dies here — the store object is simply dropped.
+  }
+
+  // Restart: a fresh store (cipher counter at 0) attaches to the files.
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1, false));
+  ASSERT_OK(store.Reopen());
+  // Counter restored past BOTH the committed prefix and the two nonces the
+  // dead process burned on the discarded tail (their bytes hit the disk).
+  EXPECT_EQ(store.nonce_high_water(), committed_mark + 2);
+  EXPECT_EQ(store.outsourced_count(), 3);
+  auto rows = store.DecryptAll();
+  ASSERT_OK(rows);
+  EXPECT_EQ(PickupIds(rows.value()),
+            (std::multiset<int64_t>{10, 20, 30}));  // committed prefix only
+
+  // Post-recovery updates must mint fresh nonces — never one the dead
+  // process already bound to a ciphertext.
+  ASSERT_OK(store.Update({Trip(6, 60), Trip(7, 70)}));
+  ASSERT_OK(store.Flush());
+  auto cts = store.ciphertexts();
+  ASSERT_OK(cts);
+  std::set<Bytes> all_nonces = pre_crash_nonces;
+  for (const auto& ct : cts.value()) {
+    all_nonces.insert(Bytes(ct.begin(), ct.begin() + 12));
+  }
+  // 3 committed + 2 uncommitted (crashed) + 2 fresh = 7 distinct nonces.
+  EXPECT_EQ(all_nonces.size(), 7u);
+  auto recovered = store.DecryptAll();
+  ASSERT_OK(recovered);
+  EXPECT_EQ(PickupIds(recovered.value()),
+            (std::multiset<int64_t>{10, 20, 30, 60, 70}));
+}
+
+TEST_F(StorageTest, CrashRecoveryAcrossFourShards) {
+  const Bytes key(32, 9);
+  std::vector<Record> committed;
+  for (int64_t i = 0; i < 100; ++i) committed.push_back(Trip(i, i));
+  {
+    EncryptedTableStore store("T", TripSchema(), key,
+                              SegmentConfig(4, /*flush_every_update=*/false));
+    ASSERT_OK(store.Setup(committed));
+    ASSERT_OK(store.Flush());
+    ASSERT_OK(store.Update({Trip(200, 999), Trip(201, 998)}));  // lost
+  }
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(4, false));
+  ASSERT_OK(store.Reopen());
+  EXPECT_EQ(store.outsourced_count(), 100);
+  auto rows = store.DecryptAll();
+  ASSERT_OK(rows);
+  std::multiset<int64_t> expect;
+  for (int64_t i = 0; i < 100; ++i) expect.insert(i);
+  EXPECT_EQ(PickupIds(rows.value()), expect);
+  EXPECT_GE(store.nonce_high_water(), 100u);
+}
+
+TEST_F(StorageTest, TamperedCommittedRecordFailsAuthentication) {
+  const Bytes key(32, 5);
+  {
+    EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+    ASSERT_OK(store.Setup({Trip(1, 10), Trip(2, 20)}));
+  }
+  {
+    // Flip one byte inside the second committed record's ciphertext body.
+    std::fstream f(SegPath("T", 0),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(SegmentLogBackend::kHeaderSize +
+                                        kRecordSize + 20));
+    char byte;
+    f.seekg(f.tellp());
+    f.read(&byte, 1);
+    byte ^= 0x01;
+    f.seekp(static_cast<std::streamoff>(SegmentLogBackend::kHeaderSize +
+                                        kRecordSize + 20));
+    f.write(&byte, 1);
+  }
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+  ASSERT_OK(store.Reopen());
+  auto rows = store.DecryptAll();
+  EXPECT_NOT_OK(rows);  // AEAD authentication catches the flip
+}
+
+TEST_F(StorageTest, ImplausibleTailNonceFailsLoudly) {
+  // The tail walk trusts nothing: a tampered tail record claiming a nonce
+  // far beyond what a real crash could have burned (which would wrap the
+  // counter toward reuse if honored) must be rejected, not "recovered".
+  const Bytes key(32, 8);
+  {
+    EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+    ASSERT_OK(store.Setup({Trip(1, 10), Trip(2, 20)}));
+  }
+  {
+    // Forge one whole tail record whose nonce prefix is near 2^64.
+    std::ofstream f(SegPath("T", 0), std::ios::binary | std::ios::app);
+    Bytes forged = RecordWithNonce(~uint64_t{0} - 1, 0xee);
+    f.write(reinterpret_cast<const char*>(forged.data()),
+            static_cast<std::streamsize>(forged.size()));
+  }
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+  auto st = store.Reopen();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StorageTest, AutoFlushCommitsEveryUpdate) {
+  const Bytes key(32, 3);
+  {
+    EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+    ASSERT_OK(store.Setup({Trip(1, 10)}));
+    ASSERT_OK(store.Update({Trip(2, 20)}));
+    // No explicit Flush: flush_every_update committed both batches.
+  }
+  EncryptedTableStore store("T", TripSchema(), key, SegmentConfig(1));
+  ASSERT_OK(store.Reopen());
+  EXPECT_EQ(store.outsourced_count(), 2);
+  ASSERT_OK(store.Update({Trip(3, 30)}));
+  auto rows = store.DecryptAll();
+  ASSERT_OK(rows);
+  EXPECT_EQ(PickupIds(rows.value()), (std::multiset<int64_t>{10, 20, 30}));
+}
+
+// ------------------------------------------------- RecordCipher nonce API
+
+TEST(NonceHighWaterTest, SaveRestoreRoundTrip) {
+  crypto::RecordCipher a(Bytes(32, 1));
+  ASSERT_OK(a.Encrypt(Bytes{1}));
+  ASSERT_OK(a.Encrypt(Bytes{2}));
+  EXPECT_EQ(a.nonce_high_water(), 2u);
+
+  crypto::RecordCipher b(Bytes(32, 1));
+  ASSERT_OK(b.RestoreNonceHighWater(a.nonce_high_water()));
+  auto ct = b.Encrypt(Bytes{3});
+  ASSERT_OK(ct);
+  // The restored cipher's first nonce continues where `a` stopped.
+  Bytes nonce(ct.value().begin(), ct.value().begin() + 12);
+  EXPECT_EQ(LoadLE64(nonce.data()), 2u);
+}
+
+TEST(NonceHighWaterTest, RefusesToRewind) {
+  crypto::RecordCipher cipher(Bytes(32, 1));
+  ASSERT_OK(cipher.Encrypt(Bytes{1}));
+  ASSERT_OK(cipher.Encrypt(Bytes{2}));
+  auto st = cipher.RestoreNonceHighWater(1);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_OK(cipher.RestoreNonceHighWater(2));  // no-op restore is fine
+}
+
+}  // namespace
+}  // namespace dpsync::edb
