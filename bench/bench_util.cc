@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "edb/storage_backend.h"
 
 namespace dpsync::bench {
@@ -80,6 +81,47 @@ void RenderQueries(std::ostringstream& os,
 
 void WriteReportAtExit() { WriteJsonReport(); }
 
+/// Renders one experiment as a report entry (shared by MustRun and
+/// MustRunAll so sequential and fanned-out sweeps emit identical JSON).
+std::string RenderEntry(const sim::ExperimentConfig& config,
+                        const sim::ExperimentResult& result, double wall) {
+  std::ostringstream os;
+  os << "{\"engine\":\"" << result.engine_name << "\",\"strategy\":\""
+     << result.strategy_name << "\",\"epsilon\":" << Num(result.epsilon)
+     << ",\"backend\":\"" << edb::StorageBackendKindName(config.backend)
+     << "\",\"num_shards\":" << config.num_shards
+     << ",\"use_oram_index\":" << (config.use_oram_index ? "true" : "false")
+     << ",\"horizon_minutes\":" << config.yellow.horizon_minutes
+     << ",\"wall_seconds\":" << Num(wall) << ",\"queries\":";
+  RenderQueries(os, result.queries);
+  os << ",\"mean_logical_gap\":" << Num(result.mean_logical_gap)
+     << ",\"final_total_mb\":" << Num(result.final_total_mb)
+     << ",\"final_dummy_mb\":" << Num(result.final_dummy_mb)
+     << ",\"real_synced\":" << result.real_synced
+     << ",\"dummy_synced\":" << result.dummy_synced
+     << ",\"updates_posted\":" << result.updates_posted;
+  if (result.oram.enabled) {
+    // ORAM health rides along so CI artifact diffs catch stash growth or
+    // shard imbalance regressions, not just timing drift.
+    os << ",\"oram\":{\"max_stash\":" << result.oram.max_stash_size
+       << ",\"access_count\":" << result.oram.access_count
+       << ",\"shard_accesses\":[";
+    for (size_t s = 0; s < result.oram.shard_access_counts.size(); ++s) {
+      if (s) os << ",";
+      os << result.oram.shard_access_counts[s];
+    }
+    os << "]}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void DieOnError(const Status& status) {
+  if (status.ok()) return;
+  std::cerr << "experiment failed: " << status.ToString() << std::endl;
+  std::exit(1);
+}
+
 }  // namespace
 
 bool FastMode() {
@@ -112,27 +154,42 @@ sim::ExperimentResult MustRun(const sim::ExperimentConfig& config) {
   double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  if (!r.ok()) {
-    std::cerr << "experiment failed: " << r.status().ToString() << std::endl;
-    std::exit(1);
-  }
-  const auto& result = r.value();
-  std::ostringstream os;
-  os << "{\"engine\":\"" << result.engine_name << "\",\"strategy\":\""
-     << result.strategy_name << "\",\"epsilon\":" << Num(result.epsilon)
-     << ",\"backend\":\"" << edb::StorageBackendKindName(config.backend)
-     << "\",\"num_shards\":" << config.num_shards
-     << ",\"horizon_minutes\":" << config.yellow.horizon_minutes
-     << ",\"wall_seconds\":" << Num(wall) << ",\"queries\":";
-  RenderQueries(os, result.queries);
-  os << ",\"mean_logical_gap\":" << Num(result.mean_logical_gap)
-     << ",\"final_total_mb\":" << Num(result.final_total_mb)
-     << ",\"final_dummy_mb\":" << Num(result.final_dummy_mb)
-     << ",\"real_synced\":" << result.real_synced
-     << ",\"dummy_synced\":" << result.dummy_synced
-     << ",\"updates_posted\":" << result.updates_posted << "}";
-  Report().entries.push_back(os.str());
+  DieOnError(r.status());
+  Report().entries.push_back(RenderEntry(config, r.value(), wall));
   return std::move(r.value());
+}
+
+std::vector<sim::ExperimentResult> MustRunAll(
+    const std::vector<sim::ExperimentConfig>& configs) {
+  const size_t n = configs.size();
+  std::vector<StatusOr<sim::ExperimentResult>> runs(
+      n, StatusOr<sim::ExperimentResult>(
+             Status::FailedPrecondition("cell did not run")));
+  std::vector<double> walls(n, 0.0);
+  // One pool task per cell. Each cell's experiment is seeded entirely from
+  // its own config (RunExperiment derives every RNG from config.seed), so
+  // concurrent cells share no mutable state and the fan-out cannot change
+  // any result; nested scan fan-outs inside a cell collapse to the worker
+  // thread (see ThreadPool::ParallelFor).
+  SharedPool()->ParallelFor(n, n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      runs[i] = sim::RunExperiment(configs[i]);
+      walls[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+  });
+  std::vector<sim::ExperimentResult> results;
+  results.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DieOnError(runs[i].status());
+    Report().entries.push_back(RenderEntry(configs[i], runs[i].value(),
+                                           walls[i]));
+    results.push_back(std::move(runs[i].value()));
+  }
+  return results;
 }
 
 bool WriteJsonReport() {

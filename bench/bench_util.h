@@ -29,6 +29,18 @@ void PrintSeries(std::ostream& os, const std::string& tag,
 /// recorded in the machine-readable report (see WriteJsonReport).
 sim::ExperimentResult MustRun(const sim::ExperimentConfig& config);
 
+/// Runs a whole sweep of independent experiment cells, fanned out across
+/// the shared thread pool, and dies on the first error. Results, stdout
+/// tables and the JSON report entries all come back in input order, and
+/// every cell runs from its own config seed — so the output is
+/// bit-identical to calling MustRun sequentially, just faster. (Cells on
+/// worker threads run their internal scan fan-outs as one chunk; that is
+/// invisible because query aggregation is exact integer arithmetic —
+/// a future FP-associative aggregate (SUM/AVG over doubles) would need a
+/// chunk-count-stable merge before this identity claim extends to it.)
+std::vector<sim::ExperimentResult> MustRunAll(
+    const std::vector<sim::ExperimentConfig>& configs);
+
 /// Header banner for a figure binary. Also names and arms the JSON report:
 /// when the process exits, every MustRun recorded since is written to
 /// `BENCH_<name>.json` (in $DPSYNC_BENCH_JSON_DIR, default the working

@@ -18,9 +18,13 @@ int main() {
   Banner("Figure 2: end-to-end L1 error and query execution time",
          "Figure 2(a)-(j)");
 
+  // The strategy x engine cells are independent experiments, each seeded
+  // from its own config — build them all, fan the sweep out on the shared
+  // pool, and print in the original sequential order.
   for (auto engine : {sim::EngineKind::kObliDb, sim::EngineKind::kCryptEps}) {
     TablePrinter summary(
         {"engine", "strategy", "query", "mean L1", "max L1", "mean QET (s)"});
+    std::vector<sim::ExperimentConfig> cells;
     for (auto strategy :
          {StrategyKind::kSur, StrategyKind::kOto, StrategyKind::kSet,
           StrategyKind::kDpTimer, StrategyKind::kDpAnt}) {
@@ -28,7 +32,9 @@ int main() {
       cfg.engine = engine;
       cfg.strategy = strategy;
       ApplyFastMode(&cfg);
-      auto result = MustRun(cfg);
+      cells.push_back(cfg);
+    }
+    for (const auto& result : MustRunAll(cells)) {
       for (const auto& q : result.queries) {
         std::string tag = "fig2," + result.engine_name + "," +
                           result.strategy_name + "," + q.name;

@@ -15,12 +15,17 @@ using namespace dpsync::bench;
 int main() {
   Banner("Figure 4: QET vs L1 error trade-off (Q2)", "Figure 4(a)-(b)");
 
+  const StrategyKind kStrategies[] = {StrategyKind::kSur, StrategyKind::kOto,
+                                      StrategyKind::kSet,
+                                      StrategyKind::kDpTimer,
+                                      StrategyKind::kDpAnt};
   for (auto engine : {sim::EngineKind::kObliDb, sim::EngineKind::kCryptEps}) {
     TablePrinter table(
         {"engine", "strategy", "mean QET (s)", "mean L1 error", "corner"});
-    for (auto strategy :
-         {StrategyKind::kSur, StrategyKind::kOto, StrategyKind::kSet,
-          StrategyKind::kDpTimer, StrategyKind::kDpAnt}) {
+    // Independent per-strategy cells (each seeded from its own config):
+    // sweep in parallel on the shared pool, report in sequential order.
+    std::vector<sim::ExperimentConfig> cells;
+    for (auto strategy : kStrategies) {
       sim::ExperimentConfig cfg;
       cfg.engine = engine;
       cfg.strategy = strategy;
@@ -30,7 +35,12 @@ int main() {
                       "GROUP BY pickupID",
                       360}};
       ApplyFastMode(&cfg);
-      auto result = MustRun(cfg);
+      cells.push_back(cfg);
+    }
+    auto results = MustRunAll(cells);
+    for (size_t i = 0; i < results.size(); ++i) {
+      StrategyKind strategy = kStrategies[i];
+      const auto& result = results[i];
       const auto& q2 = result.queries[0];
       std::cout << "fig4," << result.engine_name << ","
                 << result.strategy_name << "," << q2.mean_qet << ","

@@ -21,7 +21,7 @@ int main() {
 
   const double kEpsilons[] = {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 10.0};
 
-  auto run_q2 = [&](StrategyKind strategy, double eps) {
+  auto q2_cell = [&](StrategyKind strategy, double eps) {
     sim::ExperimentConfig cfg;
     cfg.strategy = strategy;
     cfg.params.epsilon = eps;
@@ -31,28 +31,41 @@ int main() {
                     "GROUP BY pickupID",
                     360}};
     ApplyFastMode(&cfg);
-    return MustRun(cfg);
+    return cfg;
   };
 
-  TablePrinter table({"strategy", "epsilon", "mean L1", "mean QET (s)"});
+  // The whole (strategy, eps) grid plus the naive baselines runs as one
+  // pool fan-out; every cell is seeded from its own config, so the sweep
+  // reports exactly what the sequential loops did.
+  std::vector<sim::ExperimentConfig> cells;
+  std::vector<double> cell_eps;
   for (auto strategy : {StrategyKind::kDpTimer, StrategyKind::kDpAnt}) {
     for (double eps : kEpsilons) {
-      auto result = run_q2(strategy, eps);
-      const auto& q2 = result.queries[0];
-      std::cout << "fig5," << result.strategy_name << "," << eps << ","
-                << q2.mean_l1 << "," << q2.mean_qet << "\n";
-      table.AddRow({result.strategy_name, TablePrinter::Fmt(eps, 3),
-                    TablePrinter::Fmt(q2.mean_l1),
-                    TablePrinter::Fmt(q2.mean_qet, 3)});
+      cells.push_back(q2_cell(strategy, eps));
+      cell_eps.push_back(eps);
     }
   }
-  // Flat baselines for reference.
   for (auto strategy :
        {StrategyKind::kSur, StrategyKind::kOto, StrategyKind::kSet}) {
-    auto result = run_q2(strategy, 0.5);
+    cells.push_back(q2_cell(strategy, 0.5));
+    cell_eps.push_back(-1);  // flat baseline: epsilon not swept
+  }
+  auto results = MustRunAll(cells);
+
+  TablePrinter table({"strategy", "epsilon", "mean L1", "mean QET (s)"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
     const auto& q2 = result.queries[0];
-    table.AddRow({result.strategy_name, "-", TablePrinter::Fmt(q2.mean_l1),
-                  TablePrinter::Fmt(q2.mean_qet, 3)});
+    if (cell_eps[i] >= 0) {
+      std::cout << "fig5," << result.strategy_name << "," << cell_eps[i]
+                << "," << q2.mean_l1 << "," << q2.mean_qet << "\n";
+      table.AddRow({result.strategy_name, TablePrinter::Fmt(cell_eps[i], 3),
+                    TablePrinter::Fmt(q2.mean_l1),
+                    TablePrinter::Fmt(q2.mean_qet, 3)});
+    } else {
+      table.AddRow({result.strategy_name, "-", TablePrinter::Fmt(q2.mean_l1),
+                    TablePrinter::Fmt(q2.mean_qet, 3)});
+    }
   }
   std::cout << "\n";
   table.Print(std::cout);

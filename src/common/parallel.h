@@ -1,0 +1,40 @@
+/// \file parallel.h
+/// Status-aware fan-out helpers on top of the shared ThreadPool. The
+/// storage and ORAM layers all run "one task per shard, reduce to the
+/// first error" loops; these helpers keep that reduction semantics in one
+/// place.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace dpsync {
+
+/// Runs `fn(i)` for every i in [0, n) across the shared pool and returns
+/// the per-index statuses. Work items must touch disjoint state (shards
+/// do). Deterministic: the result vector is index-ordered regardless of
+/// execution interleaving.
+inline std::vector<Status> ParallelShardStatuses(
+    size_t n, const std::function<Status(size_t)>& fn) {
+  std::vector<Status> statuses(n);
+  SharedPool()->ParallelFor(n, n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) statuses[i] = fn(i);
+  });
+  return statuses;
+}
+
+/// As above, reduced to the first non-OK status in index order (the
+/// deterministic "first failing shard wins" rule).
+inline Status ParallelShardStatus(size_t n,
+                                  const std::function<Status(size_t)>& fn) {
+  for (const auto& st : ParallelShardStatuses(n, fn)) {
+    DPSYNC_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpsync

@@ -1,17 +1,22 @@
 /// \file shard_router.h
-/// Deterministic record-identity routing for sharded encrypted tables.
+/// Deterministic record-identity routing for sharded containers.
 /// Records are routed by an FNV-1a hash of their serialized payload — a
 /// pure function of record identity, so the same record lands on the same
 /// shard in every run and the placement is independent of arrival order.
 /// (The payload includes the isDummy attribute, so dummies spread across
 /// shards exactly like real records and per-shard sizes leak nothing new.)
+///
+/// Both the storage spine (edb::EncryptedTableStore) and the oblivious
+/// index (oram::ShardedOramMirror) route through this one router, which is
+/// what guarantees a record's storage shard and its ORAM tree always
+/// agree.
 #pragma once
 
 #include <cstdint>
 
 #include "common/bytes.h"
 
-namespace dpsync::edb {
+namespace dpsync {
 
 /// 64-bit FNV-1a over a byte buffer (also used for schema fingerprints).
 inline uint64_t Fnv1a64(const uint8_t* data, size_t len,
@@ -42,4 +47,4 @@ class ShardRouter {
   int num_shards_;
 };
 
-}  // namespace dpsync::edb
+}  // namespace dpsync

@@ -4,6 +4,16 @@
 
 namespace dpsync {
 
+namespace {
+/// True while the current thread executes inside a parallel region — on a
+/// pool worker thread, or on the calling thread while it runs its own
+/// chunk 0. A nested ParallelFor then runs inline as one chunk: blocking
+/// on sub-chunks that only busy workers could drain would deadlock (from
+/// a worker) or stall behind whole sibling chunks (from the caller's
+/// chunk 0).
+thread_local bool tl_in_parallel_region = false;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
@@ -30,6 +40,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  tl_in_parallel_region = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -47,7 +58,8 @@ void ThreadPool::ParallelFor(
     size_t n, size_t max_chunks,
     const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
-  size_t chunks = std::min({max_chunks, n, num_threads()});
+  size_t chunks =
+      tl_in_parallel_region ? 1 : std::min({max_chunks, n, num_threads()});
   if (chunks <= 1) {
     fn(0, 0, n);
     return;
@@ -76,7 +88,12 @@ void ThreadPool::ParallelFor(
     });
     begin = end;
   }
+  // The caller's own chunk counts as a parallel region too: a nested
+  // ParallelFor inside it must collapse inline rather than queue behind
+  // the sibling chunks it would otherwise wait on.
+  tl_in_parallel_region = true;
   fn(0, 0, first_end);
+  tl_in_parallel_region = false;
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return pending == 0; });
 }

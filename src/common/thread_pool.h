@@ -32,9 +32,19 @@ class ThreadPool {
 
   /// Partitions [0, n) into at most `max_chunks` contiguous chunks and runs
   /// `fn(chunk_index, begin, end)` for each, in parallel, blocking until all
-  /// chunks finish. Chunk boundaries depend only on (n, max_chunks), so any
-  /// chunk-indexed merge the caller performs is deterministic. Runs inline
-  /// (no pool hop) when the work collapses to a single chunk.
+  /// chunks finish. For a fixed chunk count the boundaries depend only on
+  /// (n, chunk count), so chunk-indexed merges are deterministic per
+  /// partitioning. Runs inline (no pool hop) when the work collapses to a
+  /// single chunk — including every nested call issued from inside a
+  /// parallel region (a pool worker's task, or the caller's own chunk 0):
+  /// nested ParallelFor runs the whole range as chunk 0, because blocking
+  /// on sub-chunks that only busy workers could drain would deadlock (from
+  /// a worker) or stall behind whole sibling chunks (from chunk 0). The
+  /// effective chunk count therefore varies with num_threads and with the
+  /// calling context; callers needing results that are bit-identical
+  /// across partitionings must keep their per-chunk merges exact
+  /// (integer/COUNT accumulation — what the query layer does today), not
+  /// FP-associative.
   void ParallelFor(size_t n, size_t max_chunks,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 

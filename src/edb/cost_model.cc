@@ -12,6 +12,10 @@ CostModel ObliDbCostModel() {
   m.join_per_pair = 57e-9;
   m.update_per_record = 0.05e-3;
   m.query_fixed = 0.02;
+  // The calibrated select rate above is an ORAM-backed point access
+  // against ObliDB's tree at |DS| ~= 9.2k -> 2^14 leaves -> 15 buckets per
+  // path; dividing it out prices one bucket touch.
+  m.oram_per_bucket = m.select_per_record / 15.0;
   return m;
 }
 
@@ -35,6 +39,10 @@ double ScanCost(const CostModel& m, int64_t n, bool grouped) {
 double JoinCost(const CostModel& m, int64_t n1, int64_t n2) {
   return m.query_fixed +
          m.join_per_pair * static_cast<double>(n1) * static_cast<double>(n2);
+}
+
+double OramBucketsCost(const CostModel& m, int64_t buckets) {
+  return m.oram_per_bucket * static_cast<double>(buckets);
 }
 
 }  // namespace dpsync::edb

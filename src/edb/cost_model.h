@@ -25,6 +25,11 @@ struct CostModel {
   double join_per_pair = 0.0;      ///< oblivious nested-loop pair cost
   double update_per_record = 0.0;  ///< Pi_Update per-record cost
   double query_fixed = 0.0;        ///< per-query setup overhead
+  /// Cost of touching one ORAM bucket (tree node) on a path access. A path
+  /// through a tree with L levels touches L buckets, so per-shard trees —
+  /// capacity ceil(N/S), hence ceil(log2(N/S)) levels — charge less per
+  /// access than one global tree. Feeds QueryStats::oram_virtual_seconds.
+  double oram_per_bucket = 0.0;
 };
 
 /// Calibrated against Table 5's SUR rows for the ObliDB implementation:
@@ -42,5 +47,12 @@ double ScanCost(const CostModel& m, int64_t n, bool grouped);
 
 /// Virtual QET for an oblivious nested-loop join over n1 x n2 records.
 double JoinCost(const CostModel& m, int64_t n1, int64_t n2);
+
+/// Virtual cost of an indexed scan's ORAM work: `buckets` tree nodes
+/// touched across all oblivious path accesses. Callers accumulate buckets
+/// shard by shard as paths x ceil(log2(shard capacity)) + 1, so each path
+/// charges its own shard's tree height — per-shard trees of capacity
+/// ceil(N/S) are log2(S) levels shorter than one global tree.
+double OramBucketsCost(const CostModel& m, int64_t buckets);
 
 }  // namespace dpsync::edb

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/sogdb.h"
@@ -32,12 +33,36 @@ struct QueryStats {
   /// volume-hiding (L-0/L-DP) schemes; the exact (or padded) matching
   /// record count for L-1 schemes (see volume_hiding.h).
   int64_t revealed_volume = -1;
+  /// Indexed (ORAM-backed) scans only; zero for linear scans. Paths is the
+  /// number of oblivious path accesses the scan performed; buckets charges
+  /// each path its own tree's height (per-shard trees are shorter), and
+  /// oram_virtual_seconds prices those buckets through the cost model.
+  /// Reported alongside — not folded into — virtual_seconds, which stays
+  /// invariant in the physical shard topology (see docs/ORAM.md).
+  int64_t oram_paths = 0;
+  int64_t oram_buckets = 0;
+  double oram_virtual_seconds = 0.0;
 };
 
 /// A query answer plus its cost.
 struct QueryResponse {
   query::QueryResult result;
   QueryStats stats;
+};
+
+/// ORAM diagnostics aggregated across a server's tables — exported into
+/// the bench JSON reports so CI can track stash growth and per-shard load
+/// balance over PRs. Empty/disabled for servers without an oblivious
+/// index.
+struct OramHealth {
+  bool enabled = false;
+  /// Stash high-water mark: the max over every table's trees.
+  size_t max_stash_size = 0;
+  /// Path accesses across all tables and shards.
+  int64_t access_count = 0;
+  /// Per-shard path accesses, summed over tables (all tables of a server
+  /// share one shard topology).
+  std::vector<int64_t> shard_access_counts;
 };
 
 /// Owner-facing handle to one outsourced table.
@@ -74,6 +99,10 @@ class EdbServer {
 
   /// Total encrypted records across all tables (incl. dummies).
   virtual int64_t total_outsourced_records() const = 0;
+
+  /// ORAM health across all tables (disabled unless the scheme keeps an
+  /// oblivious index — today only ObliDB's indexed mode).
+  virtual OramHealth oram_health() const { return {}; }
 };
 
 }  // namespace dpsync::edb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/thread_pool.h"
 
 namespace dpsync::edb {
@@ -209,14 +210,9 @@ EncryptedTableStore::EnclaveView() const {
     // Fan the per-shard catch-up across the pool: shards touch disjoint
     // mirrors, so the only coordination is the final status reduction
     // (first failing shard wins, deterministically).
-    std::vector<Status> statuses(shards_.size());
-    SharedPool()->ParallelFor(
-        shards_.size(), shards_.size(), [&](size_t, size_t begin, size_t end) {
-          for (size_t s = begin; s < end; ++s) {
-            statuses[s] = CatchUpShard(static_cast<int>(s));
-          }
-        });
-    for (const auto& st : statuses) DPSYNC_RETURN_IF_ERROR(st);
+    DPSYNC_RETURN_IF_ERROR(ParallelShardStatus(
+        shards_.size(),
+        [&](size_t s) { return CatchUpShard(static_cast<int>(s)); }));
   } else {
     for (size_t s = 0; s < shards_.size(); ++s) {
       DPSYNC_RETURN_IF_ERROR(CatchUpShard(static_cast<int>(s)));

@@ -22,7 +22,7 @@
 #include "common/bytes.h"
 #include "crypto/record_cipher.h"
 #include "edb/encrypted_database.h"
-#include "edb/shard_router.h"
+#include "common/shard_router.h"
 #include "edb/storage_backend.h"
 #include "query/schema.h"
 
@@ -108,6 +108,14 @@ class EncryptedTableStore : public EdbTable {
   int64_t shard_count(int shard) const { return shards_[shard]->Count(); }
   const StorageBackend& shard_backend(int shard) const {
     return *shards_[shard];
+  }
+  /// The (shard, within-shard offset) placement of the record at a global
+  /// append index — the ShardRouter decision recorded at append time.
+  /// Tests use it to prove a record's storage shard and its ORAM tree
+  /// agree. `index` must be in [0, outsourced_count()).
+  std::pair<int, int64_t> ShardLocation(int64_t index) const {
+    const auto& [shard, offset] = journal_[static_cast<size_t>(index)];
+    return {static_cast<int>(shard), static_cast<int64_t>(offset)};
   }
 
  private:

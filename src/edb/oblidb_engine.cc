@@ -1,7 +1,9 @@
 #include "edb/oblidb_engine.h"
 
+#include <algorithm>
 #include <chrono>
 
+#include "common/parallel.h"
 #include "query/executor.h"
 #include "query/rewriter.h"
 
@@ -20,46 +22,100 @@ ObliDbTable::ObliDbTable(std::string name, query::Schema schema, Bytes key,
     : store_(std::move(name), std::move(schema), std::move(key),
              config.storage) {
   if (config.use_oram_index) {
-    oram::PathOram::Config oram_cfg;
-    oram_cfg.capacity = config.oram_capacity;
-    oram_cfg.seed = config.master_seed ^ 0x0badc0de;
-    oram_ = std::make_unique<oram::PathOram>(oram_cfg);
+    oram::OramMirrorConfig mirror_cfg;
+    mirror_cfg.capacity = config.oram_capacity;
+    // Align the mirror with the store's shard topology (num_shards() can
+    // be 0 when backend construction failed; the store surfaces that error
+    // on first use, so any topology works here).
+    mirror_cfg.num_shards = std::max(1, store_.num_shards());
+    mirror_cfg.master_seed = config.master_seed;
+    mirror_cfg.record_trace = config.record_oram_trace;
+    mirror_ = oram::MakeOramMirror(mirror_cfg);
+    scan_ids_.resize(static_cast<size_t>(mirror_->num_shards()));
   }
 }
 
-Status ObliDbTable::MirrorToOram(size_t first_index) {
-  if (!oram_) return Status::Ok();
+Status ObliDbTable::CatchUpMirror(const std::vector<Record>& batch) {
+  if (!mirror_) return Status::Ok();
+  // A mirror that failed once (e.g. a tree at capacity) stays failed: the
+  // store has records the index will never hold, so the indexed contract
+  // is unrecoverable and every later operation reports the original cause
+  // instead of a confusing secondary symptom.
+  DPSYNC_RETURN_IF_ERROR(mirror_status_);
   size_t n = static_cast<size_t>(store_.outsourced_count());
-  for (size_t i = first_index; i < n; ++i) {
-    auto ct = store_.CiphertextAt(static_cast<int64_t>(i));
-    if (!ct.ok()) return ct.status();
-    DPSYNC_RETURN_IF_ERROR(oram_->Write(i, ct.value()));
+  if (n - mirror_upto_ != batch.size()) {
+    return Status::Internal("ORAM catch-up out of sync with the store");
   }
+  // Route the whole delta by record identity — the same FNV-1a decision
+  // ShardRouter made when the store appended it — and hand the batch to
+  // the mirror, which fans per-shard tree writes out on the pool and
+  // reports where every entry landed.
+  std::vector<oram::OramMirror::MirrorEntry> entries;
+  entries.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    uint64_t id = mirror_upto_ + i;
+    auto ct = store_.CiphertextAt(static_cast<int64_t>(id));
+    if (!ct.ok()) return ct.status();
+    entries.push_back({id, &batch[i].payload, std::move(ct.value())});
+  }
+  auto routes = mirror_->MirrorBatch(std::move(entries));
+  if (!routes.ok()) {
+    mirror_status_ = Status(routes.status().code(),
+                            "oblivious index failed and is out of sync "
+                            "with the store (size the ORAM capacity with "
+                            "headroom for shard imbalance — docs/ORAM.md): " +
+                                routes.status().message());
+    return mirror_status_;
+  }
+  // Commit the scan bookkeeping only after the mirror accepted the whole
+  // batch, using the routes the mirror itself assigned — the scan fan-out
+  // relies on these lists being tree-disjoint, so they must come from the
+  // mirror's routing, never a re-derivation.
+  for (size_t i = 0; i < routes.value().size(); ++i) {
+    scan_ids_[static_cast<size_t>(routes.value()[i])].push_back(
+        mirror_upto_ + i);
+  }
+  mirror_upto_ = n;
   return Status::Ok();
 }
 
 Status ObliDbTable::Setup(const std::vector<Record>& gamma0) {
-  size_t before = static_cast<size_t>(store_.outsourced_count());
   DPSYNC_RETURN_IF_ERROR(store_.Setup(gamma0));
-  return MirrorToOram(before);
+  return CatchUpMirror(gamma0);
 }
 
 Status ObliDbTable::Update(const std::vector<Record>& gamma) {
-  size_t before = static_cast<size_t>(store_.outsourced_count());
   DPSYNC_RETURN_IF_ERROR(store_.Update(gamma));
-  return MirrorToOram(before);
+  return CatchUpMirror(gamma);
 }
 
-StatusOr<std::vector<query::Row>> ObliDbTable::EnclaveScan() {
-  if (!oram_) return store_.DecryptAll();
-  // Indexed mode: fetch every ciphertext through the ORAM so each touch is
-  // an oblivious path access, then decrypt inside the enclave.
-  size_t n = static_cast<size_t>(store_.outsourced_count());
-  for (size_t i = 0; i < n; ++i) {
-    auto ct = oram_->Read(i);
-    if (!ct.ok()) return ct.status();
+StatusOr<std::vector<const std::vector<query::Row>*>>
+ObliDbTable::EnclaveScan() {
+  if (mirror_) {
+    DPSYNC_RETURN_IF_ERROR(mirror_status_);
+    // Indexed mode: touch every record through its shard's ORAM so each
+    // access is an oblivious path read/rewrite, one task per shard on the
+    // shared pool (trees are disjoint; Touch never copies the block out,
+    // so the hot loop allocates nothing). The decrypted rows are then
+    // served from the same persistent per-shard enclave mirrors the
+    // linear mode uses.
+    const size_t shards = scan_ids_.size();
+    DPSYNC_RETURN_IF_ERROR(ParallelShardStatus(shards, [&](size_t s) {
+      for (uint64_t id : scan_ids_[s]) {
+        DPSYNC_RETURN_IF_ERROR(mirror_->Touch(id));
+      }
+      return Status::Ok();
+    }));
+    last_scan_work_ = OramScanWork{};
+    for (size_t s = 0; s < shards; ++s) {
+      auto paths = static_cast<int64_t>(scan_ids_[s].size());
+      last_scan_work_.paths += paths;
+      last_scan_work_.buckets +=
+          paths * static_cast<int64_t>(
+                      mirror_->ShardLevels(static_cast<int>(s)));
+    }
   }
-  return store_.DecryptAll();
+  return store_.EnclaveView();
 }
 
 ObliDbServer::ObliDbServer(const ObliDbConfig& config)
@@ -105,6 +161,29 @@ int64_t ObliDbServer::total_outsourced_records() const {
   return total;
 }
 
+OramHealth ObliDbServer::oram_health() const {
+  OramHealth health;
+  for (const auto& [_, t] : tables_) {
+    const oram::OramMirror* mirror = t->mirror();
+    if (!mirror) continue;
+    health.enabled = true;
+    auto stats = mirror->StashStats();
+    health.max_stash_size =
+        std::max(health.max_stash_size, stats.max_stash_size);
+    health.access_count += stats.access_count;
+    if (health.shard_access_counts.size() <
+        static_cast<size_t>(mirror->num_shards())) {
+      health.shard_access_counts.resize(
+          static_cast<size_t>(mirror->num_shards()), 0);
+    }
+    for (int s = 0; s < mirror->num_shards(); ++s) {
+      health.shard_access_counts[static_cast<size_t>(s)] +=
+          mirror->ShardAccessCount(s);
+    }
+  }
+  return health;
+}
+
 StatusOr<QueryResponse> ObliDbServer::Query(const query::SelectQuery& q) {
   auto it = tables_.find(q.table);
   if (it == tables_.end()) {
@@ -127,18 +206,12 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
   query::Table plain;
   plain.name = table->table_name();
   plain.schema = table->store().schema();
-  if (table->oram()) {
-    // Indexed mode: pay the real per-record ORAM accesses.
-    auto rows = table->EnclaveScan();
-    if (!rows.ok()) return rows.status();
-    plain.rows = std::move(rows.value());
-  } else {
-    // Linear mode: per-shard enclave-resident mirrors, decrypted
-    // incrementally; the executor fans the scan out across the partitions.
-    auto view = table->store().EnclaveView();
-    if (!view.ok()) return view.status();
-    plain.borrowed_parts = std::move(view.value());
-  }
+  // Both storage methods serve the executor the same per-shard partitions;
+  // indexed mode additionally pays one oblivious ORAM touch per record
+  // before the partitions are borrowed.
+  auto parts = table->EnclaveScan();
+  if (!parts.ok()) return parts.status();
+  plain.borrowed_parts = std::move(parts.value());
   query::Catalog catalog;
   catalog.AddTable(&plain);
   query::Executor executor(&catalog);
@@ -158,6 +231,17 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
   resp.stats.measured_seconds = SecondsSince(start);
   resp.stats.virtual_seconds =
       ScanCost(cost_, scanned, !rewritten.group_by.empty());
+  if (table->mirror()) {
+    // Charge the per-shard tree heights the scan actually crossed. This is
+    // reported next to — not inside — virtual_seconds: the headline QET
+    // stays a function of the record count alone, so it is invariant in
+    // the physical shard topology like every other experiment metric
+    // (docs/ORAM.md discusses the calibration).
+    const auto& work = table->last_scan_work();
+    resp.stats.oram_paths = work.paths;
+    resp.stats.oram_buckets = work.buckets;
+    resp.stats.oram_virtual_seconds = OramBucketsCost(cost_, work.buckets);
+  }
   return resp;
 }
 
@@ -165,9 +249,12 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
     const query::SelectQuery& rewritten, ObliDbTable* left,
     ObliDbTable* right) {
   auto start = std::chrono::steady_clock::now();
-  auto lview = left->store().EnclaveView();
+  // Same access discipline as ScanQuery: in indexed mode both sides pay
+  // one oblivious ORAM touch per record before their partitions are
+  // borrowed (linear mode: the plain incremental per-shard decrypt).
+  auto lview = left->EnclaveScan();
   if (!lview.ok()) return lview.status();
-  auto rview = right->store().EnclaveView();
+  auto rview = right->EnclaveScan();
   if (!rview.ok()) return rview.status();
 
   query::Table lt;
@@ -250,6 +337,16 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
   resp.stats.join_pairs = pairs;
   resp.stats.measured_seconds = SecondsSince(start);
   resp.stats.virtual_seconds = JoinCost(cost_, n1, n2);
+  if (left->mirror() || right->mirror()) {
+    // ORAM work both sides' pre-join scans paid, charged per shard height
+    // (reported alongside the headline cost, same as ScanQuery).
+    const auto& lw = left->last_scan_work();
+    const auto& rw = right->last_scan_work();
+    resp.stats.oram_paths = lw.paths + rw.paths;
+    resp.stats.oram_buckets = lw.buckets + rw.buckets;
+    resp.stats.oram_virtual_seconds =
+        OramBucketsCost(cost_, resp.stats.oram_buckets);
+  }
   return resp;
 }
 

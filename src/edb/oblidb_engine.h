@@ -4,8 +4,11 @@
 /// methods of ObliDB (Eskandarian & Zaharia):
 ///   * "linear" tables — every query decrypts and touches all N records in
 ///     a fixed-order scan, so the access pattern is independent of data;
-///   * optional "indexed" mode — records are mirrored into a Path ORAM and
-///     accessed through it (used by tests and micro-benchmarks).
+///   * optional "indexed" mode — records are mirrored into an OramMirror
+///     (one Path ORAM per storage shard — see oram/oram_mirror.h) and
+///     every scan touches each record through an oblivious path access.
+///     The mirror shares the store's shard topology, so per-shard scans
+///     fan out across the thread pool exactly like linear scans do.
 /// Joins run as an oblivious nested loop (O(N1*N2) touched pairs). For the
 /// month-long experiment traces the pair count reaches ~4*10^8 per query
 /// point; above `oblivious_join_limit` the engine computes the (identical)
@@ -20,16 +23,25 @@
 #include "edb/cost_model.h"
 #include "edb/encrypted_database.h"
 #include "edb/encrypted_table.h"
-#include "oram/path_oram.h"
+#include "oram/oram_mirror.h"
 
 namespace dpsync::edb {
 
 /// Engine options.
 struct ObliDbConfig {
   uint64_t master_seed = 1;
-  /// Mirror ciphertexts into a Path ORAM ("indexed" storage method).
+  /// Mirror ciphertexts into per-shard Path ORAMs ("indexed" storage
+  /// method). The mirror's shard topology follows storage.num_shards.
   bool use_oram_index = false;
+  /// Total ORAM block capacity per table, split ceil(N/S) per shard. The
+  /// per-shard caps are hard, and FNV routing spreads records only
+  /// statistically — size with headroom (~2x the expected record count;
+  /// see docs/ORAM.md) so no single shard's Binomial(N, 1/S) load can
+  /// reach its cap.
   size_t oram_capacity = 1 << 16;
+  /// Record per-shard ORAM access transcripts (obliviousness tests only —
+  /// transcripts grow with every access).
+  bool record_oram_trace = false;
   /// Real oblivious nested-loop joins are executed up to this many pairs;
   /// larger joins use the hash-join + cost-model shortcut.
   int64_t oblivious_join_limit = 4'000'000;
@@ -37,9 +49,17 @@ struct ObliDbConfig {
   StorageConfig storage;
 };
 
-/// One ObliDB table: encrypted store plus optional ORAM mirror.
+/// One ObliDB table: encrypted store plus optional per-shard ORAM mirror.
 class ObliDbTable : public EdbTable {
  public:
+  /// ORAM work of the most recent indexed EnclaveScan (all zero in linear
+  /// mode): how many oblivious paths were touched and how many buckets
+  /// those paths crossed, charging each shard its own tree height.
+  struct OramScanWork {
+    int64_t paths = 0;
+    int64_t buckets = 0;
+  };
+
   ObliDbTable(std::string name, query::Schema schema, Bytes key,
               const ObliDbConfig& config);
 
@@ -56,17 +76,37 @@ class ObliDbTable : public EdbTable {
   }
 
   const EncryptedTableStore& store() const { return store_; }
-  const oram::PathOram* oram() const { return oram_.get(); }
+  const oram::OramMirror* mirror() const { return mirror_.get(); }
 
-  /// Enclave-side scan. In indexed mode the records are fetched through
-  /// the ORAM (oblivious point accesses); otherwise a flat linear pass.
-  StatusOr<std::vector<query::Row>> EnclaveScan();
+  /// Enclave-side scan, returning one plaintext partition per storage
+  /// shard (what query::Table::borrowed_parts consumes). In indexed mode
+  /// every record is first touched through its shard's ORAM — per-shard
+  /// oblivious point accesses fanned out on the shared pool — before the
+  /// enclave-resident mirrors are served; otherwise it is the plain
+  /// incremental per-shard decrypt. Either way the per-shard row buffers
+  /// persist across queries (no per-query reallocation).
+  StatusOr<std::vector<const std::vector<query::Row>*>> EnclaveScan();
+
+  /// What the last indexed EnclaveScan paid in ORAM accesses.
+  const OramScanWork& last_scan_work() const { return last_scan_work_; }
 
  private:
-  Status MirrorToOram(size_t first_index);
+  /// Mirrors every record appended since the last catch-up: routes the
+  /// batch by record identity, then fans the per-shard tree writes out on
+  /// the pool (MirrorBatch). Called after each Setup/Update append.
+  Status CatchUpMirror(const std::vector<Record>& batch);
 
   EncryptedTableStore store_;
-  std::unique_ptr<oram::PathOram> oram_;
+  std::unique_ptr<oram::OramMirror> mirror_;
+  /// Global append indices per ORAM shard, in mirror order — the reusable
+  /// per-shard scan work lists (extended incrementally by CatchUpMirror,
+  /// never rebuilt per query).
+  std::vector<std::vector<uint64_t>> scan_ids_;
+  size_t mirror_upto_ = 0;  ///< global indices [0, mirror_upto_) mirrored
+  /// Sticky first mirror failure: once the index diverges from the store
+  /// (e.g. a tree hit capacity) every later operation reports this cause.
+  Status mirror_status_;
+  OramScanWork last_scan_work_;
 };
 
 /// The ObliDB server.
@@ -81,6 +121,7 @@ class ObliDbServer : public EdbServer {
   std::string name() const override { return "ObliDB"; }
   int64_t total_outsourced_bytes() const override;
   int64_t total_outsourced_records() const override;
+  OramHealth oram_health() const override;
 
   const CostModel& cost_model() const { return cost_; }
 

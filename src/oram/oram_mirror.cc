@@ -1,0 +1,31 @@
+#include "oram/oram_mirror.h"
+
+#include "common/bytes.h"
+#include "common/shard_router.h"
+#include "oram/path_oram.h"
+#include "oram/sharded_oram_mirror.h"
+
+namespace dpsync::oram {
+
+uint64_t DeriveOramShardSeed(uint64_t master_seed, int shard) {
+  // FNV-1a over (master_seed ‖ shard), both little-endian: deterministic,
+  // shard-distinct, and decorrelated from the master seed's other uses.
+  uint8_t buf[12];
+  StoreLE64(buf, master_seed);
+  StoreLE32(buf + 8, static_cast<uint32_t>(shard));
+  return Fnv1a64(buf, sizeof(buf));
+}
+
+std::unique_ptr<OramMirror> MakeOramMirror(const OramMirrorConfig& config) {
+  if (config.num_shards <= 1) {
+    PathOram::Config tree_cfg;
+    tree_cfg.capacity = config.capacity;
+    tree_cfg.bucket_size = config.bucket_size;
+    tree_cfg.seed = DeriveOramShardSeed(config.master_seed, 0);
+    tree_cfg.record_trace = config.record_trace;
+    return std::make_unique<PathOram>(tree_cfg);
+  }
+  return std::make_unique<ShardedOramMirror>(config);
+}
+
+}  // namespace dpsync::oram

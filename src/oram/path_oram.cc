@@ -64,14 +64,15 @@ StatusOr<Bytes> PathOram::Access(Op op, uint64_t id, Bytes* new_value) {
     }
   }
 
-  // 3. Serve the request from the stash.
+  // 3. Serve the request from the stash. A touch verifies presence but
+  //    skips the copy-out — scans only need the path access itself.
   Bytes result;
-  if (op == Op::kRead) {
+  if (op == Op::kRead || op == Op::kTouch) {
     auto it = stash_.find(id);
     if (it == stash_.end()) {
       return Status::Internal("position map points to a missing block");
     }
-    result = it->second;
+    if (op == Op::kRead) result = it->second;
   } else if (op == Op::kWrite) {
     stash_[id] = std::move(*new_value);
   } else {  // kRemove
@@ -124,9 +125,22 @@ StatusOr<Bytes> PathOram::Read(uint64_t id) {
   return Access(Op::kRead, id, nullptr);
 }
 
+Status PathOram::Touch(uint64_t id) {
+  auto r = Access(Op::kTouch, id, nullptr);
+  return r.ok() ? Status::Ok() : r.status();
+}
+
 Status PathOram::Remove(uint64_t id) {
   auto r = Access(Op::kRemove, id, nullptr);
   return r.ok() ? Status::Ok() : r.status();
+}
+
+StatusOr<std::vector<int>> PathOram::MirrorBatch(
+    std::vector<MirrorEntry> entries) {
+  for (auto& e : entries) {
+    DPSYNC_RETURN_IF_ERROR(Write(e.id, std::move(e.value)));
+  }
+  return std::vector<int>(entries.size(), 0);
 }
 
 }  // namespace dpsync::oram

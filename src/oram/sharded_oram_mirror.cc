@@ -1,0 +1,123 @@
+#include "oram/sharded_oram_mirror.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace dpsync::oram {
+
+ShardedOramMirror::ShardedOramMirror(const OramMirrorConfig& config)
+    : router_(std::max(1, config.num_shards)) {
+  const size_t shards = static_cast<size_t>(router_.num_shards());
+  const size_t per_shard = (config.capacity + shards - 1) / shards;
+  trees_.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    PathOram::Config tree_cfg;
+    tree_cfg.capacity = std::max<size_t>(1, per_shard);
+    tree_cfg.bucket_size = config.bucket_size;
+    tree_cfg.seed = DeriveOramShardSeed(config.master_seed,
+                                        static_cast<int>(s));
+    tree_cfg.record_trace = config.record_trace;
+    trees_.push_back(std::make_unique<PathOram>(tree_cfg));
+  }
+}
+
+size_t ShardedOramMirror::capacity() const {
+  size_t total = 0;
+  for (const auto& tree : trees_) total += tree->capacity();
+  return total;
+}
+
+StatusOr<int> ShardedOramMirror::LookupShard(uint64_t id) const {
+  auto it = shard_of_.find(id);
+  if (it == shard_of_.end()) {
+    return Status::NotFound("ORAM block not found: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status ShardedOramMirror::Mirror(uint64_t id, const Bytes& identity,
+                                 Bytes value) {
+  // Overwrites stay in the block's original tree; new blocks route by
+  // identity (for a fixed record the two agree — identity is immutable).
+  auto it = shard_of_.find(id);
+  int shard = it != shard_of_.end() ? it->second : router_.Route(identity);
+  DPSYNC_RETURN_IF_ERROR(
+      trees_[static_cast<size_t>(shard)]->Write(id, std::move(value)));
+  if (it == shard_of_.end()) shard_of_.emplace(id, shard);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<int>> ShardedOramMirror::MirrorBatch(
+    std::vector<MirrorEntry> entries) {
+  // Route and record bookkeeping sequentially (deterministic, and the
+  // id->shard map is not safe for concurrent mutation), then fan the tree
+  // writes out one task per shard — trees are disjoint, so the only
+  // coordination is the final status reduction.
+  const size_t shards = trees_.size();
+  std::vector<std::vector<MirrorEntry*>> per_shard(shards);
+  std::vector<int> routes;
+  routes.reserve(entries.size());
+  for (auto& e : entries) {
+    auto it = shard_of_.find(e.id);
+    int shard =
+        it != shard_of_.end() ? it->second : router_.Route(*e.identity);
+    if (it == shard_of_.end()) shard_of_.emplace(e.id, shard);
+    per_shard[static_cast<size_t>(shard)].push_back(&e);
+    routes.push_back(shard);
+  }
+  auto statuses = ParallelShardStatuses(shards, [&](size_t s) {
+    for (MirrorEntry* e : per_shard[s]) {
+      DPSYNC_RETURN_IF_ERROR(trees_[s]->Write(e->id, std::move(e->value)));
+    }
+    return Status::Ok();
+  });
+  Status first_error;
+  for (size_t s = 0; s < shards; ++s) {
+    if (statuses[s].ok()) continue;
+    // Failed writes never reached this shard's tree; drop the stale
+    // routing entries for everything it did not commit. Every failed
+    // shard is cleaned, then the first error (by shard order) surfaces.
+    for (MirrorEntry* e : per_shard[s]) {
+      if (!trees_[s]->Contains(e->id)) shard_of_.erase(e->id);
+    }
+    if (first_error.ok()) first_error = statuses[s];
+  }
+  if (!first_error.ok()) return first_error;
+  return routes;
+}
+
+StatusOr<Bytes> ShardedOramMirror::Read(uint64_t id) {
+  auto shard = LookupShard(id);
+  if (!shard.ok()) return shard.status();
+  return trees_[static_cast<size_t>(shard.value())]->Read(id);
+}
+
+Status ShardedOramMirror::Touch(uint64_t id) {
+  auto shard = LookupShard(id);
+  if (!shard.ok()) return shard.status();
+  return trees_[static_cast<size_t>(shard.value())]->Touch(id);
+}
+
+Status ShardedOramMirror::Remove(uint64_t id) {
+  auto shard = LookupShard(id);
+  if (!shard.ok()) return shard.status();
+  DPSYNC_RETURN_IF_ERROR(
+      trees_[static_cast<size_t>(shard.value())]->Remove(id));
+  shard_of_.erase(id);
+  return Status::Ok();
+}
+
+MirrorStashStats ShardedOramMirror::StashStats() const {
+  MirrorStashStats stats;
+  stats.live_blocks = shard_of_.size();
+  for (const auto& tree : trees_) {
+    stats.stash_size += tree->stash_size();
+    stats.max_stash_size = std::max(stats.max_stash_size,
+                                    tree->max_stash_size());
+    stats.access_count += tree->access_count();
+  }
+  return stats;
+}
+
+}  // namespace dpsync::oram

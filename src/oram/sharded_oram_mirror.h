@@ -1,0 +1,73 @@
+/// \file sharded_oram_mirror.h
+/// OramMirror implementation aligned with the storage-spine shard
+/// topology: one Path ORAM per shard, each of capacity ceil(N/S) with a
+/// seed derived from the master seed, blocks routed by the same FNV-1a
+/// record identity ShardRouter uses for the encrypted table — so a
+/// record's storage shard and its ORAM tree always agree, per-shard scans
+/// can fan out in parallel, and every tree is log2(S) levels shorter than
+/// the single global tree it replaces.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/shard_router.h"
+#include "oram/oram_mirror.h"
+#include "oram/path_oram.h"
+
+namespace dpsync::oram {
+
+class ShardedOramMirror : public OramMirror {
+ public:
+  /// Requires config.num_shards >= 1; per-shard tree capacity is
+  /// ceil(config.capacity / num_shards).
+  explicit ShardedOramMirror(const OramMirrorConfig& config);
+
+  int num_shards() const override { return router_.num_shards(); }
+  size_t size() const override { return shard_of_.size(); }
+  size_t capacity() const override;
+  int ShardOf(const Bytes& identity) const override {
+    return router_.Route(identity);
+  }
+
+  Status Mirror(uint64_t id, const Bytes& identity, Bytes value) override;
+  StatusOr<std::vector<int>> MirrorBatch(
+      std::vector<MirrorEntry> entries) override;
+  StatusOr<Bytes> Read(uint64_t id) override;
+  Status Touch(uint64_t id) override;
+  Status Remove(uint64_t id) override;
+
+  const std::vector<PathAccess>& Trace(int shard) const override {
+    return trees_[static_cast<size_t>(shard)]->trace();
+  }
+  size_t ShardLeaves(int shard) const override {
+    return trees_[static_cast<size_t>(shard)]->num_leaves();
+  }
+  size_t ShardLevels(int shard) const override {
+    return trees_[static_cast<size_t>(shard)]->ShardLevels(0);
+  }
+  int64_t ShardAccessCount(int shard) const override {
+    return trees_[static_cast<size_t>(shard)]->access_count();
+  }
+  size_t ShardMaxStash(int shard) const override {
+    return trees_[static_cast<size_t>(shard)]->max_stash_size();
+  }
+  MirrorStashStats StashStats() const override;
+
+  const PathOram& shard_tree(int shard) const {
+    return *trees_[static_cast<size_t>(shard)];
+  }
+
+ private:
+  /// The tree holding block `id`, or an error if the id is unknown.
+  StatusOr<int> LookupShard(uint64_t id) const;
+
+  ShardRouter router_;
+  std::vector<std::unique_ptr<PathOram>> trees_;
+  /// Which tree each live block lives in (routing is by record identity,
+  /// which is not recoverable from the block id alone).
+  std::unordered_map<uint64_t, int> shard_of_;
+};
+
+}  // namespace dpsync::oram

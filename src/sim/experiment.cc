@@ -63,11 +63,15 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed) {
 }
 
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
-                                           const edb::StorageConfig& storage) {
+                                           const edb::StorageConfig& storage,
+                                           bool use_oram_index,
+                                           size_t oram_capacity) {
   if (kind == EngineKind::kObliDb) {
     edb::ObliDbConfig cfg;
     cfg.master_seed = seed;
     cfg.storage = storage;
+    cfg.use_oram_index = use_oram_index;
+    cfg.oram_capacity = oram_capacity;
     return std::make_unique<edb::ObliDbServer>(cfg);
   }
   edb::CryptEpsConfig cfg;
@@ -166,7 +170,8 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   storage.backend = config.backend;
   storage.num_shards = config.num_shards;
   storage.dir = storage_dir.dir();
-  auto server = MakeServer(config.engine, seeder.Next(), storage);
+  auto server = MakeServer(config.engine, seeder.Next(), storage,
+                           config.use_oram_index, config.oram_capacity);
 
   TablePipeline yellow;
   DPSYNC_RETURN_IF_ERROR(
@@ -281,6 +286,7 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   }
   result.final_dummy_mb = static_cast<double>(result.dummy_synced) *
                           mb_per_record;
+  result.oram = server->oram_health();
   result.yellow_pattern = yellow.engine->update_pattern();
   return result;
 }

@@ -54,6 +54,15 @@ struct ExperimentConfig {
   /// accounting observes.
   edb::StorageBackendKind backend = edb::StorageBackendKind::kInMemory;
   int num_shards = 1;
+  /// ObliDB storage method: linear scans (false, the default) or the
+  /// indexed mode, where every scan touches each record through a
+  /// per-shard Path ORAM (see docs/ORAM.md). Like the storage knobs
+  /// above, the reported metrics are invariant in it — indexed mode adds
+  /// ORAM accounting (ExperimentResult::oram) without changing what any
+  /// query observes. Ignored by Crypt-eps (no oblivious index).
+  bool use_oram_index = false;
+  /// Total ORAM blocks per table in indexed mode (split across shards).
+  size_t oram_capacity = 1 << 16;
   /// Segment-log root. Each run writes a unique fresh subdirectory
   /// beneath it (segment files refuse silent reuse across runs). Empty =
   /// a temp root whose per-run subdirectory is removed when the run
@@ -87,6 +96,10 @@ struct ExperimentResult {
   int64_t real_synced = 0;
   int64_t dummy_synced = 0;
   int64_t updates_posted = 0;
+  /// ORAM stash / access diagnostics across the server's tables (enabled
+  /// only for ObliDB indexed-mode runs); exported into the bench JSON
+  /// reports so CI tracks ORAM health over PRs.
+  edb::OramHealth oram;
   /// Owner-observable transcript for the yellow table (adversary input).
   UpdatePattern yellow_pattern;
 };
@@ -97,8 +110,11 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
 /// Convenience: builds the EdbServer for a kind (used by tests/examples).
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed);
 
-/// As above, with explicit physical-storage knobs.
+/// As above, with explicit physical-storage knobs and (for ObliDB) the
+/// indexed-mode toggle.
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
-                                           const edb::StorageConfig& storage);
+                                           const edb::StorageConfig& storage,
+                                           bool use_oram_index = false,
+                                           size_t oram_capacity = 1 << 16);
 
 }  // namespace dpsync::sim

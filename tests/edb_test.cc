@@ -292,11 +292,12 @@ TEST(ObliDbOramTest, IndexedModeMatchesLinearMode) {
   auto r = server.Query(q.value());
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->result.scalar, 40.0);
-  // The ORAM really was exercised: one path access per record per scan.
+  // The ORAM really was exercised: one path access per record per scan
+  // (plus one mirror write per record).
   auto* table = dynamic_cast<ObliDbTable*>(t.value());
   ASSERT_NE(table, nullptr);
-  ASSERT_NE(table->oram(), nullptr);
-  EXPECT_GE(table->oram()->access_count(), 400);
+  ASSERT_NE(table->mirror(), nullptr);
+  EXPECT_GE(table->mirror()->StashStats().access_count, 400);
 }
 
 // -------------------------------------------------------- Sharded engines
@@ -405,6 +406,117 @@ TEST(ShardedEngineTest, OramIndexedModeWorksOverShards) {
   auto r = server.Query(q.value());
   ASSERT_TRUE(r.ok());
   EXPECT_DOUBLE_EQ(r->result.scalar, 40.0);
+
+  auto* table = dynamic_cast<ObliDbTable*>(t.value());
+  ASSERT_NE(table, nullptr);
+  const auto* mirror = table->mirror();
+  ASSERT_NE(mirror, nullptr);
+  EXPECT_EQ(mirror->num_shards(), 4);
+  // The mirror is one Path ORAM per storage shard, routed by the same
+  // FNV-1a record identity: every record's ORAM tree must be the shard its
+  // ciphertext was stored on.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(mirror->ShardOf(records[i].payload),
+              table->store().ShardLocation(static_cast<int64_t>(i)).first)
+        << "record " << i;
+  }
+  // The scan paid one oblivious path per record, charged at the per-shard
+  // tree height: 512 blocks over 4 shards -> 128-capacity trees -> 8
+  // buckets per path.
+  EXPECT_EQ(table->last_scan_work().paths, 200);
+  EXPECT_EQ(table->last_scan_work().buckets, 200 * 8);
+  EXPECT_EQ(r->stats.oram_paths, 200);
+  EXPECT_EQ(r->stats.oram_buckets, 1600);
+  EXPECT_GT(r->stats.oram_virtual_seconds, 0.0);
+}
+
+TEST(ShardedEngineTest, MirrorCapacityFailureIsStickyAndLoud) {
+  ObliDbConfig cfg;
+  cfg.use_oram_index = true;
+  cfg.oram_capacity = 16;  // far below the record count
+  cfg.storage.num_shards = 4;
+  ObliDbServer server(cfg);
+  auto t = server.CreateTable("YellowCab", TripSchema());
+  ASSERT_TRUE(t.ok());
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 100; ++i) records.push_back(Trip(i, i % 50));
+  auto setup = t.value()->Setup(records);
+  ASSERT_EQ(setup.code(), StatusCode::kOutOfRange);
+  // The index diverged from the store; later operations must surface the
+  // original capacity cause, not a secondary out-of-sync symptom.
+  auto update = t.value()->Update({Trip(200, 3)});
+  EXPECT_EQ(update.code(), StatusCode::kOutOfRange);
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  auto r = server.Query(q.value());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ShardedEngineTest, EngineExposesPerShardTranscripts) {
+  ObliDbConfig cfg;
+  cfg.use_oram_index = true;
+  cfg.oram_capacity = 512;
+  cfg.record_oram_trace = true;
+  cfg.storage.num_shards = 4;
+  ObliDbServer server(cfg);
+  auto t = server.CreateTable("YellowCab", TripSchema());
+  ASSERT_TRUE(t.ok());
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 200; ++i) records.push_back(Trip(i, i % 50));
+  ASSERT_TRUE(t.value()->Setup(records).ok());
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(server.Query(q.value()).ok());
+
+  auto* table = dynamic_cast<ObliDbTable*>(t.value());
+  ASSERT_NE(table, nullptr);
+  auto transcripts = AggregateOramTranscripts(*table->mirror());
+  ASSERT_EQ(transcripts.size(), 4u);
+  int64_t total = 0;
+  for (const auto& tr : transcripts) {
+    EXPECT_GT(tr.accesses, 0) << "shard " << tr.shard;
+    total += tr.accesses;
+  }
+  // One mirror write + one scan touch per record, split across shards.
+  EXPECT_EQ(total, 400);
+
+  auto health = server.oram_health();
+  EXPECT_TRUE(health.enabled);
+  EXPECT_EQ(health.access_count, 400);
+  ASSERT_EQ(health.shard_access_counts.size(), 4u);
+}
+
+TEST(ShardedEngineTest, IndexedAnswersInvariantInShardCount) {
+  // Same data, same queries, shard counts {1, 4}: indexed-mode answers and
+  // headline costs must be identical; only the ORAM bucket accounting may
+  // (and must) reflect the shorter per-shard trees.
+  auto run = [](int shards) {
+    ObliDbConfig cfg;
+    cfg.use_oram_index = true;
+    cfg.oram_capacity = 512;
+    cfg.storage.num_shards = shards;
+    auto server = std::make_unique<ObliDbServer>(cfg);
+    auto t = server->CreateTable("YellowCab", TripSchema());
+    EXPECT_TRUE(t.ok());
+    std::vector<Record> records;
+    for (int64_t i = 0; i < 200; ++i) records.push_back(Trip(i, i % 50));
+    EXPECT_TRUE(t.value()->Setup(records).ok());
+    auto q = query::ParseSelect(
+        "SELECT pickupID, COUNT(*) AS C FROM YellowCab GROUP BY pickupID");
+    auto r = server->Query(q.value());
+    EXPECT_TRUE(r.ok());
+    return std::move(r.value());
+  };
+  auto flat = run(1);
+  auto sharded = run(4);
+  EXPECT_EQ(flat.result.L1DistanceTo(sharded.result), 0.0);
+  EXPECT_EQ(flat.stats.records_scanned, sharded.stats.records_scanned);
+  EXPECT_EQ(flat.stats.virtual_seconds, sharded.stats.virtual_seconds);
+  EXPECT_EQ(flat.stats.oram_paths, sharded.stats.oram_paths);
+  // 512-capacity tree: 10 buckets/path; four 128-capacity trees: 8.
+  EXPECT_EQ(flat.stats.oram_buckets, 200 * 10);
+  EXPECT_EQ(sharded.stats.oram_buckets, 200 * 8);
+  EXPECT_LT(sharded.stats.oram_virtual_seconds,
+            flat.stats.oram_virtual_seconds);
 }
 
 // -------------------------------------------------------------- Crypt-eps

@@ -1,13 +1,18 @@
 // Path ORAM tests: functional correctness, capacity handling, stash
 // behaviour, and the statistical obliviousness property (leaf-access
-// distribution independent of the logical access pattern).
+// distribution independent of the logical access pattern) — for both the
+// single tree and the sharded OramMirror built on top of it.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <map>
 
 #include "common/bytes.h"
+#include "common/shard_router.h"
+#include "edb/leakage.h"
+#include "oram/oram_mirror.h"
 #include "oram/path_oram.h"
+#include "oram/sharded_oram_mirror.h"
 
 namespace dpsync::oram {
 namespace {
@@ -174,6 +179,198 @@ TEST(PathOramTest, TraceIndependentOfWorkload) {
   double uniform_mean = (256.0 - 1.0) / 2.0;  // leaves 0..255
   EXPECT_NEAR(mean_seq, uniform_mean, 4.0);
   EXPECT_NEAR(mean_hot, uniform_mean, 4.0);
+}
+
+// ------------------------------------------------------------ OramMirror
+
+/// A distinct record identity per id (routing input; never stored).
+Bytes Identity(uint64_t id) {
+  Bytes b(24, 0);
+  StoreLE64(b.data(), id);
+  StoreLE64(b.data() + 8, id * 0x9e3779b97f4a7c15ULL);
+  return b;
+}
+
+OramMirrorConfig MirrorConfig(int shards, bool trace = false) {
+  OramMirrorConfig cfg;
+  cfg.capacity = 256;
+  cfg.num_shards = shards;
+  cfg.master_seed = 2027;
+  cfg.record_trace = trace;
+  return cfg;
+}
+
+TEST(OramMirrorTest, FactoryPicksImplementationByTopology) {
+  auto single = MakeOramMirror(MirrorConfig(1));
+  auto sharded = MakeOramMirror(MirrorConfig(4));
+  EXPECT_EQ(single->num_shards(), 1);
+  EXPECT_NE(dynamic_cast<PathOram*>(single.get()), nullptr);
+  EXPECT_EQ(sharded->num_shards(), 4);
+  EXPECT_NE(dynamic_cast<ShardedOramMirror*>(sharded.get()), nullptr);
+}
+
+TEST(OramMirrorTest, CapacitySplitsCeilOverShards) {
+  OramMirrorConfig cfg = MirrorConfig(4);
+  cfg.capacity = 1023;  // ceil(1023/4) = 256 per shard
+  auto mirror = MakeOramMirror(cfg);
+  EXPECT_EQ(mirror->capacity(), 1024u);
+  for (int s = 0; s < 4; ++s) {
+    // 256-capacity trees: 256 leaves, 9 buckets per path.
+    EXPECT_EQ(mirror->ShardLeaves(s), 256u);
+    EXPECT_EQ(mirror->ShardLevels(s), 9u);
+  }
+}
+
+TEST(OramMirrorTest, ShardSeedsAreDistinctAndDeterministic) {
+  EXPECT_EQ(DeriveOramShardSeed(7, 0), DeriveOramShardSeed(7, 0));
+  EXPECT_NE(DeriveOramShardSeed(7, 0), DeriveOramShardSeed(7, 1));
+  EXPECT_NE(DeriveOramShardSeed(7, 0), DeriveOramShardSeed(8, 0));
+}
+
+TEST(OramMirrorTest, RoutesByTheSameFnv1aIdentityAsShardRouter) {
+  auto mirror = MakeOramMirror(MirrorConfig(4));
+  ShardRouter router(4);
+  for (uint64_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(mirror->ShardOf(Identity(id)), router.Route(Identity(id)))
+        << id;
+  }
+}
+
+TEST(ShardedOramMirrorTest, RoundTripAcrossShards) {
+  auto mirror = MakeOramMirror(MirrorConfig(4));
+  for (uint64_t id = 0; id < 200; ++id) {
+    ASSERT_TRUE(mirror->Mirror(id, Identity(id), Payload(id)).ok()) << id;
+  }
+  EXPECT_EQ(mirror->size(), 200u);
+  for (uint64_t id = 0; id < 200; ++id) {
+    auto r = mirror->Read(id);
+    ASSERT_TRUE(r.ok()) << id;
+    EXPECT_EQ(r.value(), Payload(id)) << id;
+  }
+  // Blocks landed in the tree their identity routes to.
+  ShardRouter router(4);
+  int64_t total_accesses = 0;
+  for (int s = 0; s < 4; ++s) total_accesses += mirror->ShardAccessCount(s);
+  EXPECT_EQ(total_accesses, 400);  // 200 writes + 200 reads
+  for (uint64_t id = 0; id < 200; ++id) {
+    int shard = router.Route(Identity(id));
+    EXPECT_GT(mirror->ShardAccessCount(shard), 0) << id;
+  }
+}
+
+TEST(ShardedOramMirrorTest, TouchRemoveAndMissingIds) {
+  auto mirror = MakeOramMirror(MirrorConfig(4));
+  ASSERT_TRUE(mirror->Mirror(5, Identity(5), Payload(5)).ok());
+  EXPECT_TRUE(mirror->Touch(5).ok());
+  EXPECT_EQ(mirror->Touch(6).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(mirror->Remove(5).ok());
+  EXPECT_EQ(mirror->size(), 0u);
+  EXPECT_EQ(mirror->Read(5).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mirror->Remove(5).code(), StatusCode::kNotFound);
+}
+
+TEST(ShardedOramMirrorTest, MirrorBatchMatchesSingleWrites) {
+  auto batched = MakeOramMirror(MirrorConfig(4));
+  auto single = MakeOramMirror(MirrorConfig(4));
+  std::vector<Bytes> identities;
+  for (uint64_t id = 0; id < 100; ++id) identities.push_back(Identity(id));
+  std::vector<OramMirror::MirrorEntry> entries;
+  for (uint64_t id = 0; id < 100; ++id) {
+    entries.push_back({id, &identities[id], Payload(id)});
+    ASSERT_TRUE(single->Mirror(id, identities[id], Payload(id)).ok());
+  }
+  auto routes = batched->MirrorBatch(std::move(entries));
+  ASSERT_TRUE(routes.ok());
+  ASSERT_EQ(routes.value().size(), 100u);
+  ShardRouter reference(4);
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(routes.value()[id], reference.Route(identities[id])) << id;
+  }
+  EXPECT_EQ(batched->size(), single->size());
+  for (uint64_t id = 0; id < 100; ++id) {
+    auto a = batched->Read(id);
+    auto b = single->Read(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value()) << id;
+  }
+}
+
+TEST(ShardedOramMirrorTest, BatchOverflowLeavesConsistentState) {
+  // Overfill a tiny mirror: ceil(12/4) = 3 blocks per tree, 64 entries —
+  // every tree overflows. The batch must fail with OutOfRange and the
+  // mirror must stay consistent: size() only counts blocks a tree really
+  // holds, and failed ids are absent (NotFound), not half-registered.
+  OramMirrorConfig cfg = MirrorConfig(4);
+  cfg.capacity = 12;
+  auto mirror = MakeOramMirror(cfg);
+  std::vector<Bytes> identities;
+  for (uint64_t id = 0; id < 64; ++id) identities.push_back(Identity(id));
+  std::vector<OramMirror::MirrorEntry> entries;
+  for (uint64_t id = 0; id < 64; ++id) {
+    entries.push_back({id, &identities[id], Payload(id)});
+  }
+  auto routed = mirror->MirrorBatch(std::move(entries));
+  EXPECT_EQ(routed.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mirror->size(), 12u);
+  size_t readable = 0;
+  for (uint64_t id = 0; id < 64; ++id) {
+    auto r = mirror->Read(id);
+    if (r.ok()) {
+      ++readable;
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kNotFound) << id;
+    }
+  }
+  EXPECT_EQ(readable, 12u);
+}
+
+TEST(ShardedOramMirrorTest, StashStatsAggregateAcrossTrees) {
+  auto mirror = MakeOramMirror(MirrorConfig(4));
+  for (uint64_t id = 0; id < 128; ++id) {
+    ASSERT_TRUE(mirror->Mirror(id, Identity(id), Payload(id)).ok());
+  }
+  auto stats = mirror->StashStats();
+  EXPECT_EQ(stats.live_blocks, 128u);
+  EXPECT_EQ(stats.access_count, 128);
+  size_t max_over_shards = 0;
+  for (int s = 0; s < 4; ++s) {
+    max_over_shards = std::max(max_over_shards, mirror->ShardMaxStash(s));
+  }
+  EXPECT_EQ(stats.max_stash_size, max_over_shards);
+}
+
+// The acceptance property for the per-shard refactor: each shard's
+// observable transcript — aggregated the same way the leakage layer does —
+// must be uniform over that shard's own leaves, for both the single global
+// tree and the sharded topology. Per-shard trees must not leak more than
+// the tree they replaced.
+TEST(ShardedOramMirrorTest, PerShardTranscriptsUniformOverLeaves) {
+  for (int shards : {1, 4}) {
+    auto mirror = MakeOramMirror(MirrorConfig(shards, /*trace=*/true));
+    const uint64_t kBlocks = 128;
+    for (uint64_t id = 0; id < kBlocks; ++id) {
+      ASSERT_TRUE(mirror->Mirror(id, Identity(id), Payload(id)).ok());
+    }
+    // A deliberately skewed logical workload: round-robin sweeps plus a
+    // hot block, the access mix an indexed scan + point lookups produces.
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_TRUE(mirror->Touch(static_cast<uint64_t>(i) % kBlocks).ok());
+      if (i % 4 == 0) ASSERT_TRUE(mirror->Touch(7).ok());
+    }
+    auto transcripts = edb::AggregateOramTranscripts(*mirror);
+    ASSERT_EQ(transcripts.size(), static_cast<size_t>(shards));
+    for (const auto& t : transcripts) {
+      ASSERT_GT(t.accesses, 0) << "shard " << t.shard;
+      ASSERT_EQ(t.leaf_counts.size(), t.num_leaves);
+      // Chi-squared against uniform with dof = leaves - 1; the bound is
+      // mean + 5 sigma (sigma = sqrt(2 dof)), far past the 99.9th
+      // percentile yet tight enough to catch any leaf bias.
+      double dof = static_cast<double>(t.num_leaves) - 1.0;
+      EXPECT_LT(t.chi2_uniform, dof + 5.0 * std::sqrt(2.0 * dof))
+          << "shards=" << shards << " shard=" << t.shard;
+    }
+  }
 }
 
 class OramSizeTest : public ::testing::TestWithParam<size_t> {};

@@ -214,10 +214,13 @@ std::vector<double> MetricVector(const ExperimentResult& r) {
 }
 
 TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
-  // The acceptance bar for the storage-spine refactor: both engines, both
-  // backends, shard counts {1, 4} — every reported metric bit-identical to
-  // the single-shard in-memory baseline at the same seed. Physical storage
-  // placement must be unobservable in the simulation's outputs.
+  // The acceptance bar for the storage-spine and per-shard ORAM refactors:
+  // both engines, both backends, both storage methods (linear and
+  // ORAM-indexed on ObliDB), shard counts {1, 4} — every reported metric
+  // bit-identical to the single-shard in-memory baseline at the same seed.
+  // Physical storage placement and the oblivious index must be
+  // unobservable in the simulation's outputs (L1 error, records_scanned,
+  // virtual QET, every series); only the ORAM health block may differ.
   struct Variant {
     edb::StorageBackendKind backend;
     int num_shards;
@@ -228,36 +231,53 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
       {edb::StorageBackendKind::kSegmentLog, 4},
   };
   for (auto engine : {EngineKind::kObliDb, EngineKind::kCryptEps}) {
-    auto base_cfg = SmallConfig(StrategyKind::kDpTimer, engine);
-    base_cfg.yellow.horizon_minutes = 720;
-    base_cfg.yellow.target_records = 350;
-    base_cfg.green.horizon_minutes = 720;
-    base_cfg.green.target_records = 400;
-    base_cfg.params.flush_interval = 180;
-    base_cfg.size_sample_interval = 90;
-    // Tight schedules so Q1/Q2 (and Q3's join path on ObliDB) all fire
-    // several times inside the short horizon.
-    for (auto& q : base_cfg.queries) q.interval = (q.name == "Q3") ? 360 : 90;
-    auto baseline = RunExperiment(base_cfg);
-    ASSERT_TRUE(baseline.ok()) << EngineKindName(engine);
-    auto expect = MetricVector(baseline.value());
-    ASSERT_FALSE(expect.empty());
-    for (const auto& variant : variants) {
-      auto cfg = base_cfg;
-      cfg.backend = variant.backend;
-      cfg.num_shards = variant.num_shards;
-      auto r = RunExperiment(cfg);
-      ASSERT_TRUE(r.ok())
-          << EngineKindName(engine) << " "
-          << edb::StorageBackendKindName(variant.backend) << " x"
-          << variant.num_shards;
-      auto got = MetricVector(r.value());
-      ASSERT_EQ(got.size(), expect.size());
-      for (size_t i = 0; i < got.size(); ++i) {
-        ASSERT_EQ(got[i], expect[i])
+    for (bool indexed : {false, true}) {
+      if (indexed && engine == EngineKind::kCryptEps) continue;
+      auto base_cfg = SmallConfig(StrategyKind::kDpTimer, engine);
+      base_cfg.yellow.horizon_minutes = 720;
+      base_cfg.yellow.target_records = 350;
+      base_cfg.green.horizon_minutes = 720;
+      base_cfg.green.target_records = 400;
+      base_cfg.params.flush_interval = 180;
+      base_cfg.size_sample_interval = 90;
+      base_cfg.use_oram_index = indexed;
+      base_cfg.oram_capacity = 4096;  // small trees keep the sweep fast
+      // Tight schedules so Q1/Q2 (and Q3's join path on ObliDB) all fire
+      // several times inside the short horizon.
+      for (auto& q : base_cfg.queries) {
+        q.interval = (q.name == "Q3") ? 360 : 90;
+      }
+      auto baseline = RunExperiment(base_cfg);
+      ASSERT_TRUE(baseline.ok()) << EngineKindName(engine);
+      auto expect = MetricVector(baseline.value());
+      ASSERT_FALSE(expect.empty());
+      EXPECT_EQ(baseline->oram.enabled, indexed);
+      for (const auto& variant : variants) {
+        auto cfg = base_cfg;
+        cfg.backend = variant.backend;
+        cfg.num_shards = variant.num_shards;
+        auto r = RunExperiment(cfg);
+        ASSERT_TRUE(r.ok())
             << EngineKindName(engine) << " "
             << edb::StorageBackendKindName(variant.backend) << " x"
-            << variant.num_shards << " metric index " << i;
+            << variant.num_shards << (indexed ? " indexed" : " linear");
+        auto got = MetricVector(r.value());
+        ASSERT_EQ(got.size(), expect.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i], expect[i])
+              << EngineKindName(engine) << " "
+              << edb::StorageBackendKindName(variant.backend) << " x"
+              << variant.num_shards << (indexed ? " indexed" : " linear")
+              << " metric index " << i;
+        }
+        // The ORAM did real per-shard work without perturbing any metric.
+        EXPECT_EQ(r->oram.enabled, indexed);
+        if (indexed) {
+          EXPECT_EQ(r->oram.shard_access_counts.size(),
+                    static_cast<size_t>(variant.num_shards));
+          EXPECT_EQ(r->oram.access_count, baseline->oram.access_count);
+          EXPECT_GT(r->oram.access_count, 0);
+        }
       }
     }
   }

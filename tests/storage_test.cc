@@ -19,7 +19,7 @@
 #include "crypto/record_cipher.h"
 #include "edb/encrypted_table.h"
 #include "edb/segment_log.h"
-#include "edb/shard_router.h"
+#include "common/shard_router.h"
 #include "edb/storage_backend.h"
 #include "query/parser.h"
 #include "test_util.h"

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json reports (see bench/bench_util.h).
+
+Experiments are matched by their configuration key (engine, strategy,
+epsilon, backend, shard count, storage method); for each matched pair the
+deterministic metrics are compared exactly and the timing/health metrics
+with a relative tolerance. Intended for the warn-only CI step that diffs a
+commit's bench artifacts against the previous run:
+
+    python3 tools/bench_diff.py old/BENCH_fig2_end_to_end.json \
+                                new/BENCH_fig2_end_to_end.json
+
+Exit code is 0 unless --strict is given, in which case any deterministic
+mismatch fails the invocation (timing drift never does).
+"""
+import argparse
+import json
+import sys
+
+# Metrics that are a pure function of the experiment config (seeded RNG):
+# any change means behavior changed, not the machine.
+DETERMINISTIC = [
+    "mean_logical_gap",
+    "final_total_mb",
+    "final_dummy_mb",
+    "real_synced",
+    "dummy_synced",
+    "updates_posted",
+]
+DETERMINISTIC_QUERY = ["mean_l1", "max_l1", "mean_qet"]
+# ORAM health: access counts are deterministic; the stash high-water mark
+# depends only on the seeded leaf stream, so it is deterministic too.
+DETERMINISTIC_ORAM = ["max_stash", "access_count"]
+
+# Wall-clock metrics: machine-dependent, warn only above the tolerance.
+TIMING = ["wall_seconds"]
+TIMING_QUERY = ["mean_qet_measured"]
+
+
+def experiment_key(e):
+    return (
+        e.get("engine"),
+        e.get("strategy"),
+        e.get("epsilon"),
+        e.get("backend"),
+        e.get("num_shards"),
+        e.get("use_oram_index", False),
+    )
+
+
+def fmt_key(key):
+    engine, strategy, eps, backend, shards, indexed = key
+    method = "indexed" if indexed else "linear"
+    return f"{engine}/{strategy}(eps={eps}) {backend} x{shards} {method}"
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for e in report.get("experiments", []):
+        key = experiment_key(e)
+        if key in out:
+            # Same config swept twice (e.g. repeated baseline): suffix.
+            i = 2
+            while (*key, i) in out:
+                i += 1
+            key = (*key, i)
+        out[key] = e
+    return report.get("bench", path), report.get("fast_mode"), out
+
+
+def rel_delta(old, new):
+    if old == new:
+        return 0.0
+    denom = max(abs(old), abs(new), 1e-12)
+    return abs(new - old) / denom
+
+
+class Diff:
+    def __init__(self):
+        self.warnings = []
+        self.mismatches = []
+
+    def compare_scalar(self, where, name, old, new, deterministic, tol):
+        if old is None or new is None:
+            if old != new:
+                self.warnings.append(f"{where}: {name} present only in one run")
+            return
+        if deterministic:
+            if old != new:
+                self.mismatches.append(
+                    f"{where}: {name} changed {old} -> {new}")
+        elif rel_delta(old, new) > tol:
+            pct = 100.0 * rel_delta(old, new)
+            self.warnings.append(
+                f"{where}: {name} drifted {old:.6g} -> {new:.6g} "
+                f"({pct:.1f}%)")
+
+
+def compare(old_path, new_path, tol):
+    _, old_fast, old_runs = load(old_path)
+    bench, new_fast, new_runs = load(new_path)
+    diff = Diff()
+    if old_fast != new_fast:
+        diff.warnings.append(
+            f"fast_mode differs ({old_fast} vs {new_fast}): "
+            "timing comparisons are meaningless")
+
+    for key in old_runs.keys() - new_runs.keys():
+        diff.warnings.append(f"experiment dropped: {fmt_key(key[:6])}")
+    for key in new_runs.keys() - old_runs.keys():
+        diff.warnings.append(f"experiment added: {fmt_key(key[:6])}")
+
+    for key in sorted(old_runs.keys() & new_runs.keys(), key=str):
+        old, new = old_runs[key], new_runs[key]
+        where = fmt_key(key[:6])
+        for name in DETERMINISTIC:
+            diff.compare_scalar(where, name, old.get(name), new.get(name),
+                                True, tol)
+        for name in TIMING:
+            diff.compare_scalar(where, name, old.get(name), new.get(name),
+                                False, tol)
+        old_queries = {q["name"]: q for q in old.get("queries", [])}
+        new_queries = {q["name"]: q for q in new.get("queries", [])}
+        for qname in sorted(old_queries.keys() | new_queries.keys()):
+            oq, nq = old_queries.get(qname), new_queries.get(qname)
+            if oq is None or nq is None:
+                diff.warnings.append(
+                    f"{where}: query {qname} present only in one run")
+                continue
+            for name in DETERMINISTIC_QUERY:
+                diff.compare_scalar(f"{where} {qname}", name, oq.get(name),
+                                    nq.get(name), True, tol)
+            for name in TIMING_QUERY:
+                diff.compare_scalar(f"{where} {qname}", name, oq.get(name),
+                                    nq.get(name), False, tol)
+        old_oram, new_oram = old.get("oram"), new.get("oram")
+        if (old_oram is None) != (new_oram is None):
+            diff.warnings.append(f"{where}: oram health present only in one run")
+        elif old_oram is not None:
+            for name in DETERMINISTIC_ORAM:
+                diff.compare_scalar(f"{where} oram", name,
+                                    old_oram.get(name), new_oram.get(name),
+                                    True, tol)
+            if old_oram.get("shard_accesses") != new_oram.get("shard_accesses"):
+                diff.mismatches.append(
+                    f"{where} oram: shard_accesses changed "
+                    f"{old_oram.get('shard_accesses')} -> "
+                    f"{new_oram.get('shard_accesses')}")
+    return bench, diff
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="previous BENCH_<name>.json")
+    parser.add_argument("new", help="current BENCH_<name>.json")
+    parser.add_argument("--timing-tolerance", type=float, default=0.25,
+                        help="relative drift above which timing metrics warn "
+                             "(default 0.25)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any deterministic-metric mismatch")
+    args = parser.parse_args()
+
+    bench, diff = compare(args.old, args.new, args.timing_tolerance)
+    for line in diff.mismatches:
+        print(f"MISMATCH {bench}: {line}")
+    for line in diff.warnings:
+        print(f"WARN {bench}: {line}")
+    if not diff.mismatches and not diff.warnings:
+        print(f"OK {bench}: no deterministic changes, timing within "
+              f"{args.timing_tolerance:.0%}")
+    if args.strict and diff.mismatches:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
