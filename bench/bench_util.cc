@@ -112,6 +112,16 @@ std::string RenderEntry(const sim::ExperimentConfig& config,
     }
     os << "]}";
   }
+  // The v2 query-pipeline counters: session sweeps prepare each query
+  // exactly once (misses == distinct queries, hits == 0); the one-shot
+  // shim hits the plan cache from its second firing on.
+  const auto& ss = result.server_stats;
+  os << ",\"plan_cache\":{\"prepares\":" << ss.prepares
+     << ",\"hits\":" << ss.plan_cache_hits
+     << ",\"misses\":" << ss.plan_cache_misses
+     << ",\"rebinds\":" << ss.plan_rebinds
+     << ",\"executed\":" << ss.queries_executed
+     << ",\"peak_in_flight\":" << ss.peak_in_flight << "}";
   os << "}";
   return os.str();
 }
@@ -190,6 +200,10 @@ std::vector<sim::ExperimentResult> MustRunAll(
     results.push_back(std::move(runs[i].value()));
   }
   return results;
+}
+
+void RecordEntry(const std::string& json_object) {
+  Report().entries.push_back(json_object);
 }
 
 bool WriteJsonReport() {

@@ -41,6 +41,12 @@ sim::ExperimentResult MustRun(const sim::ExperimentConfig& config);
 std::vector<sim::ExperimentResult> MustRunAll(
     const std::vector<sim::ExperimentConfig>& configs);
 
+/// Appends one pre-rendered JSON object to the machine-readable report —
+/// for benches whose cells are not sim experiments (e.g. the concurrency
+/// sweep). The object should carry distinguishing "engine"/"strategy"
+/// keys so tools/bench_diff.py can match it across runs.
+void RecordEntry(const std::string& json_object);
+
 /// Header banner for a figure binary. Also names and arms the JSON report:
 /// when the process exits, every MustRun recorded since is written to
 /// `BENCH_<name>.json` (in $DPSYNC_BENCH_JSON_DIR, default the working

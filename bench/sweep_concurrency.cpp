@@ -1,0 +1,171 @@
+/// \file sweep_concurrency.cpp
+/// Concurrency sweep over the Query API v2: queries/sec on one ObliDB
+/// server for admission limits (in-flight) {1, 4, 8} x storage method
+/// {linear, indexed}. Every cell prepares a small mixed query set once,
+/// fans `kQueries` executions out through Submit/Wait, checks each answer
+/// against the sequential reference, and verifies the admission
+/// controller never exceeded its in-flight limit.
+///
+/// Output: "sweep_concurrency,<method>,x<in_flight>,..." CSV lines, a
+/// summary table, and BENCH_sweep_concurrency.json entries (wired into
+/// the CI bench-artifacts job; `virtual_seconds` is deterministic and
+/// gated by tools/bench_diff.py). DPSYNC_FAST=1 shrinks the workload 4x.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "edb/oblidb_engine.h"
+#include "workload/trip_record.h"
+
+using namespace dpsync;
+using namespace dpsync::bench;
+
+namespace {
+
+std::vector<Record> MakeRecords(int64_t n) {
+  Rng rng(4242);
+  std::vector<Record> records;
+  records.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    workload::TripRecord trip;
+    trip.pick_time = i;
+    trip.pickup_id = rng.UniformInt(1, 265);
+    trip.dropoff_id = rng.UniformInt(1, 265);
+    trip.trip_distance = 1.0 + rng.UniformDouble() * 5;
+    trip.fare = 2.5 + trip.trip_distance * 2.5;
+    records.push_back(trip.ToRecord());
+  }
+  return records;
+}
+
+std::vector<std::string> MixedQueries() {
+  return {
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100",
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 10 AND 40",
+      "SELECT pickupID, COUNT(*) AS c FROM YellowCab GROUP BY pickupID",
+      "SELECT SUM(fare) FROM YellowCab WHERE tripDistance >= 3",
+  };
+}
+
+void Die(const std::string& what, const Status& status) {
+  std::cerr << "sweep_concurrency: " << what << ": " << status.ToString()
+            << std::endl;
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Concurrency sweep: queries/sec vs admission limit x storage method",
+         "Query API v2 on the §8 workload scale");
+  const bool fast = FastMode();
+  const int64_t kRecords = fast ? 4000 : 20000;
+  const int kQueries = fast ? 64 : 256;
+
+  TablePrinter table({"method", "in-flight", "queries", "wall (s)", "qps",
+                      "peak", "plans", "executions"});
+  for (bool indexed : {false, true}) {
+    for (int in_flight : {1, 4, 8}) {
+      edb::ObliDbConfig cfg;
+      cfg.use_oram_index = indexed;
+      cfg.oram_capacity = static_cast<size_t>(kRecords) * 2;
+      cfg.admission.max_in_flight = in_flight;
+      cfg.admission.max_queue = 4096;  // never reject in this sweep
+      edb::ObliDbServer server(cfg);
+      auto t = server.CreateTable("YellowCab", workload::TripSchema());
+      if (!t.ok()) Die("CreateTable", t.status());
+      if (auto s = t.value()->Setup(MakeRecords(kRecords)); !s.ok()) {
+        Die("Setup", s);
+      }
+
+      auto session = server.CreateSession();
+      std::vector<edb::PreparedQuery> prepared;
+      std::vector<double> reference;
+      for (const auto& sql : MixedQueries()) {
+        auto q = session->Prepare(sql);
+        if (!q.ok()) Die("Prepare", q.status());
+        // Sequential reference answer (ObliDB is deterministic).
+        auto r = session->Execute(q.value());
+        if (!r.ok()) Die("reference Execute", r.status());
+        reference.push_back(r->result.grouped
+                                ? static_cast<double>(r->result.groups.size())
+                                : r->result.scalar);
+        prepared.push_back(std::move(q.value()));
+      }
+
+      auto start = std::chrono::steady_clock::now();
+      std::vector<edb::QueryTicket> tickets;
+      tickets.reserve(static_cast<size_t>(kQueries));
+      for (int i = 0; i < kQueries; ++i) {
+        auto ticket = session->Submit(prepared[i % prepared.size()]);
+        if (!ticket.ok()) Die("Submit", ticket.status());
+        tickets.push_back(ticket.value());
+      }
+      double virtual_seconds = 0;
+      for (size_t i = 0; i < tickets.size(); ++i) {
+        auto r = session->Wait(tickets[i]);
+        if (!r.ok()) Die("Wait", r.status());
+        double got = r->result.grouped
+                         ? static_cast<double>(r->result.groups.size())
+                         : r->result.scalar;
+        if (got != reference[i % reference.size()]) {
+          std::cerr << "sweep_concurrency: answer diverged under concurrency"
+                    << std::endl;
+          return 1;
+        }
+        virtual_seconds += r->stats.virtual_seconds;
+      }
+      double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      auto stats = server.stats();
+      if (stats.peak_in_flight > in_flight) {
+        std::cerr << "sweep_concurrency: admission limit violated (peak "
+                  << stats.peak_in_flight << " > " << in_flight << ")"
+                  << std::endl;
+        return 1;
+      }
+
+      const std::string method = indexed ? "indexed" : "linear";
+      double qps = wall > 0 ? kQueries / wall : 0;
+      std::cout << "sweep_concurrency," << method << ",x" << in_flight << ","
+                << kQueries << "," << wall << "," << qps << ","
+                << stats.peak_in_flight << "," << stats.plan_cache_misses
+                << "," << stats.queries_executed << "\n";
+      table.AddRow({method, std::to_string(in_flight),
+                    std::to_string(kQueries), TablePrinter::Fmt(wall, 3),
+                    TablePrinter::Fmt(qps, 1),
+                    std::to_string(stats.peak_in_flight),
+                    std::to_string(stats.plan_cache_misses),
+                    std::to_string(stats.queries_executed)});
+
+      std::ostringstream json;
+      json.precision(17);
+      json << "{\"engine\":\"ObliDB\",\"strategy\":\"concurrency-"
+           << method << "-x" << in_flight << "\",\"in_flight\":" << in_flight
+           << ",\"use_oram_index\":" << (indexed ? "true" : "false")
+           << ",\"records\":" << kRecords << ",\"query_count\":" << kQueries
+           << ",\"wall_seconds\":" << wall << ",\"qps\":" << qps
+           << ",\"virtual_seconds\":" << virtual_seconds
+           << ",\"peak_in_flight\":" << stats.peak_in_flight
+           << ",\"plan_cache\":{\"prepares\":" << stats.prepares
+           << ",\"hits\":" << stats.plan_cache_hits
+           << ",\"misses\":" << stats.plan_cache_misses << "}}";
+      RecordEntry(json.str());
+    }
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: answers are identical in every cell (the "
+               "admission limit\nchanges scheduling only), peak in-flight "
+               "never exceeds the limit, and every\ncell plans each of the "
+               "4 distinct queries exactly once, however many times\nit "
+               "executes them.\n";
+  return 0;
+}

@@ -22,7 +22,12 @@
 ///   --shards=<int>       shards per table           (default 1)
 ///   --storage-dir=<path> segment-log root; each run writes a fresh
 ///                        subdirectory (default: temp, cleaned up)
+///   --api=session|oneshot  analyst API driving the schedule: prepared
+///                        queries over a session (default) or the legacy
+///                        one-shot Query() shim; metrics are identical
 ///   --no-join            skip the second table and Q3
+///   --timing             \timing-style per-query stats after the run
+///                        (mean QET, executions, plan-cache hit rate)
 ///   --csv=<path>         also write series to a CSV file
 #include <cstdlib>
 #include <cstring>
@@ -52,7 +57,8 @@ int Usage(const char* argv0) {
                "       [--horizon=N] [--records=N] [--interval=N] [--seed=N]\n"
                "       [--backend=memory|segment] [--shards=N] "
                "[--storage-dir=path]\n"
-               "       [--no-join] [--csv=path]\n";
+               "       [--api=session|oneshot] [--no-join] [--timing] "
+               "[--csv=path]\n";
   return 2;
 }
 
@@ -61,6 +67,7 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   sim::ExperimentConfig cfg;
   std::string csv_path;
+  bool timing = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -111,9 +118,15 @@ int main(int argc, char** argv) {
       if (cfg.num_shards < 1) return Usage(argv[0]);
     } else if (ParseFlag(argv[i], "storage-dir", &v)) {
       cfg.storage_dir = v;
+    } else if (ParseFlag(argv[i], "api", &v)) {
+      if (v == "session") cfg.query_api = sim::QueryApi::kSession;
+      else if (v == "oneshot") cfg.query_api = sim::QueryApi::kOneShot;
+      else return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-join") == 0) {
       cfg.enable_green = false;
       cfg.queries = sim::DefaultQueries(false);
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
     } else if (ParseFlag(argv[i], "csv", &v)) {
       csv_path = v;
     } else {
@@ -147,6 +160,41 @@ int main(int argc, char** argv) {
             << "dummy data (Mb)  : "
             << TablePrinter::Fmt(result->final_dummy_mb) << "\n"
             << "updates posted   : " << result->updates_posted << "\n";
+
+  if (timing) {
+    // \timing: what each query actually cost and how the v2 pipeline
+    // amortized its front half. On the session API every query is
+    // prepared exactly once (misses == distinct queries, zero re-plans
+    // across sync epochs); on the one-shot API the plan cache serves
+    // every firing after the first.
+    const auto& ss = result->server_stats;
+    std::cout << "\n\\timing\n";
+    TablePrinter qt({"query", "executions", "mean QET (s)",
+                     "mean wall (ms)"});
+    for (const auto& q : result->queries) {
+      qt.AddRow({q.name, std::to_string(q.qet.t.size()),
+                 TablePrinter::Fmt(q.mean_qet, 4),
+                 TablePrinter::Fmt(q.qet_measured.Summarize().mean() * 1e3,
+                                   3)});
+    }
+    qt.Print(std::cout);
+    int64_t lookups = ss.plan_cache_hits + ss.plan_cache_misses;
+    std::cout << "plan cache       : " << ss.plan_cache_hits << " hits / "
+              << ss.plan_cache_misses << " misses"
+              << (lookups > 0
+                      ? " (" +
+                            TablePrinter::Fmt(100.0 * ss.plan_cache_hits /
+                                                  lookups,
+                                              1) +
+                            "% hit rate)"
+                      : "")
+              << "\n"
+              << "prepares         : " << ss.prepares
+              << " (rebinds after schema change: " << ss.plan_rebinds
+              << ")\n"
+              << "executed         : " << ss.queries_executed
+              << " (peak in-flight " << ss.peak_in_flight << ")\n";
+  }
 
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);

@@ -21,6 +21,12 @@ const char* CodeName(StatusCode c) {
       return "INTERNAL";
     case StatusCode::kPermissionDenied:
       return "PERMISSION_DENIED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kPermissionDenied,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Value-semantic result of an operation: either OK or a code plus message.
@@ -52,6 +55,15 @@ class Status {
   }
   static Status PermissionDenied(std::string m) {
     return Status(StatusCode::kPermissionDenied, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

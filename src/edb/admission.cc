@@ -1,0 +1,84 @@
+#include "edb/admission.h"
+
+#include <algorithm>
+
+namespace dpsync::edb {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {
+  config_.max_in_flight = std::max(1, config_.max_in_flight);
+}
+
+Status AdmissionController::Acquire(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Fast path: a free slot and nobody queued ahead of us.
+  if (queue_.empty() && in_flight_ < config_.max_in_flight) {
+    ++in_flight_;
+    ++stats_.admitted;
+    stats_.peak_in_flight = std::max<int64_t>(stats_.peak_in_flight,
+                                              in_flight_);
+    return Status::Ok();
+  }
+  if (queue_.size() >= config_.max_queue) {
+    ++stats_.rejected_queue_full;
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(config_.max_queue) +
+        " waiters); retry later or raise AdmissionConfig::max_queue");
+  }
+  auto waiter = std::make_shared<Waiter>();
+  queue_.push_back(waiter);
+  while (!waiter->granted) {
+    if (!deadline) {
+      cv_.wait(lk);
+      continue;
+    }
+    if (cv_.wait_until(lk, *deadline) == std::cv_status::timeout &&
+        !waiter->granted) {
+      // Abandon our queue position. Release() may have popped and granted
+      // us concurrently — the `granted` re-check above covers that; here
+      // we are still queued, so remove ourselves and give up.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == waiter) {
+          queue_.erase(it);
+          break;
+        }
+      }
+      ++stats_.deadlines_exceeded;
+      return Status::DeadlineExceeded(
+          "query missed its admission deadline while queued");
+    }
+  }
+  // The slot was transferred to us by Release(); it already incremented
+  // in_flight_ on our behalf.
+  ++stats_.admitted;
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lk(mu_);
+  --in_flight_;
+  if (!queue_.empty() && in_flight_ < config_.max_in_flight) {
+    // Hand the slot to the oldest waiter (FIFO); it counts as in-flight
+    // from this moment even though the waiter thread wakes later.
+    auto waiter = queue_.front();
+    queue_.pop_front();
+    waiter->granted = true;
+    ++in_flight_;
+    stats_.peak_in_flight = std::max<int64_t>(stats_.peak_in_flight,
+                                              in_flight_);
+    cv_.notify_all();
+  }
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+}  // namespace dpsync::edb

@@ -1,0 +1,73 @@
+/// \file admission.h
+/// Per-server admission control for the Query API v2: a bounded number of
+/// queries execute concurrently; excess arrivals wait in a FIFO overflow
+/// queue (bounded — beyond it they are rejected with ResourceExhausted)
+/// and give up with DeadlineExceeded if their per-query deadline passes
+/// before a slot frees up. Queries that have started executing are never
+/// aborted; deadlines bound time-to-admission only.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/status.h"
+
+namespace dpsync::edb {
+
+/// Per-server execution limits.
+struct AdmissionConfig {
+  /// Queries executing concurrently (clamped to at least 1).
+  int max_in_flight = 4;
+  /// Waiters allowed in the FIFO overflow queue before arrivals are
+  /// rejected outright.
+  size_t max_queue = 64;
+};
+
+/// Thread-safe counting admission gate with FIFO overflow. `Acquire` must
+/// be balanced by exactly one `Release` when (and only when) it returns OK.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  /// Blocks until an execution slot is granted (FIFO among waiters).
+  /// Returns ResourceExhausted immediately when the overflow queue is
+  /// full, DeadlineExceeded when `deadline` passes first.
+  Status Acquire(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  /// Returns a slot; grants it to the oldest live waiter, if any.
+  void Release();
+
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t rejected_queue_full = 0;
+    int64_t deadlines_exceeded = 0;
+    /// High-water mark of concurrently executing queries.
+    int64_t peak_in_flight = 0;
+  };
+  Stats stats() const;
+
+  int max_in_flight() const { return config_.max_in_flight; }
+
+  /// Live waiters in the overflow queue (tests and monitoring).
+  size_t queue_depth() const;
+
+ private:
+  struct Waiter {
+    bool granted = false;
+  };
+
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Waiter>> queue_;
+  int in_flight_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dpsync::edb

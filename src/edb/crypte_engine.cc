@@ -4,18 +4,25 @@
 
 #include "dp/laplace.h"
 #include "query/executor.h"
-#include "query/rewriter.h"
 
 namespace dpsync::edb {
 
 CryptEpsServer::CryptEpsServer(const CryptEpsConfig& config)
-    : config_(config),
+    : EdbServer(config.admission),
+      config_(config),
       keys_(crypto::KeyManager::FromSeed(config.master_seed)),
       cost_(CryptEpsCostModel()),
       noise_rng_(config.master_seed ^ 0xfeedface) {}
 
-StatusOr<EdbTable*> CryptEpsServer::CreateTable(const std::string& name,
-                                                const query::Schema& schema) {
+CryptEpsServer::~CryptEpsServer() {
+  // In-flight async queries call back into our virtual SPI; drain them
+  // before any member is torn down.
+  DrainSessions();
+}
+
+StatusOr<EdbTable*> CryptEpsServer::CreateTableImpl(
+    const std::string& name, const query::Schema& schema) {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   if (tables_.count(name)) {
     return Status::InvalidArgument("table already exists: " + name);
   }
@@ -30,6 +37,27 @@ StatusOr<EdbTable*> CryptEpsServer::CreateTable(const std::string& name,
   return handle;
 }
 
+EncryptedTableStore* CryptEpsServer::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const query::Schema* CryptEpsServer::FindSchema(
+    const std::string& table) const {
+  EncryptedTableStore* t = FindTable(table);
+  return t ? &t->schema() : nullptr;
+}
+
+query::PlannerOptions CryptEpsServer::planner_options() const {
+  query::PlannerOptions options;
+  // Keep the legacy error text: "Crypt-eps does not support join
+  // operators" (paper: Crypt-eps has no join operator).
+  options.engine_name = "Crypt-eps";
+  options.supports_join = false;
+  return options;
+}
+
 LeakageProfile CryptEpsServer::leakage() const {
   LeakageProfile p;
   p.query_class = LeakageClass::kLDP;
@@ -41,64 +69,95 @@ LeakageProfile CryptEpsServer::leakage() const {
 }
 
 int64_t CryptEpsServer::total_outsourced_bytes() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   int64_t total = 0;
-  for (const auto& [_, t] : tables_) total += t->outsourced_bytes();
+  for (const auto& [_, t] : tables_) {
+    std::lock_guard<std::mutex> table_lk(t->table_mutex());
+    total += t->outsourced_bytes();
+  }
   return total;
 }
 
 int64_t CryptEpsServer::total_outsourced_records() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   int64_t total = 0;
-  for (const auto& [_, t] : tables_) total += t->outsourced_count();
+  for (const auto& [_, t] : tables_) {
+    std::lock_guard<std::mutex> table_lk(t->table_mutex());
+    total += t->outsourced_count();
+  }
   return total;
 }
 
-StatusOr<QueryResponse> CryptEpsServer::Query(const query::SelectQuery& q) {
-  if (q.join) {
-    return Status::Unimplemented("Crypt-eps does not support join operators");
+double CryptEpsServer::consumed_query_budget() const {
+  std::lock_guard<std::mutex> lk(budget_mu_);
+  return consumed_budget_;
+}
+
+StatusOr<QueryResponse> CryptEpsServer::ExecutePlan(
+    const query::QueryPlan& plan) {
+  // The planner rejected joins and resolved the table at Prepare time.
+  EncryptedTableStore* table = FindTable(plan.table);
+  if (!table) {
+    return Status::Internal("plan references lost table " + plan.table);
   }
-  auto it = tables_.find(q.table);
-  if (it == tables_.end()) {
-    return Status::NotFound("unknown table: " + q.table);
+
+  // Reserve the per-query budget before doing any work: reserving (not
+  // check-then-consume-later) keeps concurrent queries from jointly
+  // overdrawing total_budget_limit. Rolled back if the scan fails.
+  {
+    std::lock_guard<std::mutex> lk(budget_mu_);
+    if (config_.total_budget_limit > 0 &&
+        consumed_budget_ + config_.query_epsilon >
+            config_.total_budget_limit + 1e-9) {
+      return Status::PermissionDenied("analyst query budget exhausted");
+    }
+    consumed_budget_ += config_.query_epsilon;
   }
-  if (config_.total_budget_limit > 0 &&
-      consumed_budget_ + config_.query_epsilon >
-          config_.total_budget_limit + 1e-9) {
-    return Status::PermissionDenied("analyst query budget exhausted");
-  }
-  EncryptedTableStore* table = it->second.get();
 
   auto start = std::chrono::steady_clock::now();
-  query::SelectQuery rewritten = query::RewriteForDummies(q);
+  // Scans of one table serialize against each other and against owner
+  // appends; the lock covers the executor's use of the borrowed enclave
+  // partitions too.
+  std::lock_guard<std::mutex> table_lk(table->table_mutex());
 
   // The two-server aggregation pipeline, played by one process: decrypt
   // (simulating the measurement phase) and aggregate exactly...
-  auto view = table->EnclaveView();
-  if (!view.ok()) return view.status();
-  query::Table plain;
-  plain.name = table->table_name();
-  plain.schema = table->schema();
-  plain.borrowed_parts = std::move(view.value());
-  query::Catalog catalog;
-  catalog.AddTable(&plain);
-  query::Executor executor(&catalog);
-  auto exact = executor.Execute(rewritten);
-  if (!exact.ok()) return exact.status();
+  auto run_exact = [&]() -> StatusOr<query::QueryResult> {
+    auto view = table->EnclaveView();
+    if (!view.ok()) return view.status();
+    query::Table plain;
+    plain.name = table->table_name();
+    plain.schema = table->schema();
+    plain.borrowed_parts = std::move(view.value());
+    query::Catalog catalog;
+    catalog.AddTable(&plain);
+    query::Executor executor(&catalog);
+    return executor.Execute(plan.rewritten);
+  };
+  auto exact = run_exact();
+  if (!exact.ok()) {
+    std::lock_guard<std::mutex> lk(budget_mu_);
+    consumed_budget_ -= config_.query_epsilon;  // nothing was released
+    return exact.status();
+  }
 
   // ...then release with Laplace noise from the per-query budget. Grouped
   // answers noise each group independently (disjoint partitions: parallel
   // composition, so the whole release costs query_epsilon).
   query::QueryResult noisy = std::move(exact.value());
-  dp::LaplaceMechanism release(config_.query_epsilon);
-  if (noisy.grouped) {
-    for (auto& [key, value] : noisy.groups) {
-      value = release.Perturb(value, &noise_rng_);
-      if (value < 0) value = 0;  // post-processing: counts are nonnegative
+  {
+    std::lock_guard<std::mutex> lk(budget_mu_);
+    dp::LaplaceMechanism release(config_.query_epsilon);
+    if (noisy.grouped) {
+      for (auto& [key, value] : noisy.groups) {
+        value = release.Perturb(value, &noise_rng_);
+        if (value < 0) value = 0;  // post-processing: counts are nonnegative
+      }
+    } else {
+      noisy.scalar = release.Perturb(noisy.scalar, &noise_rng_);
+      if (noisy.scalar < 0) noisy.scalar = 0;
     }
-  } else {
-    noisy.scalar = release.Perturb(noisy.scalar, &noise_rng_);
-    if (noisy.scalar < 0) noisy.scalar = 0;
   }
-  consumed_budget_ += config_.query_epsilon;
 
   QueryResponse resp;
   resp.result = std::move(noisy);
@@ -107,7 +166,7 @@ StatusOr<QueryResponse> CryptEpsServer::Query(const query::SelectQuery& q) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   resp.stats.virtual_seconds = ScanCost(cost_, table->outsourced_count(),
-                                        !rewritten.group_by.empty());
+                                        !plan.rewritten.group_by.empty());
   return resp;
 }
 

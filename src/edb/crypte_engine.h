@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/rng.h"
 #include "crypto/key_manager.h"
@@ -26,6 +27,8 @@ namespace dpsync::edb {
 /// Engine options.
 struct CryptEpsConfig {
   uint64_t master_seed = 2;
+  /// Query API v2 execution limits (max in-flight, overflow queue).
+  AdmissionConfig admission;
   /// Privacy budget spent on each query release (the paper's evaluation
   /// sets this to 3).
   double query_epsilon = 3.0;
@@ -41,27 +44,44 @@ struct CryptEpsConfig {
 class CryptEpsServer : public EdbServer {
  public:
   explicit CryptEpsServer(const CryptEpsConfig& config = {});
+  ~CryptEpsServer() override;
 
-  StatusOr<EdbTable*> CreateTable(const std::string& name,
-                                  const query::Schema& schema) override;
-  StatusOr<QueryResponse> Query(const query::SelectQuery& q) override;
   LeakageProfile leakage() const override;
   std::string name() const override { return "CryptEpsilon"; }
   int64_t total_outsourced_bytes() const override;
   int64_t total_outsourced_records() const override;
 
+  // Engine SPI (see encrypted_database.h). Joins are rejected at Prepare
+  // time via planner_options(); execution serializes per table, and the
+  // budget ledger + noise stream serialize on their own mutex (budget is
+  // reserved atomically before the scan, so concurrent queries can never
+  // jointly overdraw the analyst budget).
+  StatusOr<QueryResponse> ExecutePlan(const query::QueryPlan& plan) override;
+  const query::Schema* FindSchema(const std::string& table) const override;
+  query::PlannerOptions planner_options() const override;
+
   /// Cumulative query budget consumed so far (sequential composition over
   /// the analyst's query stream).
-  double consumed_query_budget() const { return consumed_budget_; }
+  double consumed_query_budget() const;
 
   const CostModel& cost_model() const { return cost_; }
 
+ protected:
+  StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
+                                      const query::Schema& schema) override;
+
  private:
+  EncryptedTableStore* FindTable(const std::string& name) const;
+
   CryptEpsConfig config_;
   crypto::KeyManager keys_;
   CostModel cost_;
+  /// Guards consumed_budget_ and noise_rng_ (the Laplace stream must be
+  /// drawn under one lock so sequential use stays deterministic).
+  mutable std::mutex budget_mu_;
   Rng noise_rng_;
   double consumed_budget_ = 0.0;
+  mutable std::mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<EncryptedTableStore>> tables_;
 };
 

@@ -70,12 +70,13 @@ Status EncryptedTableStore::AppendEncrypted(const std::vector<Record>& records,
     // Setup commits every shard so the table's full topology is
     // materialized on disk even for shards gamma_0 never touched;
     // steady-state updates only pay for the shards they wrote.
-    return setup_batch ? Flush() : FlushDirtyShards();
+    return setup_batch ? FlushAllShards() : FlushDirtyShards();
   }
   return Status::Ok();
 }
 
 Status EncryptedTableStore::Setup(const std::vector<Record>& gamma0) {
+  std::lock_guard<std::mutex> lk(table_mutex());
   DPSYNC_RETURN_IF_ERROR(init_status_);
   if (setup_done_) return Status::FailedPrecondition("Setup already run");
   setup_done_ = true;
@@ -83,6 +84,7 @@ Status EncryptedTableStore::Setup(const std::vector<Record>& gamma0) {
 }
 
 Status EncryptedTableStore::Update(const std::vector<Record>& gamma) {
+  std::lock_guard<std::mutex> lk(table_mutex());
   DPSYNC_RETURN_IF_ERROR(init_status_);
   if (!setup_done_) return Status::FailedPrecondition("Update before Setup");
   ++update_calls_;
@@ -96,6 +98,11 @@ int64_t EncryptedTableStore::outsourced_bytes() const {
 }
 
 Status EncryptedTableStore::Flush() {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  return FlushAllShards();
+}
+
+Status EncryptedTableStore::FlushAllShards() {
   DPSYNC_RETURN_IF_ERROR(init_status_);
   for (size_t s = 0; s < shards_.size(); ++s) {
     DPSYNC_RETURN_IF_ERROR(shards_[s]->Flush(cipher_.nonce_high_water()));
@@ -114,6 +121,7 @@ Status EncryptedTableStore::FlushDirtyShards() {
 }
 
 Status EncryptedTableStore::Reopen() {
+  std::lock_guard<std::mutex> lk(table_mutex());
   DPSYNC_RETURN_IF_ERROR(init_status_);
   journal_.clear();
   for (auto& rows : enclave_rows_) rows.clear();

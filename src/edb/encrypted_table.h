@@ -53,6 +53,12 @@ class EncryptedTableStore : public EdbTable {
   /// Commits every shard and persists the cipher's nonce high-water mark.
   /// Called automatically after Setup/Update unless
   /// StorageConfig::flush_every_update is false.
+  ///
+  /// Thread-safety: Setup/Update/Flush/Reopen serialize on table_mutex()
+  /// internally. The read-side views (EnclaveView/DecryptAll/accessors)
+  /// do NOT lock — callers running queries against a table that may be
+  /// appended to concurrently must hold table_mutex() across the view
+  /// call AND every use of the borrowed partitions (the edb engines do).
   Status Flush();
 
   /// Re-attaches to the backends' durable state (simulating a restart):
@@ -121,6 +127,9 @@ class EncryptedTableStore : public EdbTable {
  private:
   Status AppendEncrypted(const std::vector<Record>& records,
                          bool setup_batch);
+  /// Unlocked body of Flush() (the append path calls it while already
+  /// holding table_mutex()).
+  Status FlushAllShards();
   /// Commits only the shards the last batches appended to (auto-flush
   /// path: per-update commit cost scales with shards touched, not
   /// num_shards).

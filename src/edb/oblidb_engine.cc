@@ -5,7 +5,6 @@
 
 #include "common/parallel.h"
 #include "query/executor.h"
-#include "query/rewriter.h"
 
 namespace dpsync::edb {
 
@@ -80,11 +79,13 @@ Status ObliDbTable::CatchUpMirror(const std::vector<Record>& batch) {
 }
 
 Status ObliDbTable::Setup(const std::vector<Record>& gamma0) {
+  std::lock_guard<std::mutex> lk(table_mutex());
   DPSYNC_RETURN_IF_ERROR(store_.Setup(gamma0));
   return CatchUpMirror(gamma0);
 }
 
 Status ObliDbTable::Update(const std::vector<Record>& gamma) {
+  std::lock_guard<std::mutex> lk(table_mutex());
   DPSYNC_RETURN_IF_ERROR(store_.Update(gamma));
   return CatchUpMirror(gamma);
 }
@@ -119,12 +120,20 @@ ObliDbTable::EnclaveScan() {
 }
 
 ObliDbServer::ObliDbServer(const ObliDbConfig& config)
-    : config_(config),
+    : EdbServer(config.admission),
+      config_(config),
       keys_(crypto::KeyManager::FromSeed(config.master_seed)),
       cost_(ObliDbCostModel()) {}
 
-StatusOr<EdbTable*> ObliDbServer::CreateTable(const std::string& name,
-                                              const query::Schema& schema) {
+ObliDbServer::~ObliDbServer() {
+  // In-flight async queries call back into our virtual SPI; drain them
+  // before any member is torn down.
+  DrainSessions();
+}
+
+StatusOr<EdbTable*> ObliDbServer::CreateTableImpl(const std::string& name,
+                                                  const query::Schema& schema) {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   if (tables_.count(name)) {
     return Status::InvalidArgument("table already exists: " + name);
   }
@@ -139,6 +148,24 @@ StatusOr<EdbTable*> ObliDbServer::CreateTable(const std::string& name,
   return handle;
 }
 
+ObliDbTable* ObliDbServer::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const query::Schema* ObliDbServer::FindSchema(const std::string& table) const {
+  ObliDbTable* t = FindTable(table);
+  return t ? &t->store().schema() : nullptr;
+}
+
+query::PlannerOptions ObliDbServer::planner_options() const {
+  query::PlannerOptions options;
+  options.engine_name = name();
+  options.oram_indexed = config_.use_oram_index;
+  return options;
+}
+
 LeakageProfile ObliDbServer::leakage() const {
   LeakageProfile p;
   p.query_class = LeakageClass::kL0;
@@ -150,20 +177,30 @@ LeakageProfile ObliDbServer::leakage() const {
 }
 
 int64_t ObliDbServer::total_outsourced_bytes() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   int64_t total = 0;
-  for (const auto& [_, t] : tables_) total += t->outsourced_bytes();
+  for (const auto& [_, t] : tables_) {
+    std::lock_guard<std::mutex> table_lk(t->table_mutex());
+    total += t->outsourced_bytes();
+  }
   return total;
 }
 
 int64_t ObliDbServer::total_outsourced_records() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   int64_t total = 0;
-  for (const auto& [_, t] : tables_) total += t->outsourced_count();
+  for (const auto& [_, t] : tables_) {
+    std::lock_guard<std::mutex> table_lk(t->table_mutex());
+    total += t->outsourced_count();
+  }
   return total;
 }
 
 OramHealth ObliDbServer::oram_health() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
   OramHealth health;
   for (const auto& [_, t] : tables_) {
+    std::lock_guard<std::mutex> table_lk(t->table_mutex());
     const oram::OramMirror* mirror = t->mirror();
     if (!mirror) continue;
     health.enabled = true;
@@ -184,20 +221,31 @@ OramHealth ObliDbServer::oram_health() const {
   return health;
 }
 
-StatusOr<QueryResponse> ObliDbServer::Query(const query::SelectQuery& q) {
-  auto it = tables_.find(q.table);
-  if (it == tables_.end()) {
-    return Status::NotFound("unknown table: " + q.table);
-  }
-  query::SelectQuery rewritten = query::RewriteForDummies(q);
-  if (q.join) {
-    auto jt = tables_.find(q.join->table);
-    if (jt == tables_.end()) {
-      return Status::NotFound("unknown table: " + q.join->table);
+StatusOr<QueryResponse> ObliDbServer::ExecutePlan(
+    const query::QueryPlan& plan) {
+  // The planner resolved these names against our catalog and tables are
+  // never dropped, so the lookups cannot fail while the server lives.
+  ObliDbTable* table = FindTable(plan.table);
+  if (!table) return Status::Internal("plan references lost table " +
+                                      plan.table);
+  if (plan.kind == query::PlanKind::kJoin) {
+    ObliDbTable* right = FindTable(plan.join_table);
+    if (!right) {
+      return Status::Internal("plan references lost table " +
+                              plan.join_table);
     }
-    return JoinQuery(rewritten, it->second.get(), jt->second.get());
+    // Hold both table locks across the pre-join scans AND the join over
+    // the borrowed partitions; scoped_lock orders the acquisition, so
+    // concurrent joins cannot deadlock. A self-join locks once.
+    if (table == right) {
+      std::lock_guard<std::mutex> lk(table->table_mutex());
+      return JoinQuery(plan.rewritten, table, right);
+    }
+    std::scoped_lock lk(table->table_mutex(), right->table_mutex());
+    return JoinQuery(plan.rewritten, table, right);
   }
-  return ScanQuery(rewritten, it->second.get());
+  std::lock_guard<std::mutex> lk(table->table_mutex());
+  return ScanQuery(plan.rewritten, table);
 }
 
 StatusOr<QueryResponse> ObliDbServer::ScanQuery(

@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "crypto/key_manager.h"
 #include "edb/cost_model.h"
@@ -30,6 +31,8 @@ namespace dpsync::edb {
 /// Engine options.
 struct ObliDbConfig {
   uint64_t master_seed = 1;
+  /// Query API v2 execution limits (max in-flight, overflow queue).
+  AdmissionConfig admission;
   /// Mirror ciphertexts into per-shard Path ORAMs ("indexed" storage
   /// method). The mirror's shard topology follows storage.num_shards.
   bool use_oram_index = false;
@@ -63,6 +66,9 @@ class ObliDbTable : public EdbTable {
   ObliDbTable(std::string name, query::Schema schema, Bytes key,
               const ObliDbConfig& config);
 
+  /// Owner-side appends serialize on table_mutex() internally (store
+  /// append + ORAM catch-up are one critical section, so a concurrent
+  /// scan never observes the index out of sync with the store).
   Status Setup(const std::vector<Record>& gamma0) override;
   Status Update(const std::vector<Record>& gamma) override;
   int64_t outsourced_count() const override {
@@ -79,7 +85,10 @@ class ObliDbTable : public EdbTable {
   const oram::OramMirror* mirror() const { return mirror_.get(); }
 
   /// Enclave-side scan, returning one plaintext partition per storage
-  /// shard (what query::Table::borrowed_parts consumes). In indexed mode
+  /// shard (what query::Table::borrowed_parts consumes). NOT internally
+  /// locked: the caller must hold table_mutex() across this call and
+  /// every use of the returned partitions (ObliDbServer does). In indexed
+  /// mode
   /// every record is first touched through its shard's ORAM — per-shard
   /// oblivious point accesses fanned out on the shared pool — before the
   /// enclave-resident mirrors are served; otherwise it is the plain
@@ -113,27 +122,41 @@ class ObliDbTable : public EdbTable {
 class ObliDbServer : public EdbServer {
  public:
   explicit ObliDbServer(const ObliDbConfig& config = {});
+  ~ObliDbServer() override;
 
-  StatusOr<EdbTable*> CreateTable(const std::string& name,
-                                  const query::Schema& schema) override;
-  StatusOr<QueryResponse> Query(const query::SelectQuery& q) override;
   LeakageProfile leakage() const override;
   std::string name() const override { return "ObliDB"; }
   int64_t total_outsourced_bytes() const override;
   int64_t total_outsourced_records() const override;
   OramHealth oram_health() const override;
 
+  // Engine SPI (see encrypted_database.h). ExecutePlan serializes on the
+  // scanned tables' mutexes, so concurrent sessions and owner-side
+  // appends are safe; queries over disjoint tables run in parallel.
+  StatusOr<QueryResponse> ExecutePlan(const query::QueryPlan& plan) override;
+  const query::Schema* FindSchema(const std::string& table) const override;
+  query::PlannerOptions planner_options() const override;
+
   const CostModel& cost_model() const { return cost_; }
 
+ protected:
+  StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
+                                      const query::Schema& schema) override;
+
  private:
+  /// Both run with the table mutex(es) already held.
   StatusOr<QueryResponse> ScanQuery(const query::SelectQuery& rewritten,
                                     ObliDbTable* table);
   StatusOr<QueryResponse> JoinQuery(const query::SelectQuery& rewritten,
                                     ObliDbTable* left, ObliDbTable* right);
+  ObliDbTable* FindTable(const std::string& name) const;
 
   ObliDbConfig config_;
   crypto::KeyManager keys_;
   CostModel cost_;
+  /// Guards the table map itself (CreateTable vs concurrent lookups);
+  /// per-table state is guarded by each table's table_mutex().
+  mutable std::mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<ObliDbTable>> tables_;
 };
 

@@ -1,0 +1,48 @@
+#include "edb/plan_cache.h"
+
+namespace dpsync::edb {
+
+std::shared_ptr<const query::QueryPlan> PlanCache::Lookup(
+    uint64_t fingerprint, const std::string& text, uint64_t catalog_epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = plans_.find(fingerprint);
+  if (it != plans_.end()) {
+    if (it->second.plan->catalog_epoch != catalog_epoch) {
+      plans_.erase(it);  // stale binding: the catalog changed underneath it
+    } else if (it->second.plan->canonical_text == text) {
+      it->second.last_used = ++use_seq_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.plan;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void PlanCache::Insert(std::shared_ptr<const query::QueryPlan> plan) {
+  const uint64_t fingerprint = plan->fingerprint;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = plans_.find(fingerprint);
+  if (it == plans_.end() && plans_.size() >= kMaxPlans) {
+    // Evict the least-recently-used entry. Linear scan is fine: it only
+    // runs once the cache is full, and kMaxPlans is small.
+    auto victim = plans_.begin();
+    for (auto cand = plans_.begin(); cand != plans_.end(); ++cand) {
+      if (cand->second.last_used < victim->second.last_used) victim = cand;
+    }
+    plans_.erase(victim);
+  }
+  plans_[fingerprint] = Entry{std::move(plan), ++use_seq_};
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  plans_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return plans_.size();
+}
+
+}  // namespace dpsync::edb

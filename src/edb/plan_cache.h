@@ -1,0 +1,56 @@
+/// \file plan_cache.h
+/// Per-server cache of bound query plans, keyed on the normalized-AST
+/// fingerprint (see query/plan.h). Hash collisions are disarmed by an
+/// exact canonical-text check; stale entries (planned against an older
+/// catalog epoch) are evicted on lookup, and the cache is bounded: past
+/// `kMaxPlans` distinct queries the least-recently-used plan is evicted,
+/// so an unbounded analyst query stream cannot grow server memory.
+/// Thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "query/plan.h"
+
+namespace dpsync::edb {
+
+class PlanCache {
+ public:
+  /// Distinct plans kept before LRU eviction kicks in. Plans are small
+  /// (two ASTs + strings) and real deployments repeat a modest query
+  /// set, so a few hundred covers every workload we model.
+  static constexpr size_t kMaxPlans = 512;
+  /// Returns the cached plan for (fingerprint, canonical_text) if it was
+  /// bound at `catalog_epoch`, else nullptr. Counts a hit or a miss;
+  /// evicts entries bound at older epochs.
+  std::shared_ptr<const query::QueryPlan> Lookup(uint64_t fingerprint,
+                                                 const std::string& text,
+                                                 uint64_t catalog_epoch);
+
+  void Insert(std::shared_ptr<const query::QueryPlan> plan);
+
+  void Clear();
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const query::QueryPlan> plan;
+    uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> plans_;
+  uint64_t use_seq_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace dpsync::edb

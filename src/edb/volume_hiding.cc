@@ -19,15 +19,13 @@ ObliDbConfig SeededConfig(uint64_t seed) {
 }
 }  // namespace
 
-StealthDbServer::StealthDbServer(uint64_t seed) : inner_(SeededConfig(seed)) {}
+StealthDbServer::StealthDbServer(uint64_t seed,
+                                 const AdmissionConfig& admission)
+    : EdbServer(admission), inner_(SeededConfig(seed)) {}
 
-StatusOr<EdbTable*> StealthDbServer::CreateTable(const std::string& name,
-                                                 const query::Schema& schema) {
-  return inner_.CreateTable(name, schema);
-}
-
-StatusOr<QueryResponse> StealthDbServer::Query(const query::SelectQuery& q) {
-  auto resp = inner_.Query(q);
+StatusOr<QueryResponse> StealthDbServer::ExecutePlan(
+    const query::QueryPlan& plan) {
+  auto resp = inner_.ExecutePlan(plan);
   if (!resp.ok()) return resp;
   // The L-1 protocol ships the matching records back, so the server sees
   // the exact response volume: for aggregates, the count of contributing
@@ -55,8 +53,9 @@ LeakageProfile StealthDbServer::leakage() const {
   return p;
 }
 
-StatusOr<QueryResponse> VolumePaddedServer::Query(const query::SelectQuery& q) {
-  auto resp = inner_->Query(q);
+StatusOr<QueryResponse> VolumePaddedServer::ExecutePlan(
+    const query::QueryPlan& plan) {
+  auto resp = inner_->ExecutePlan(plan);
   if (!resp.ok()) return resp;
   if (resp->stats.revealed_volume >= 0) {
     resp->stats.revealed_volume = NextPowerOfTwo(resp->stats.revealed_volume);

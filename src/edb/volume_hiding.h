@@ -9,6 +9,12 @@
 /// volume-hiding countermeasure; we implement the naive-padding transform
 /// the paper cites (round every revealed volume up to the next power of
 /// two, cf. Kamara–Moataz pseudorandom transformations).
+///
+/// Both classes are EdbServer decorators built on the engine SPI: they
+/// delegate planning (FindSchema/planner_options) and execution
+/// (ExecutePlan) to the wrapped server and post-process the revealed
+/// volume, so the full v2 session surface (prepare/execute/submit) works
+/// through them unchanged.
 #pragma once
 
 #include <memory>
@@ -26,11 +32,12 @@ int64_t NextPowerOfTwo(int64_t v);
 /// exposed in QueryStats::revealed_volume.
 class StealthDbServer : public EdbServer {
  public:
-  explicit StealthDbServer(uint64_t seed = 3);
+  /// `admission` gates this (outermost) server; the inner ObliDB
+  /// machinery is reached through the SPI, so its own gate never engages.
+  explicit StealthDbServer(uint64_t seed = 3,
+                           const AdmissionConfig& admission = {});
+  ~StealthDbServer() override { DrainSessions(); }
 
-  StatusOr<EdbTable*> CreateTable(const std::string& name,
-                                  const query::Schema& schema) override;
-  StatusOr<QueryResponse> Query(const query::SelectQuery& q) override;
   LeakageProfile leakage() const override;
   std::string name() const override { return "StealthDB"; }
   int64_t total_outsourced_bytes() const override {
@@ -38,6 +45,24 @@ class StealthDbServer : public EdbServer {
   }
   int64_t total_outsourced_records() const override {
     return inner_.total_outsourced_records();
+  }
+
+  StatusOr<QueryResponse> ExecutePlan(const query::QueryPlan& plan) override;
+  const query::Schema* FindSchema(const std::string& table) const override {
+    return inner_.FindSchema(table);
+  }
+  query::PlannerOptions planner_options() const override {
+    // The inner engine's traits (join support, ORAM access path) drive
+    // planning; only the error-message name is ours.
+    auto options = inner_.planner_options();
+    options.engine_name = name();
+    return options;
+  }
+
+ protected:
+  StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
+                                      const query::Schema& schema) override {
+    return inner_.CreateTable(name, schema);
   }
 
  private:
@@ -52,13 +77,14 @@ class StealthDbServer : public EdbServer {
 class VolumePaddedServer : public EdbServer {
  public:
   /// Does not take ownership; `inner` must outlive the wrapper.
-  explicit VolumePaddedServer(EdbServer* inner) : inner_(inner) {}
+  /// `admission` gates queries through this wrapper (the inner server's
+  /// gate never engages — ExecutePlan is called through the SPI), so
+  /// configure the limits on the outermost server analysts talk to.
+  explicit VolumePaddedServer(EdbServer* inner,
+                              const AdmissionConfig& admission = {})
+      : EdbServer(admission), inner_(inner) {}
+  ~VolumePaddedServer() override { DrainSessions(); }
 
-  StatusOr<EdbTable*> CreateTable(const std::string& name,
-                                  const query::Schema& schema) override {
-    return inner_->CreateTable(name, schema);
-  }
-  StatusOr<QueryResponse> Query(const query::SelectQuery& q) override;
   LeakageProfile leakage() const override;
   std::string name() const override { return inner_->name() + "+pad"; }
   int64_t total_outsourced_bytes() const override {
@@ -66,6 +92,20 @@ class VolumePaddedServer : public EdbServer {
   }
   int64_t total_outsourced_records() const override {
     return inner_->total_outsourced_records();
+  }
+
+  StatusOr<QueryResponse> ExecutePlan(const query::QueryPlan& plan) override;
+  const query::Schema* FindSchema(const std::string& table) const override {
+    return inner_->FindSchema(table);
+  }
+  query::PlannerOptions planner_options() const override {
+    return inner_->planner_options();
+  }
+
+ protected:
+  StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
+                                      const query::Schema& schema) override {
+    return inner_->CreateTable(name, schema);
   }
 
  private:

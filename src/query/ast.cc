@@ -18,6 +18,22 @@ Value ColumnExpr::Eval(const Schema& schema, const Row& row) const {
   return row[*idx];
 }
 
+std::string LiteralExpr::ToString() const {
+  if (v_.type() == ValueType::kString) {
+    // SQL-style quoting with embedded quotes doubled ('it''s') — the
+    // rendering must be injective, because the canonical text doubles as
+    // the plan-cache key (see query/plan.h), and parse-stable.
+    std::string out = "'";
+    for (char c : v_.AsString()) {
+      out += c;
+      if (c == '\'') out += '\'';
+    }
+    out += "'";
+    return out;
+  }
+  return v_.ToString();
+}
+
 Value CompareExpr::Eval(const Schema& schema, const Row& row) const {
   Value l = lhs_->Eval(schema, row);
   Value r = rhs_->Eval(schema, row);

@@ -47,7 +47,10 @@ class LiteralExpr : public Expr {
   explicit LiteralExpr(Value v) : v_(std::move(v)) {}
   Value Eval(const Schema&, const Row&) const override { return v_; }
   ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(v_); }
-  std::string ToString() const override { return v_.ToString(); }
+  /// String literals render quoted ('bob'), so ToString() round-trips
+  /// through the parser (the canonical-text fingerprint in plan.h relies
+  /// on this).
+  std::string ToString() const override;
   const Value& value() const { return v_; }
 
  private:

@@ -96,9 +96,21 @@ class Lexer {
       return;
     }
     if (c == '\'') {
-      size_t start = ++pos_;
-      while (pos_ < in_.size() && in_[pos_] != '\'') ++pos_;
-      tok_ = {TokType::kString, in_.substr(start, pos_ - start), start - 1};
+      // String literal; a doubled quote ('') is an escaped single quote.
+      size_t start = pos_++;
+      std::string text;
+      while (pos_ < in_.size()) {
+        if (in_[pos_] == '\'') {
+          if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '\'') {
+            text += '\'';
+            pos_ += 2;
+            continue;
+          }
+          break;
+        }
+        text += in_[pos_++];
+      }
+      tok_ = {TokType::kString, std::move(text), start};
       if (pos_ < in_.size()) ++pos_;  // closing quote
       return;
     }

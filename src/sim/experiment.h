@@ -36,6 +36,13 @@ struct QuerySpec {
 /// Q3 (join) fires daily to keep the O(N^2) virtual-cost points sparse.
 std::vector<QuerySpec> DefaultQueries(bool include_join);
 
+/// Which analyst API drives the scheduled queries. The session API
+/// prepares every query once up front and executes the cached plan per
+/// firing; the one-shot API calls the legacy EdbServer::Query shim per
+/// firing. Both are bit-identical in every reported metric
+/// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts).
+enum class QueryApi { kSession, kOneShot };
+
 /// Full experiment configuration with the paper's defaults (§8).
 struct ExperimentConfig {
   EngineKind engine = EngineKind::kObliDb;
@@ -63,6 +70,8 @@ struct ExperimentConfig {
   bool use_oram_index = false;
   /// Total ORAM blocks per table in indexed mode (split across shards).
   size_t oram_capacity = 1 << 16;
+  /// Analyst API driving the query schedule (metrics are invariant in it).
+  QueryApi query_api = QueryApi::kSession;
   /// Segment-log root. Each run writes a unique fresh subdirectory
   /// beneath it (segment files refuse silent reuse across runs). Empty =
   /// a temp root whose per-run subdirectory is removed when the run
@@ -100,6 +109,9 @@ struct ExperimentResult {
   /// only for ObliDB indexed-mode runs); exported into the bench JSON
   /// reports so CI tracks ORAM health over PRs.
   edb::OramHealth oram;
+  /// v2 query-pipeline counters (plan cache, admission) of the EDB server
+  /// at the end of the run; exported into the bench JSON reports.
+  edb::ServerStats server_stats;
   /// Owner-observable transcript for the yellow table (adversary input).
   UpdatePattern yellow_pattern;
 };

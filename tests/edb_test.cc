@@ -8,6 +8,7 @@
 #include "edb/encrypted_table.h"
 #include "edb/leakage.h"
 #include "edb/oblidb_engine.h"
+#include "edb/volume_hiding.h"
 #include "query/executor.h"
 #include "query/parser.h"
 #include "test_util.h"
@@ -181,6 +182,18 @@ TEST_F(ObliDbTest, DuplicateTableRejected) {
 TEST_F(ObliDbTest, SchemaWithoutDummyFlagRejected) {
   query::Schema bare({{"x", query::ValueType::kInt}});
   EXPECT_FALSE(server_->CreateTable("Bare", bare).ok());
+}
+
+TEST_F(ObliDbTest, NonIdentifierTableNamesRejected) {
+  // Table names must be parser-shaped identifiers: anything else could
+  // never be referenced from SQL, and a name embedding query syntax could
+  // alias two distinct queries onto one plan-cache entry.
+  for (const char* name : {"", "2fast", "T WHERE a = 'b'", "a.b", "x-y"}) {
+    EXPECT_EQ(server_->CreateTable(name, TripSchema()).status().code(),
+              StatusCode::kInvalidArgument)
+        << "name: " << name;
+  }
+  EXPECT_TRUE(server_->CreateTable("Taxi_2024", TripSchema()).ok());
 }
 
 TEST_F(ObliDbTest, CountQueryExactOverRealRecords) {
@@ -613,6 +626,226 @@ TEST_F(CryptEpsTest, VirtualCostHigherThanObliDb) {
   ASSERT_TRUE(t2.value()->Setup(records).ok());
   auto oblidb_cost = oblidb.Query(q.value())->stats.virtual_seconds;
   EXPECT_GT(crypt_cost, oblidb_cost);
+}
+
+// ------------------------------------------------ Query API v2 (sessions)
+
+class QuerySessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<ObliDbServer>();
+    auto t = server_->CreateTable("YellowCab", TripSchema());
+    ASSERT_TRUE(t.ok());
+    yellow_ = t.value();
+    ASSERT_OK(yellow_->Setup({Trip(1, 60), Trip(2, 70), Trip(3, 200),
+                              Trip(4, 55), Trip(5, 10, /*dummy=*/true)}));
+  }
+
+  std::unique_ptr<ObliDbServer> server_;
+  EdbTable* yellow_ = nullptr;
+};
+
+TEST_F(QuerySessionTest, PreparedPathMatchesOneShotBitExactly) {
+  const std::string sql =
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100";
+  auto parsed = query::ParseSelect(sql);
+  ASSERT_TRUE(parsed.ok());
+  auto one_shot = server_->Query(parsed.value());
+  ASSERT_TRUE(one_shot.ok());
+
+  auto session = server_->CreateSession();
+  auto prepared = session->Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  auto via_session = session->Execute(prepared.value());
+  ASSERT_TRUE(via_session.ok());
+
+  EXPECT_DOUBLE_EQ(via_session->result.scalar, one_shot->result.scalar);
+  EXPECT_EQ(via_session->stats.records_scanned,
+            one_shot->stats.records_scanned);
+  EXPECT_DOUBLE_EQ(via_session->stats.virtual_seconds,
+                   one_shot->stats.virtual_seconds);
+  EXPECT_EQ(via_session->stats.revealed_volume,
+            one_shot->stats.revealed_volume);
+}
+
+TEST_F(QuerySessionTest, PrepareValidatesUpFront) {
+  auto session = server_->CreateSession();
+  EXPECT_EQ(session->Prepare("SELECT COUNT(*) FROM Nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session->Prepare("SELECT pickupID FROM YellowCab")
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(session
+                ->Prepare("SELECT typo, COUNT(*) FROM YellowCab "
+                          "GROUP BY typo")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(session->Prepare("SELECT COUNT( FROM YellowCab").ok());
+}
+
+TEST_F(QuerySessionTest, PlanCacheCountsHitsAcrossSpellingsAndSessions) {
+  auto s1 = server_->CreateSession();
+  auto s2 = server_->CreateSession();
+  auto q1 = s1->Prepare("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_FALSE(q1->from_plan_cache());
+  // Different spelling, same canonical text, different session: a hit on
+  // the shared server cache.
+  auto q2 = s2->Prepare("select   count(*)   from YellowCab");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->from_plan_cache());
+  EXPECT_EQ(q1->fingerprint(), q2->fingerprint());
+
+  auto stats = server_->stats();
+  EXPECT_EQ(stats.prepares, 2);
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+}
+
+TEST_F(QuerySessionTest, OneShotShimHitsCacheFromSecondCallOn) {
+  auto q = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(q.ok());
+  auto first = server_->Query(q.value());
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->stats.plan_cache_hit);
+  auto second = server_->Query(q.value());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->stats.plan_cache_hit);
+  EXPECT_DOUBLE_EQ(second->result.scalar, first->result.scalar);
+}
+
+TEST_F(QuerySessionTest, StalePlansRebindAfterSchemaChange) {
+  auto session = server_->CreateSession();
+  auto q = session->Prepare("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(session->Execute(q.value()).ok());
+  const uint64_t epoch_before = server_->catalog_epoch();
+
+  // A catalog change invalidates the binding; execution transparently
+  // re-plans and still answers.
+  ASSERT_TRUE(server_->CreateTable("GreenTaxi", TripSchema()).ok());
+  EXPECT_GT(server_->catalog_epoch(), epoch_before);
+  auto r = session->Execute(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->result.scalar, 4.0);
+  EXPECT_EQ(server_->stats().plan_rebinds, 1);
+
+  // The re-bound plan is cached: the next stale handle execution hits it
+  // without another full plan.
+  ASSERT_TRUE(session->Execute(q.value()).ok());
+  EXPECT_EQ(server_->stats().plan_rebinds, 2);
+  EXPECT_GE(server_->stats().plan_cache_hits, 1);
+}
+
+TEST_F(QuerySessionTest, AppendsDoNotInvalidatePlans) {
+  auto session = server_->CreateSession();
+  auto q = session->Prepare(
+      "SELECT COUNT(*) FROM YellowCab WHERE pickupID BETWEEN 50 AND 100");
+  ASSERT_TRUE(q.ok());
+  auto before = session->Execute(q.value());
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before->result.scalar, 3.0);
+  // Sync epoch advances (owner appends); the same plan keeps serving.
+  ASSERT_OK(yellow_->Update({Trip(6, 80), Trip(7, 90)}));
+  auto after = session->Execute(q.value());
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->result.scalar, 5.0);
+  EXPECT_EQ(server_->stats().plan_rebinds, 0);
+}
+
+TEST_F(QuerySessionTest, CryptEpsNoiseStreamIdenticalAcrossApis) {
+  // Same seed, same query sequence: the session path must consume the
+  // noise RNG exactly like the legacy one-shot path.
+  auto make = [] {
+    CryptEpsConfig cfg;
+    cfg.master_seed = 77;
+    auto server = std::make_unique<CryptEpsServer>(cfg);
+    auto t = server->CreateTable("YellowCab", TripSchema());
+    EXPECT_TRUE(t.ok());
+    EXPECT_TRUE(
+        t.value()->Setup({Trip(1, 60), Trip(2, 70), Trip(3, 80)}).ok());
+    return server;
+  };
+  auto legacy = make();
+  auto v2 = make();
+  auto parsed = query::ParseSelect("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(parsed.ok());
+  auto session = v2->CreateSession();
+  auto prepared = session->Prepare(parsed.value());
+  ASSERT_TRUE(prepared.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto a = legacy->Query(parsed.value());
+    auto b = session->Execute(prepared.value());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_DOUBLE_EQ(b->result.scalar, a->result.scalar) << i;
+  }
+}
+
+TEST_F(QuerySessionTest, AdmissionDeadlineSurfacesAsDeadlineExceeded) {
+  // Saturate a single-slot server with an async burst, then ask for an
+  // impossible admission deadline.
+  ObliDbConfig cfg;
+  cfg.admission.max_in_flight = 1;
+  ObliDbServer server(cfg);
+  auto t = server.CreateTable("YellowCab", TripSchema());
+  ASSERT_TRUE(t.ok());
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 5000; ++i) records.push_back(Trip(i, i % 50));
+  ASSERT_OK(t.value()->Setup(records));
+  auto session = server.CreateSession();
+  auto q = session->Prepare("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(q.ok());
+  // Keep the slot busy long enough via a burst of async queries...
+  std::vector<QueryTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    auto ticket = session->Submit(q.value());
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(ticket.value());
+  }
+  // ...and race it with tight-deadline queries until one gets queued
+  // behind the burst. (If the burst drains first, every call just
+  // succeeds — the loop tolerates that, but with 8 scans of 5000 records
+  // ahead, a sub-microsecond deadline reliably trips at least once.)
+  bool saw_deadline = false;
+  for (int i = 0; i < 8 && !saw_deadline; ++i) {
+    QueryOptions opts;
+    opts.admission_timeout_seconds = 1e-7;
+    auto r = session->Execute(q.value(), opts);
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+      saw_deadline = true;
+    }
+  }
+  for (const auto& ticket : tickets) ASSERT_TRUE(session->Wait(ticket).ok());
+  EXPECT_EQ(saw_deadline, server.stats().deadlines_exceeded > 0);
+}
+
+TEST(VolumeDecoratorSessionTest, SessionsWorkThroughStealthDbAndPadding) {
+  StealthDbServer inner;
+  auto t = inner.CreateTable("YellowCab", TripSchema());
+  ASSERT_TRUE(t.ok());
+  std::vector<Record> records;
+  for (int64_t i = 0; i < 5; ++i) records.push_back(Trip(i, 60));
+  ASSERT_OK(t.value()->Setup(records));
+
+  auto inner_session = inner.CreateSession();
+  auto q = inner_session->Prepare("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(q.ok());
+  auto r = inner_session->Execute(q.value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.revealed_volume, 5);
+
+  VolumePaddedServer padded(&inner);
+  auto padded_session = padded.CreateSession();
+  auto pq = padded_session->Prepare("SELECT COUNT(*) FROM YellowCab");
+  ASSERT_TRUE(pq.ok());
+  auto pr = padded_session->Execute(pq.value());
+  ASSERT_TRUE(pr.ok());
+  EXPECT_EQ(pr->stats.revealed_volume, 8);  // 5 -> next pow2
+  EXPECT_DOUBLE_EQ(pr->result.scalar, 5.0);
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 // SQL parser, the reference executor, and dummy-aware query rewriting.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "query/ast.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "query/plan.h"
 #include "query/result.h"
 #include "query/rewriter.h"
 #include "query/schema.h"
@@ -155,6 +157,17 @@ TEST(ParserTest, CaseInsensitiveKeywords) {
 TEST(ParserTest, StringLiteral) {
   auto q = ParseSelect("SELECT COUNT(*) FROM T WHERE name = 'bob'");
   ASSERT_TRUE(q.ok());
+}
+
+TEST(ParserTest, StringLiteralWithEscapedQuote) {
+  // '' inside a string literal is an escaped single quote, and ToString
+  // renders it back the same way (injective canonical text).
+  auto e = ParseExpression("name = 'it''s'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "name = 'it''s'");
+  Schema s({{"name", ValueType::kString}});
+  EXPECT_TRUE((*e)->Eval(s, {Value(std::string("it's"))}).Truthy());
+  EXPECT_FALSE((*e)->Eval(s, {Value(std::string("its"))}).Truthy());
 }
 
 TEST(ParserTest, SyntaxErrors) {
@@ -394,6 +407,217 @@ TEST(RewriterTest, OriginalQueryUntouched) {
   auto copy = RewriteForDummies(q.value());
   EXPECT_EQ(q->where, nullptr);
   (void)copy;
+}
+
+// --------------------------------------------------- Plans & fingerprints
+
+TEST(PlanTest, EquivalentSpellingsShareAFingerprint) {
+  // Keyword case, redundant parens, whitespace and `<>` vs `!=` all
+  // normalize away; a different constant does not.
+  auto a = ParseSelect(
+      "SELECT COUNT(*) FROM T WHERE a >= 3 AND (b < 7 OR NOT c = 1)");
+  auto b = ParseSelect(
+      "select   count(*) from T where ((a >= 3)) and (b < 7 or not (c = 1))");
+  auto c = ParseSelect(
+      "SELECT COUNT(*) FROM T WHERE a >= 4 AND (b < 7 OR NOT c = 1)");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(FingerprintSelect(a.value()), FingerprintSelect(b.value()));
+  EXPECT_NE(FingerprintSelect(a.value()), FingerprintSelect(c.value()));
+  auto ne1 = ParseSelect("SELECT COUNT(*) FROM T WHERE a != 1");
+  auto ne2 = ParseSelect("SELECT COUNT(*) FROM T WHERE a <> 1");
+  EXPECT_EQ(FingerprintSelect(ne1.value()), FingerprintSelect(ne2.value()));
+}
+
+Schema PlanTestSchema() {
+  return Schema({{"a", ValueType::kInt},
+                 {"b", ValueType::kInt},
+                 {"fare", ValueType::kDouble},
+                 {"isDummy", ValueType::kInt}});
+}
+
+StatusOr<std::shared_ptr<const QueryPlan>> PlanOn(const std::string& sql,
+                                                  PlannerOptions opts = {}) {
+  auto q = ParseSelect(sql);
+  if (!q.ok()) return q.status();
+  static Schema schema = PlanTestSchema();
+  return PlanSelect(
+      q.value(),
+      [](const std::string& name) -> const Schema* {
+        return (name == "T" || name == "G") ? &schema : nullptr;
+      },
+      opts);
+}
+
+TEST(PlanTest, BindsTablesAndRewritesDummies) {
+  auto plan = PlanOn("SELECT COUNT(*) FROM T WHERE a BETWEEN 1 AND 5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind, PlanKind::kScan);
+  EXPECT_EQ((*plan)->table, "T");
+  EXPECT_NE((*plan)->rewritten.where, nullptr);
+  EXPECT_NE((*plan)->rewritten.where->ToString().find("isDummy"),
+            std::string::npos);
+  // The normalized half stays the analyst's query, un-rewritten.
+  EXPECT_EQ((*plan)->canonical_text.find("isDummy"), std::string::npos);
+}
+
+TEST(PlanTest, UnknownTableAndStrictBindingFailAtPlanTime) {
+  EXPECT_EQ(PlanOn("SELECT COUNT(*) FROM Nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(PlanOn("SELECT a, COUNT(*) FROM T GROUP BY typo")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PlanOn("SELECT SUM(typo) FROM T").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      PlanOn("SELECT COUNT(*) FROM T INNER JOIN G ON T.typo = G.a")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(PlanOn("SELECT a FROM T").status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(PlanTest, JoinCapabilityGate) {
+  PlannerOptions no_join;
+  no_join.supports_join = false;
+  no_join.engine_name = "Crypt-eps";
+  auto plan =
+      PlanOn("SELECT COUNT(*) FROM T INNER JOIN G ON T.a = G.a", no_join);
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(plan.status().message(),
+            "Crypt-eps does not support join operators");
+  auto ok = PlanOn("SELECT COUNT(*) FROM T INNER JOIN G ON T.a = G.a");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->kind, PlanKind::kJoin);
+  EXPECT_EQ((*ok)->join_table, "G");
+}
+
+// ------------------------------------- Fingerprint round-trip (property)
+
+/// Tiny deterministic generator of parser-shaped ASTs. Literals are
+/// restricted to values whose textual form round-trips (ints, halves,
+/// simple strings); every structural shape the parser accepts is covered.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  SelectQuery Gen() {
+    SelectQuery q;
+    q.table = "T";
+    bool join = Chance(4);
+    if (join) {
+      JoinClause j;
+      j.table = "G";
+      j.left_column = "T." + Column();
+      j.right_column = "G." + Column();
+      q.join = j;
+    }
+    // Optional plain columns ahead of the single aggregate.
+    if (!join && Chance(3)) {
+      q.items.push_back({AggFunc::kNone, Column(), MaybeAlias()});
+    }
+    SelectItem agg;
+    agg.agg = Pick<AggFunc>({AggFunc::kCount, AggFunc::kSum, AggFunc::kAvg,
+                             AggFunc::kMin, AggFunc::kMax});
+    agg.column = (agg.agg == AggFunc::kCount && Chance(2)) ? "" : Column();
+    agg.alias = MaybeAlias();
+    q.items.push_back(agg);
+    if (Chance(2)) q.where = GenPredicate(2);
+    if (!join && Chance(3)) {
+      q.group_by.push_back(Column());
+      if (Chance(4)) q.group_by.push_back("T." + Column());
+    }
+    return q;
+  }
+
+ private:
+  bool Chance(int one_in) { return rng_.UniformInt(0, one_in - 1) == 0; }
+
+  template <typename T>
+  T Pick(std::initializer_list<T> options) {
+    auto it = options.begin();
+    std::advance(it, rng_.UniformInt(
+                         0, static_cast<int64_t>(options.size()) - 1));
+    return *it;
+  }
+
+  std::string Column() {
+    return Pick<std::string>({"a", "b", "fare", "zone", "pickTime"});
+  }
+
+  std::string MaybeAlias() {
+    return Chance(3) ? Pick<std::string>({"x1", "total", "cnt"}) : "";
+  }
+
+  ExprPtr Operand() {
+    switch (rng_.UniformInt(0, 3)) {
+      case 0:
+        return std::make_unique<ColumnExpr>(Column());
+      case 1:
+        return std::make_unique<ColumnExpr>("T." + Column());
+      case 2:
+        return std::make_unique<LiteralExpr>(
+            Value(rng_.UniformInt(-100, 100)));
+      default:
+        if (Chance(3)) {
+          return std::make_unique<LiteralExpr>(Value(
+              Pick<std::string>({"bob", "zone4", "", "it's", "''", "a'b'c"})));
+        }
+        // Halves print and re-parse exactly ("12.5").
+        return std::make_unique<LiteralExpr>(
+            Value(static_cast<double>(rng_.UniformInt(-40, 40)) + 0.5));
+    }
+  }
+
+  ExprPtr GenLeaf() {
+    if (Chance(4)) {
+      return std::make_unique<BetweenExpr>(Operand(), Operand(), Operand());
+    }
+    auto op = Pick<CmpOp>({CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                           CmpOp::kGt, CmpOp::kGe});
+    return std::make_unique<CompareExpr>(op, Operand(), Operand());
+  }
+
+  ExprPtr GenPredicate(int depth) {
+    if (depth == 0 || Chance(3)) return GenLeaf();
+    switch (rng_.UniformInt(0, 2)) {
+      case 0:
+        return std::make_unique<LogicalExpr>(LogicalExpr::Op::kAnd,
+                                             GenPredicate(depth - 1),
+                                             GenPredicate(depth - 1));
+      case 1:
+        return std::make_unique<LogicalExpr>(LogicalExpr::Op::kOr,
+                                             GenPredicate(depth - 1),
+                                             GenPredicate(depth - 1));
+      default:
+        return std::make_unique<NotExpr>(GenPredicate(depth - 1));
+    }
+  }
+
+  Rng rng_;
+};
+
+TEST(PlanTest, FingerprintRoundTripsThroughParserForEveryAstShape) {
+  // Property: for any AST the parser accepts, re-parsing its own text
+  // yields the same normalized fingerprint — the plan-cache key is stable
+  // across the print/parse round trip (and the round trip itself is a
+  // fixed point: text(parse(text(q))) == text(q)).
+  QueryGenerator gen(20260729);
+  for (int i = 0; i < 500; ++i) {
+    SelectQuery q = gen.Gen();
+    const std::string text = CanonicalText(q);
+    auto reparsed = ParseSelect(text);
+    ASSERT_TRUE(reparsed.ok())
+        << "iteration " << i << ": " << reparsed.status().ToString()
+        << "\n  text: " << text;
+    EXPECT_EQ(FingerprintSelect(reparsed.value()), FingerprintSelect(q))
+        << "iteration " << i << "\n  text:     " << text
+        << "\n  reparsed: " << CanonicalText(reparsed.value());
+    EXPECT_EQ(CanonicalText(reparsed.value()), text) << "iteration " << i;
+  }
 }
 
 }  // namespace

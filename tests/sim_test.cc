@@ -214,18 +214,25 @@ std::vector<double> MetricVector(const ExperimentResult& r) {
 }
 
 TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
-  // The acceptance bar for the storage-spine and per-shard ORAM refactors:
-  // both engines, both backends, both storage methods (linear and
-  // ORAM-indexed on ObliDB), shard counts {1, 4} — every reported metric
-  // bit-identical to the single-shard in-memory baseline at the same seed.
-  // Physical storage placement and the oblivious index must be
-  // unobservable in the simulation's outputs (L1 error, records_scanned,
-  // virtual QET, every series); only the ORAM health block may differ.
+  // The acceptance bar for the storage-spine, per-shard ORAM and Query
+  // API v2 refactors: both engines, both backends, both storage methods
+  // (linear and ORAM-indexed on ObliDB), shard counts {1, 4}, AND both
+  // analyst APIs — every reported metric bit-identical to the
+  // single-shard in-memory baseline at the same seed. The baseline drives
+  // its schedule through the legacy one-shot Query() shim while every
+  // variant runs prepared queries over a session, so this also proves the
+  // prepared path's results and cost metrics (virtual QET, oram_*,
+  // revealed volumes folded into the series) identical to the one-shot
+  // path across engines x backends x shard counts. Physical storage
+  // placement, the oblivious index, and the query API must all be
+  // unobservable in the simulation's outputs; only the ORAM health block
+  // may differ.
   struct Variant {
     edb::StorageBackendKind backend;
     int num_shards;
   };
   const Variant variants[] = {
+      {edb::StorageBackendKind::kInMemory, 1},
       {edb::StorageBackendKind::kInMemory, 4},
       {edb::StorageBackendKind::kSegmentLog, 1},
       {edb::StorageBackendKind::kSegmentLog, 4},
@@ -247,13 +254,18 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
       for (auto& q : base_cfg.queries) {
         q.interval = (q.name == "Q3") ? 360 : 90;
       }
+      base_cfg.query_api = QueryApi::kOneShot;
       auto baseline = RunExperiment(base_cfg);
       ASSERT_TRUE(baseline.ok()) << EngineKindName(engine);
       auto expect = MetricVector(baseline.value());
       ASSERT_FALSE(expect.empty());
       EXPECT_EQ(baseline->oram.enabled, indexed);
+      // The one-shot shim prepares through the shared plan cache: every
+      // firing after a query's first is a hit.
+      EXPECT_GT(baseline->server_stats.plan_cache_hits, 0);
       for (const auto& variant : variants) {
         auto cfg = base_cfg;
+        cfg.query_api = QueryApi::kSession;
         cfg.backend = variant.backend;
         cfg.num_shards = variant.num_shards;
         auto r = RunExperiment(cfg);
@@ -278,6 +290,13 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
           EXPECT_EQ(r->oram.access_count, baseline->oram.access_count);
           EXPECT_GT(r->oram.access_count, 0);
         }
+        // Session sweeps prepare each scheduled query exactly once and
+        // execute cached plans from then on.
+        EXPECT_EQ(r->server_stats.plan_cache_hits, 0);
+        EXPECT_EQ(r->server_stats.prepares,
+                  static_cast<int64_t>(r->queries.size()));
+        EXPECT_EQ(r->server_stats.plan_rebinds, 0);
+        EXPECT_GT(r->server_stats.queries_executed, 0);
       }
     }
   }

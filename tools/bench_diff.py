@@ -10,8 +10,13 @@ commit's bench artifacts against the previous run:
     python3 tools/bench_diff.py old/BENCH_fig2_end_to_end.json \
                                 new/BENCH_fig2_end_to_end.json
 
-Exit code is 0 unless --strict is given, in which case any deterministic
-mismatch fails the invocation (timing drift never does).
+Virtual-cost regressions are a failing gate: if a matched experiment's
+`mean_qet` (per query) or `virtual_seconds` (custom entries, e.g. the
+concurrency sweep) grows by more than --qet-regression-threshold (default
+25%), the invocation exits 1 — unless the (bench, location, metric) is
+covered by an --allowlist entry recording the intentional change. Other
+deterministic mismatches stay warn-only unless --strict is given; timing
+drift (wall clock) never fails.
 """
 import argparse
 import json
@@ -35,6 +40,39 @@ DETERMINISTIC_ORAM = ["max_stash", "access_count"]
 # Wall-clock metrics: machine-dependent, warn only above the tolerance.
 TIMING = ["wall_seconds"]
 TIMING_QUERY = ["mean_qet_measured"]
+
+# Virtual-cost metrics: deterministic model outputs whose *growth* beyond
+# the regression threshold fails the run (cost regressions should never
+# land silently). VIRTUAL_COST applies per experiment entry (custom
+# benches), VIRTUAL_COST_QUERY per query of a sim experiment.
+VIRTUAL_COST = ["virtual_seconds"]
+VIRTUAL_COST_QUERY = ["mean_qet"]
+
+
+class Allowlist:
+    """JSON allowlist for intentional virtual-cost changes.
+
+    Format: {"allow": [{"bench": "<name or *>", "where": "<substring or *>",
+    "metric": "<name or *>", "reason": "..."}]}.
+    """
+
+    def __init__(self, path):
+        self.entries = []
+        if not path:
+            return
+        with open(path) as f:
+            self.entries = json.load(f).get("allow", [])
+
+    def covers(self, bench, where, metric):
+        for e in self.entries:
+            if e.get("bench", "*") not in ("*", bench):
+                continue
+            if e.get("metric", "*") not in ("*", metric):
+                continue
+            pattern = e.get("where", "*")
+            if pattern == "*" or pattern in where:
+                return True
+        return False
 
 
 def experiment_key(e):
@@ -81,6 +119,22 @@ class Diff:
     def __init__(self):
         self.warnings = []
         self.mismatches = []
+        self.regressions = []
+        self.allowed = []
+
+    def check_regression(self, bench, where, name, old, new, threshold,
+                         allowlist):
+        if old is None or new is None or old <= 0:
+            return
+        if new <= old * (1.0 + threshold):
+            return
+        pct = 100.0 * (new - old) / old
+        line = (f"{where}: {name} regressed {old:.6g} -> {new:.6g} "
+                f"(+{pct:.1f}%, threshold {threshold:.0%})")
+        if allowlist.covers(bench, where, name):
+            self.allowed.append(line)
+        else:
+            self.regressions.append(line)
 
     def compare_scalar(self, where, name, old, new, deterministic, tol):
         if old is None or new is None:
@@ -98,7 +152,7 @@ class Diff:
                 f"({pct:.1f}%)")
 
 
-def compare(old_path, new_path, tol):
+def compare(old_path, new_path, tol, regression_threshold, allowlist):
     _, old_fast, old_runs = load(old_path)
     bench, new_fast, new_runs = load(new_path)
     diff = Diff()
@@ -121,8 +175,16 @@ def compare(old_path, new_path, tol):
         for name in TIMING:
             diff.compare_scalar(where, name, old.get(name), new.get(name),
                                 False, tol)
-        old_queries = {q["name"]: q for q in old.get("queries", [])}
-        new_queries = {q["name"]: q for q in new.get("queries", [])}
+        for name in VIRTUAL_COST:
+            diff.check_regression(bench, where, name, old.get(name),
+                                  new.get(name), regression_threshold,
+                                  allowlist)
+        def query_list(e):
+            qs = e.get("queries", [])
+            return qs if isinstance(qs, list) else []
+
+        old_queries = {q["name"]: q for q in query_list(old)}
+        new_queries = {q["name"]: q for q in query_list(new)}
         for qname in sorted(old_queries.keys() | new_queries.keys()):
             oq, nq = old_queries.get(qname), new_queries.get(qname)
             if oq is None or nq is None:
@@ -135,6 +197,10 @@ def compare(old_path, new_path, tol):
             for name in TIMING_QUERY:
                 diff.compare_scalar(f"{where} {qname}", name, oq.get(name),
                                     nq.get(name), False, tol)
+            for name in VIRTUAL_COST_QUERY:
+                diff.check_regression(bench, f"{where} {qname}", name,
+                                      oq.get(name), nq.get(name),
+                                      regression_threshold, allowlist)
         old_oram, new_oram = old.get("oram"), new.get("oram")
         if (old_oram is None) != (new_oram is None):
             diff.warnings.append(f"{where}: oram health present only in one run")
@@ -158,18 +224,35 @@ def main():
     parser.add_argument("--timing-tolerance", type=float, default=0.25,
                         help="relative drift above which timing metrics warn "
                              "(default 0.25)")
+    parser.add_argument("--qet-regression-threshold", type=float,
+                        default=0.25,
+                        help="relative growth of virtual-cost metrics "
+                             "(mean_qet / virtual_seconds) above which the "
+                             "run FAILS (default 0.25)")
+    parser.add_argument("--allowlist", default=None,
+                        help="JSON allowlist for intentional virtual-cost "
+                             "changes (see tools/bench_allowlist.json)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on any deterministic-metric mismatch")
     args = parser.parse_args()
 
-    bench, diff = compare(args.old, args.new, args.timing_tolerance)
+    bench, diff = compare(args.old, args.new, args.timing_tolerance,
+                          args.qet_regression_threshold,
+                          Allowlist(args.allowlist))
+    for line in diff.regressions:
+        print(f"REGRESSION {bench}: {line}")
+    for line in diff.allowed:
+        print(f"ALLOWED {bench}: {line}")
     for line in diff.mismatches:
         print(f"MISMATCH {bench}: {line}")
     for line in diff.warnings:
         print(f"WARN {bench}: {line}")
-    if not diff.mismatches and not diff.warnings:
-        print(f"OK {bench}: no deterministic changes, timing within "
-              f"{args.timing_tolerance:.0%}")
+    if not (diff.regressions or diff.allowed or diff.mismatches
+            or diff.warnings):
+        print(f"OK {bench}: no deterministic changes, no cost regressions, "
+              f"timing within {args.timing_tolerance:.0%}")
+    if diff.regressions:
+        return 1
     if args.strict and diff.mismatches:
         return 1
     return 0
