@@ -121,7 +121,8 @@ std::string RenderEntry(const sim::ExperimentConfig& config,
      << ",\"misses\":" << ss.plan_cache_misses
      << ",\"rebinds\":" << ss.plan_rebinds
      << ",\"executed\":" << ss.queries_executed
-     << ",\"peak_in_flight\":" << ss.peak_in_flight << "}";
+     << ",\"peak_in_flight\":" << ss.peak_in_flight
+     << ",\"snapshot_scans\":" << ss.snapshot_scans << "}";
   os << "}";
   return os.str();
 }

@@ -22,6 +22,9 @@
 ///   --shards=<int>       shards per table           (default 1)
 ///   --storage-dir=<path> segment-log root; each run writes a fresh
 ///                        subdirectory (default: temp, cleaned up)
+///   --snapshot=on|off    serve linear scans from epoch snapshots of the
+///                        committed prefix (default on; metrics are
+///                        invariant — see docs/CONCURRENCY.md)
 ///   --api=session|oneshot  analyst API driving the schedule: prepared
 ///                        queries over a session (default) or the legacy
 ///                        one-shot Query() shim; metrics are identical
@@ -57,8 +60,9 @@ int Usage(const char* argv0) {
                "       [--horizon=N] [--records=N] [--interval=N] [--seed=N]\n"
                "       [--backend=memory|segment] [--shards=N] "
                "[--storage-dir=path]\n"
-               "       [--api=session|oneshot] [--no-join] [--timing] "
-               "[--csv=path]\n";
+               "       [--api=session|oneshot] [--snapshot=on|off] "
+               "[--no-join] [--timing]\n"
+               "       [--csv=path]\n";
   return 2;
 }
 
@@ -121,6 +125,10 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "api", &v)) {
       if (v == "session") cfg.query_api = sim::QueryApi::kSession;
       else if (v == "oneshot") cfg.query_api = sim::QueryApi::kOneShot;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "snapshot", &v)) {
+      if (v == "on") cfg.snapshot_scans = true;
+      else if (v == "off") cfg.snapshot_scans = false;
       else return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-join") == 0) {
       cfg.enable_green = false;
@@ -193,7 +201,9 @@ int main(int argc, char** argv) {
               << " (rebinds after schema change: " << ss.plan_rebinds
               << ")\n"
               << "executed         : " << ss.queries_executed
-              << " (peak in-flight " << ss.peak_in_flight << ")\n";
+              << " (peak in-flight " << ss.peak_in_flight << ")\n"
+              << "snapshot scans   : " << ss.snapshot_scans
+              << " (lock-free over the committed prefix)\n";
   }
 
   if (!csv_path.empty()) {

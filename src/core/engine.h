@@ -63,6 +63,12 @@ class DpSyncEngine {
   /// un-synchronized suffix of the logical database).
   int64_t logical_gap() const { return cache_.len(); }
 
+  /// CommitEpoch of the outsourced structure: advances when a posted
+  /// update's records become query-visible (the flush commit point).
+  /// Owner-side code can use it to confirm its own flushes are readable
+  /// by snapshot scans (reads-your-own-flush; see docs/CONCURRENCY.md).
+  uint64_t backend_commit_epoch() const { return backend_->commit_epoch(); }
+
   const UpdatePattern& update_pattern() const { return pattern_; }
   const EngineCounters& counters() const { return counters_; }
   const LocalCache& cache() const { return cache_; }

@@ -29,6 +29,14 @@ class SogdbBackend {
   /// Number of encrypted records the server currently stores (|DS_t|,
   /// including dummies — the server cannot tell them apart).
   virtual int64_t outsourced_count() const = 0;
+
+  /// CommitEpoch: monotone generation counter of the structure's
+  /// *committed* (query-visible) prefix. DP-Sync's flush discipline makes
+  /// this a natural commit point — records become visible exactly when a
+  /// strategy's posted update is flushed — and the edb layer uses it to
+  /// pin read-only snapshot scans to a stable prefix (docs/CONCURRENCY.md).
+  /// Backends without snapshot support report a constant 0.
+  virtual uint64_t commit_epoch() const { return 0; }
 };
 
 }  // namespace dpsync

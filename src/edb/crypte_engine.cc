@@ -115,24 +115,41 @@ StatusOr<QueryResponse> CryptEpsServer::ExecutePlan(
   }
 
   auto start = std::chrono::steady_clock::now();
-  // Scans of one table serialize against each other and against owner
-  // appends; the lock covers the executor's use of the borrowed enclave
-  // partitions too.
-  std::lock_guard<std::mutex> table_lk(table->table_mutex());
 
   // The two-server aggregation pipeline, played by one process: decrypt
-  // (simulating the measurement phase) and aggregate exactly...
-  auto run_exact = [&]() -> StatusOr<query::QueryResult> {
-    auto view = table->EnclaveView();
-    if (!view.ok()) return view.status();
+  // (simulating the measurement phase) and aggregate exactly. On the
+  // snapshot path the table lock covers only the catch-up + capture and
+  // the aggregation runs lock-free over the pinned committed prefix; on
+  // the legacy path the lock spans the whole scan + aggregation, so
+  // same-table queries and owner appends fully serialize.
+  int64_t scanned = 0;
+  auto aggregate = [&](const SnapshotView& view)
+      -> StatusOr<query::QueryResult> {
+    scanned = view.total_rows;
     query::Table plain;
     plain.name = table->table_name();
     plain.schema = table->schema();
-    plain.borrowed_parts = std::move(view.value());
+    plain.borrowed_spans = view.spans;
     query::Catalog catalog;
     catalog.AddTable(&plain);
     query::Executor executor(&catalog);
     return executor.Execute(plan.rewritten);
+  };
+  auto run_exact = [&]() -> StatusOr<query::QueryResult> {
+    if (config_.snapshot_scans) {
+      SnapshotView snap;
+      {
+        std::lock_guard<std::mutex> table_lk(table->table_mutex());
+        auto s = table->Snapshot();
+        if (!s.ok()) return s.status();
+        snap = std::move(s.value());
+      }
+      return aggregate(snap);
+    }
+    std::lock_guard<std::mutex> table_lk(table->table_mutex());
+    auto full = table->EnclaveView();
+    if (!full.ok()) return full.status();
+    return aggregate(full.value());
   };
   auto exact = run_exact();
   if (!exact.ok()) {
@@ -159,14 +176,18 @@ StatusOr<QueryResponse> CryptEpsServer::ExecutePlan(
     }
   }
 
+  if (config_.snapshot_scans) CountSnapshotScan();
   QueryResponse resp;
   resp.result = std::move(noisy);
-  resp.stats.records_scanned = table->outsourced_count();
+  // What the scan actually touched: the pinned view's row count (equal to
+  // outsourced_count() on the legacy path, and to the committed total on
+  // the snapshot path — identical whenever updates auto-flush).
+  resp.stats.records_scanned = scanned;
   resp.stats.measured_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  resp.stats.virtual_seconds = ScanCost(cost_, table->outsourced_count(),
-                                        !plan.rewritten.group_by.empty());
+  resp.stats.virtual_seconds =
+      ScanCost(cost_, scanned, !plan.rewritten.group_by.empty());
   return resp;
 }
 

@@ -36,6 +36,18 @@ struct CryptEpsConfig {
   /// PermissionDenied. 0 disables the limit (the paper's experiments do
   /// not enforce one).
   double total_budget_limit = 0.0;
+  /// Serve scans from an epoch snapshot of the committed prefix (brief
+  /// table lock for catch-up + capture, lock-free aggregation) instead of
+  /// holding the table lock across the whole scan. Every Crypt-eps query
+  /// is a read-only linear scan, so this overlaps all same-table queries.
+  /// With auto-flushing storage (flush_every_update, the default) the
+  /// committed prefix IS the full table, so answers, noise draws and
+  /// metrics are bit-identical either way (the budget ledger and Laplace
+  /// stream keep their own serialization); with manual commit points
+  /// (flush_every_update=false) snapshot queries see — and are charged
+  /// for — only the flushed prefix, where the locked path would scan the
+  /// uncommitted tail too. See docs/CONCURRENCY.md.
+  bool snapshot_scans = true;
   /// Physical storage for every table (backend kind, shard count, dir).
   StorageConfig storage;
 };

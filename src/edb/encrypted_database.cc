@@ -279,6 +279,7 @@ ServerStats EdbServer::stats() const {
   s.plan_cache_misses = plan_cache_.misses();
   s.plan_rebinds = rebinds_.load(std::memory_order_relaxed);
   s.queries_executed = executed_.load(std::memory_order_relaxed);
+  s.snapshot_scans = snapshot_scans_.load(std::memory_order_relaxed);
   auto admission = admission_.stats();
   s.queries_rejected = admission.rejected_queue_full;
   s.deadlines_exceeded = admission.deadlines_exceeded;

@@ -112,6 +112,11 @@ struct ServerStats {
   int64_t queries_rejected = 0;    ///< admission overflow queue full
   int64_t deadlines_exceeded = 0;  ///< admission deadline missed
   int64_t peak_in_flight = 0;      ///< concurrency high-water mark
+  /// Read-only linear scans served from an epoch snapshot of the
+  /// committed prefix, i.e. without holding the table lock across the
+  /// scan (see docs/CONCURRENCY.md). Locked executions — indexed scans,
+  /// joins, snapshot_scans=false — do not count.
+  int64_t snapshot_scans = 0;
 };
 
 /// Per-execution options.
@@ -132,11 +137,13 @@ class EdbTable : public SogdbBackend {
   virtual const std::string& table_name() const = 0;
 
   /// Per-table execution lock: owner-side mutations (Setup/Update) and
-  /// analyst-side scans of the same table serialize on it, which is what
-  /// makes concurrent sessions safe against concurrent appends. Engine
-  /// implementations lock it inside their mutation paths; servers hold it
-  /// across a whole scan + aggregation (the executor borrows the enclave
-  /// mirrors, so the lock must outlive the borrow).
+  /// analyst-side *locked* executions of the same table serialize on it.
+  /// Engine implementations lock it inside their mutation paths; servers
+  /// hold it across a whole indexed scan / join + aggregation (those
+  /// borrow uncommitted enclave state, so the lock must outlive the
+  /// borrow). Read-only linear scans served from an epoch snapshot take
+  /// it only for the catch-up + capture step and aggregate lock-free —
+  /// the full discipline lives in docs/CONCURRENCY.md.
   std::mutex& table_mutex() const { return table_mu_; }
 
  private:
@@ -312,6 +319,12 @@ class EdbServer {
   /// tasks call back into the virtual SPI.
   void DrainSessions();
 
+  /// Engines call this once per query they served from an epoch snapshot
+  /// (ServerStats::snapshot_scans).
+  void CountSnapshotScan() {
+    snapshot_scans_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   friend class QuerySession;
 
@@ -344,6 +357,7 @@ class EdbServer {
   std::atomic<int64_t> prepares_{0};
   std::atomic<int64_t> rebinds_{0};
   std::atomic<int64_t> executed_{0};
+  std::atomic<int64_t> snapshot_scans_{0};
 };
 
 }  // namespace dpsync::edb

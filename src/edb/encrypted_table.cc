@@ -13,6 +13,11 @@ namespace {
 /// fan-out overhead beats the decryption work for small deltas.
 constexpr size_t kParallelScanThreshold = 4096;
 
+/// Rows per enclave mirror chunk. Chunks reserve this capacity up front
+/// and never reallocate, so row addresses stay stable for every
+/// outstanding SnapshotView (see snapshot.h).
+constexpr size_t kMirrorChunkRows = 4096;
+
 uint64_t SchemaHash(const query::Schema& schema) {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (const auto& f : schema.fields()) {
@@ -46,9 +51,22 @@ EncryptedTableStore::EncryptedTableStore(std::string name,
     }
     shards_.push_back(std::move(backend.value()));
   }
-  enclave_rows_.resize(static_cast<size_t>(router_.num_shards()));
-  enclave_upto_.assign(static_cast<size_t>(router_.num_shards()), 0);
+  enclave_.resize(static_cast<size_t>(router_.num_shards()));
   dirty_.assign(static_cast<size_t>(router_.num_shards()), 0);
+  committed_.assign(static_cast<size_t>(router_.num_shards()), 0);
+}
+
+bool EncryptedTableStore::MarkCommitted(size_t shard, int64_t count) {
+  if (committed_[shard] == count) return false;
+  committed_[shard] = count;
+  return true;
+}
+
+void EncryptedTableStore::AdvanceCommitEpoch() {
+  int64_t total = 0;
+  for (int64_t c : committed_) total += c;
+  committed_total_.store(total, std::memory_order_release);
+  commit_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Status EncryptedTableStore::AppendEncrypted(const std::vector<Record>& records,
@@ -104,19 +122,27 @@ Status EncryptedTableStore::Flush() {
 
 Status EncryptedTableStore::FlushAllShards() {
   DPSYNC_RETURN_IF_ERROR(init_status_);
+  bool committed_grew = false;
   for (size_t s = 0; s < shards_.size(); ++s) {
     DPSYNC_RETURN_IF_ERROR(shards_[s]->Flush(cipher_.nonce_high_water()));
     dirty_[s] = 0;
+    committed_grew |= MarkCommitted(s, shards_[s]->Count());
   }
+  // A flush that committed nothing new (idle table) keeps the epoch: an
+  // unchanged epoch is the readers' license to keep reusing a snapshot.
+  if (committed_grew) AdvanceCommitEpoch();
   return Status::Ok();
 }
 
 Status EncryptedTableStore::FlushDirtyShards() {
+  bool committed_grew = false;
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (!dirty_[s]) continue;
     DPSYNC_RETURN_IF_ERROR(shards_[s]->Flush(cipher_.nonce_high_water()));
     dirty_[s] = 0;
+    committed_grew |= MarkCommitted(s, shards_[s]->Count());
   }
+  if (committed_grew) AdvanceCommitEpoch();
   return Status::Ok();
 }
 
@@ -124,8 +150,10 @@ Status EncryptedTableStore::Reopen() {
   std::lock_guard<std::mutex> lk(table_mutex());
   DPSYNC_RETURN_IF_ERROR(init_status_);
   journal_.clear();
-  for (auto& rows : enclave_rows_) rows.clear();
-  std::fill(enclave_upto_.begin(), enclave_upto_.end(), 0);
+  // Drop the mirrors (fresh chunks will be decrypted on demand). Chunks
+  // referenced by outstanding SnapshotViews stay alive through their
+  // shared_ptrs — a pinned pre-Reopen scan finishes on pre-Reopen data.
+  for (auto& mirror : enclave_) mirror = ShardMirror{};
   std::fill(dirty_.begin(), dirty_.end(), 0);
 
   uint64_t persisted = 0;
@@ -187,49 +215,94 @@ Status EncryptedTableStore::Reopen() {
   // gamma_0 was empty — the files only exist because the first commit
   // happened); without it, keep whatever this instance already knew.
   setup_done_ = setup_done_ || attached_existing || total > 0;
+  // Everything recovered is by definition committed (uncommitted tails
+  // were truncated above), and the visibility regime changed: advance the
+  // epoch unconditionally so no pre-Reopen snapshot is mistaken for
+  // current.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    MarkCommitted(s, shards_[s]->Count());
+  }
+  AdvanceCommitEpoch();
   return Status::Ok();
 }
 
 Status EncryptedTableStore::CatchUpShard(int shard) const {
-  auto& rows = enclave_rows_[static_cast<size_t>(shard)];
-  size_t& upto = enclave_upto_[static_cast<size_t>(shard)];
+  ShardMirror& mirror = enclave_[static_cast<size_t>(shard)];
   int64_t count = shards_[static_cast<size_t>(shard)]->Count();
   return shards_[static_cast<size_t>(shard)]->Scan(
-      static_cast<int64_t>(upto), count,
+      static_cast<int64_t>(mirror.rows), count,
       [&](int64_t, const Bytes& ct) -> Status {
         auto payload = cipher_.Decrypt(ct);
         if (!payload.ok()) return payload.status();
         auto row = query::DeserializeRow(payload.value());
         if (!row.ok()) return row.status();
-        rows.push_back(std::move(row.value()));
-        ++upto;
+        // Append into the open chunk; roll a fresh one when full. Chunks
+        // never reallocate (capacity reserved at construction), so rows
+        // already inside an outstanding SnapshotView's bounds never move.
+        if (mirror.chunks.empty() ||
+            mirror.chunks.back()->rows.size() >= kMirrorChunkRows) {
+          mirror.chunks.push_back(std::make_shared<RowChunk>(kMirrorChunkRows));
+        }
+        mirror.chunks.back()->rows.push_back(std::move(row.value()));
+        ++mirror.rows;
         return Status::Ok();
       });
 }
 
-StatusOr<std::vector<const std::vector<query::Row>*>>
-EncryptedTableStore::EnclaveView() const {
-  DPSYNC_RETURN_IF_ERROR(init_status_);
+Status EncryptedTableStore::CatchUpAllShards() const {
   size_t pending = 0;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    pending += static_cast<size_t>(shards_[s]->Count()) - enclave_upto_[s];
+    pending += static_cast<size_t>(shards_[s]->Count()) - enclave_[s].rows;
   }
   if (pending >= kParallelScanThreshold && shards_.size() > 1) {
     // Fan the per-shard catch-up across the pool: shards touch disjoint
     // mirrors, so the only coordination is the final status reduction
     // (first failing shard wins, deterministically).
-    DPSYNC_RETURN_IF_ERROR(ParallelShardStatus(
+    return ParallelShardStatus(
         shards_.size(),
-        [&](size_t s) { return CatchUpShard(static_cast<int>(s)); }));
-  } else {
-    for (size_t s = 0; s < shards_.size(); ++s) {
-      DPSYNC_RETURN_IF_ERROR(CatchUpShard(static_cast<int>(s)));
+        [&](size_t s) { return CatchUpShard(static_cast<int>(s)); });
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    DPSYNC_RETURN_IF_ERROR(CatchUpShard(static_cast<int>(s)));
+  }
+  return Status::Ok();
+}
+
+SnapshotView EncryptedTableStore::CaptureView(bool committed_only) const {
+  SnapshotView view;
+  view.epoch = commit_epoch();
+  view.shard_rows.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardMirror& mirror = enclave_[s];
+    size_t visible = committed_only
+                         ? static_cast<size_t>(committed_[s])
+                         : mirror.rows;
+    view.shard_rows.push_back(static_cast<int64_t>(visible));
+    view.total_rows += static_cast<int64_t>(visible);
+    for (const auto& chunk : mirror.chunks) {
+      if (visible == 0) break;
+      size_t take = std::min(visible, chunk->rows.size());
+      view.spans.push_back({chunk->rows.data(), take});
+      view.retained.push_back(chunk);
+      visible -= take;
     }
   }
-  std::vector<const std::vector<query::Row>*> parts;
-  parts.reserve(shards_.size());
-  for (const auto& rows : enclave_rows_) parts.push_back(&rows);
-  return parts;
+  return view;
+}
+
+StatusOr<SnapshotView> EncryptedTableStore::EnclaveView() const {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  DPSYNC_RETURN_IF_ERROR(CatchUpAllShards());
+  return CaptureView(/*committed_only=*/false);
+}
+
+StatusOr<SnapshotView> EncryptedTableStore::Snapshot() const {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  // Catch up fully (cheap — O(delta) decrypt) and clip the view to the
+  // committed counts; any uncommitted tail rows sit beyond every span
+  // bound, invisible to the snapshot's readers.
+  DPSYNC_RETURN_IF_ERROR(CatchUpAllShards());
+  return CaptureView(/*committed_only=*/true);
 }
 
 StatusOr<std::vector<query::Row>> EncryptedTableStore::DecryptAll() const {

@@ -12,8 +12,17 @@
 /// the shared thread pool. A per-table append journal preserves the global
 /// arrival order, so single-shard behavior is bit-identical to the
 /// pre-refactor store.
+///
+/// The store also tracks a per-table **CommitEpoch** (advanced by Flush —
+/// DP-Sync's commit point: records become query-visible when a strategy
+/// flushes them) and can capture the committed prefix as an immutable
+/// `SnapshotView` (see snapshot.h / docs/CONCURRENCY.md): the mirrors live
+/// in fixed-capacity, address-stable row chunks, so a capture is O(#chunks)
+/// and the resulting view is safe to scan with no lock held while the
+/// owner keeps appending.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <utility>
@@ -23,6 +32,7 @@
 #include "crypto/record_cipher.h"
 #include "edb/encrypted_database.h"
 #include "common/shard_router.h"
+#include "edb/snapshot.h"
 #include "edb/storage_backend.h"
 #include "query/schema.h"
 
@@ -80,13 +90,41 @@ class EncryptedTableStore : public EdbTable {
   StatusOr<std::vector<query::Row>> DecryptAll() const;
 
   /// Incremental enclave view: decrypts only ciphertexts appended since
-  /// the last call and returns one plaintext partition per shard. Real SGX
-  /// engines keep the working table in enclave memory across queries; this
-  /// mirrors that, so repeated queries cost O(delta) real time (the
-  /// *virtual* QET still charges the full oblivious scan — see
-  /// cost_model.h). The returned pointers stay valid until the next
-  /// Update+EnclaveView or Reopen.
-  StatusOr<std::vector<const std::vector<query::Row>*>> EnclaveView() const;
+  /// the last call and returns a view over *every* appended row (committed
+  /// or not), shard-major. Real SGX engines keep the working table in
+  /// enclave memory across queries; this mirrors that, so repeated queries
+  /// cost O(delta) real time (the *virtual* QET still charges the full
+  /// oblivious scan — see cost_model.h). NOT internally locked: the caller
+  /// must hold the owning table's execution mutex across the call, and —
+  /// because the view covers rows that are not yet committed — across
+  /// every use of the returned spans too (the locked engine paths do).
+  StatusOr<SnapshotView> EnclaveView() const;
+
+  /// Captures the committed prefix as an immutable SnapshotView (runs the
+  /// same incremental catch-up first). NOT internally locked: callers hold
+  /// the owning table's execution mutex across the call — but, unlike
+  /// EnclaveView, the returned view is then safe to scan with NO lock held
+  /// while appends race: every captured span bound is ≤ the committed
+  /// count at capture time, chunks never move rows, and later writes land
+  /// strictly beyond the bounds. Repeated captures at an unchanged epoch
+  /// return views over the same chunks (no copying either way).
+  StatusOr<SnapshotView> Snapshot() const;
+
+  /// CommitEpoch: monotone generation counter of the committed (flushed,
+  /// query-visible) prefix. Advanced by every Flush that committed new
+  /// records — including the automatic flush inside Setup/Update when
+  /// StorageConfig::flush_every_update is set — and by Reopen. Safe to
+  /// read from any thread.
+  uint64_t commit_epoch() const override {
+    return commit_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Rows in the committed prefix (what a Snapshot would expose). Safe to
+  /// read from any thread; pair with commit_epoch() for a consistent
+  /// reading under the table mutex.
+  int64_t committed_rows() const {
+    return committed_total_.load(std::memory_order_acquire);
+  }
 
   /// Ciphertext at a global append index (crosses shard boundaries via the
   /// journal). Used by the ORAM mirror and by tests probing the server's
@@ -125,6 +163,13 @@ class EncryptedTableStore : public EdbTable {
   }
 
  private:
+  /// One shard's enclave-resident plaintext mirror: an append-only list of
+  /// address-stable chunks (see snapshot.h) plus the decrypted-row count.
+  struct ShardMirror {
+    std::vector<std::shared_ptr<RowChunk>> chunks;
+    size_t rows = 0;
+  };
+
   Status AppendEncrypted(const std::vector<Record>& records,
                          bool setup_batch);
   /// Unlocked body of Flush() (the append path calls it while already
@@ -135,6 +180,19 @@ class EncryptedTableStore : public EdbTable {
   /// num_shards).
   Status FlushDirtyShards();
   Status CatchUpShard(int shard) const;
+  /// Incremental catch-up of every shard mirror (parallel past the
+  /// fan-out threshold).
+  Status CatchUpAllShards() const;
+  /// Records that `shard` now has `count` committed rows; returns true if
+  /// that changed the committed prefix.
+  bool MarkCommitted(size_t shard, int64_t count);
+  /// Publishes a new CommitEpoch + committed total (call after one or
+  /// more MarkCommitted returned true).
+  void AdvanceCommitEpoch();
+  /// Builds a view over the first `committed_[s]` rows of each mirror
+  /// (committed_only) or over every decrypted row. Mirrors must be caught
+  /// up at least that far.
+  SnapshotView CaptureView(bool committed_only) const;
 
   std::string name_;
   query::Schema schema_;
@@ -150,8 +208,13 @@ class EncryptedTableStore : public EdbTable {
   bool setup_done_ = false;
   int64_t update_calls_ = 0;
   // Enclave-resident plaintext mirrors (lazy, incremental, one per shard).
-  mutable std::vector<std::vector<query::Row>> enclave_rows_;
-  mutable std::vector<size_t> enclave_upto_;
+  mutable std::vector<ShardMirror> enclave_;
+  /// Per-shard committed (flushed) record counts — the snapshot-visible
+  /// prefix. Guarded by table_mutex(); the atomics below publish the
+  /// derived epoch/total for lock-free readers.
+  std::vector<int64_t> committed_;
+  std::atomic<uint64_t> commit_epoch_{0};
+  std::atomic<int64_t> committed_total_{0};
 };
 
 }  // namespace dpsync::edb

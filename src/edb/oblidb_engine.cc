@@ -90,8 +90,19 @@ Status ObliDbTable::Update(const std::vector<Record>& gamma) {
   return CatchUpMirror(gamma);
 }
 
-StatusOr<std::vector<const std::vector<query::Row>*>>
-ObliDbTable::EnclaveScan() {
+StatusOr<SnapshotView> ObliDbTable::SnapshotScan() {
+  // The lock covers only catch-up + capture; the returned view is then
+  // scanned lock-free (see snapshot.h for why that is safe).
+  std::lock_guard<std::mutex> lk(table_mutex());
+  if (mirror_) {
+    return Status::Internal(
+        "snapshot scans are linear-only: indexed scans rewrite ORAM state "
+        "and must hold the table lock");
+  }
+  return store_.Snapshot();
+}
+
+StatusOr<SnapshotView> ObliDbTable::EnclaveScan() {
   if (mirror_) {
     DPSYNC_RETURN_IF_ERROR(mirror_status_);
     // Indexed mode: touch every record through its shard's ORAM so each
@@ -244,22 +255,32 @@ StatusOr<QueryResponse> ObliDbServer::ExecutePlan(
     std::scoped_lock lk(table->table_mutex(), right->table_mutex());
     return JoinQuery(plan.rewritten, table, right);
   }
+  if (config_.snapshot_scans && query::PlanIsReadOnlyScan(plan)) {
+    // Read-only linear scan: serve it from an epoch snapshot of the
+    // committed prefix so same-table scans overlap with each other and
+    // with owner appends (answers and metrics are bit-identical to the
+    // locked path — the committed prefix IS what a serialized scan of a
+    // flushed table sees).
+    return SnapshotScanQuery(plan.rewritten, table);
+  }
   std::lock_guard<std::mutex> lk(table->table_mutex());
   return ScanQuery(plan.rewritten, table);
 }
 
-StatusOr<QueryResponse> ObliDbServer::ScanQuery(
-    const query::SelectQuery& rewritten, ObliDbTable* table) {
-  auto start = std::chrono::steady_clock::now();
+namespace {
+
+/// Shared back half of the linear scan paths: aggregate `rewritten` over
+/// the rows of `view` and price the scan. Safe to run with or without the
+/// table lock — the view's spans bound every row access.
+StatusOr<QueryResponse> AggregateOverView(const query::SelectQuery& rewritten,
+                                          const std::string& table_name,
+                                          const query::Schema& schema,
+                                          const SnapshotView& view,
+                                          const CostModel& cost) {
   query::Table plain;
-  plain.name = table->table_name();
-  plain.schema = table->store().schema();
-  // Both storage methods serve the executor the same per-shard partitions;
-  // indexed mode additionally pays one oblivious ORAM touch per record
-  // before the partitions are borrowed.
-  auto parts = table->EnclaveScan();
-  if (!parts.ok()) return parts.status();
-  plain.borrowed_parts = std::move(parts.value());
+  plain.name = table_name;
+  plain.schema = schema;
+  plain.borrowed_spans = view.spans;
   query::Catalog catalog;
   catalog.AddTable(&plain);
   query::Executor executor(&catalog);
@@ -270,15 +291,43 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
   resp.result = std::move(result.value());
   // Per-shard scan work summed across shards — identical to the flat
   // store's record count, so virtual QET numbers are unchanged by
-  // sharding.
-  int64_t scanned = 0;
-  for (int s = 0; s < table->store().num_shards(); ++s) {
-    scanned += table->store().shard_count(s);
-  }
-  resp.stats.records_scanned = scanned;
-  resp.stats.measured_seconds = SecondsSince(start);
+  // sharding (and by the snapshot path, which sees the same committed
+  // total a serialized scan of a flushed table sees).
+  resp.stats.records_scanned = view.total_rows;
   resp.stats.virtual_seconds =
-      ScanCost(cost_, scanned, !rewritten.group_by.empty());
+      ScanCost(cost, view.total_rows, !rewritten.group_by.empty());
+  return resp;
+}
+
+}  // namespace
+
+StatusOr<QueryResponse> ObliDbServer::SnapshotScanQuery(
+    const query::SelectQuery& rewritten, ObliDbTable* table) {
+  auto start = std::chrono::steady_clock::now();
+  auto snap = table->SnapshotScan();  // brief lock: catch-up + capture
+  if (!snap.ok()) return snap.status();
+  // No lock held from here on: concurrent same-table scans and owner
+  // appends proceed while we aggregate over the pinned prefix.
+  auto resp = AggregateOverView(rewritten, table->table_name(),
+                                table->store().schema(), snap.value(), cost_);
+  if (!resp.ok()) return resp.status();
+  CountSnapshotScan();
+  resp->stats.measured_seconds = SecondsSince(start);
+  return resp;
+}
+
+StatusOr<QueryResponse> ObliDbServer::ScanQuery(
+    const query::SelectQuery& rewritten, ObliDbTable* table) {
+  auto start = std::chrono::steady_clock::now();
+  // Both storage methods serve the executor the same shard-major spans;
+  // indexed mode additionally pays one oblivious ORAM touch per record
+  // before the spans are borrowed.
+  auto view = table->EnclaveScan();
+  if (!view.ok()) return view.status();
+  auto resp = AggregateOverView(rewritten, table->table_name(),
+                                table->store().schema(), view.value(), cost_);
+  if (!resp.ok()) return resp.status();
+  resp->stats.measured_seconds = SecondsSince(start);
   if (table->mirror()) {
     // Charge the per-shard tree heights the scan actually crossed. This is
     // reported next to — not inside — virtual_seconds: the headline QET
@@ -286,9 +335,9 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
     // the physical shard topology like every other experiment metric
     // (docs/ORAM.md discusses the calibration).
     const auto& work = table->last_scan_work();
-    resp.stats.oram_paths = work.paths;
-    resp.stats.oram_buckets = work.buckets;
-    resp.stats.oram_virtual_seconds = OramBucketsCost(cost_, work.buckets);
+    resp->stats.oram_paths = work.paths;
+    resp->stats.oram_buckets = work.buckets;
+    resp->stats.oram_virtual_seconds = OramBucketsCost(cost_, work.buckets);
   }
   return resp;
 }
@@ -308,11 +357,11 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
   query::Table lt;
   lt.name = left->table_name();
   lt.schema = left->store().schema();
-  lt.borrowed_parts = std::move(lview.value());
+  lt.borrowed_spans = lview->spans;
   query::Table rt;
   rt.name = right->table_name();
   rt.schema = right->store().schema();
-  rt.borrowed_parts = std::move(rview.value());
+  rt.borrowed_spans = rview->spans;
 
   int64_t n1 = left->outsourced_count();
   int64_t n2 = right->outsourced_count();
@@ -327,13 +376,15 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
     query::ColumnExpr rkey(rewritten.join->right_column);
     int64_t count = 0;
     query::Row combined;
-    const auto lparts = lt.Parts();
-    const auto rparts = rt.Parts();
-    for (const auto* lpart : lparts) {
-      for (const auto& a : *lpart) {
+    const auto lspans = lt.Spans();
+    const auto rspans = rt.Spans();
+    for (const auto& lspan : lspans) {
+      for (size_t li = 0; li < lspan.size; ++li) {
+        const query::Row& a = lspan.data[li];
         query::Value ka = lkey.Eval(lt.schema, a);
-        for (const auto* rpart : rparts) {
-          for (const auto& b : *rpart) {
+        for (const auto& rspan : rspans) {
+          for (size_t ri = 0; ri < rspan.size; ++ri) {
+            const query::Row& b = rspan.data[ri];
             query::Value kb = rkey.Eval(rt.schema, b);
             int match =
                 (!ka.is_null() && !kb.is_null() && ka.Compare(kb) == 0);
@@ -359,14 +410,17 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
     auto drop_dummies = [](query::Table* t) {
       std::vector<query::Row> filtered;
       filtered.reserve(t->TotalRows());
-      for (const auto* part : t->Parts()) {
-        for (const auto& row : *part) {
-          if (!query::IsDummyRow(t->schema, row)) filtered.push_back(row);
+      for (const auto& span : t->Spans()) {
+        for (size_t i = 0; i < span.size; ++i) {
+          if (!query::IsDummyRow(t->schema, span.data[i])) {
+            filtered.push_back(span.data[i]);
+          }
         }
       }
       t->rows = std::move(filtered);
       t->borrowed_rows = nullptr;
       t->borrowed_parts.clear();
+      t->borrowed_spans.clear();
     };
     drop_dummies(&lt);
     drop_dummies(&rt);

@@ -48,6 +48,21 @@ struct ObliDbConfig {
   /// Real oblivious nested-loop joins are executed up to this many pairs;
   /// larger joins use the hash-join + cost-model shortcut.
   int64_t oblivious_join_limit = 4'000'000;
+  /// Execute read-only linear scans against an epoch snapshot of the
+  /// committed prefix instead of holding the table lock for the whole
+  /// scan: same-table scans then overlap with each other and with owner
+  /// appends. With auto-flushing storage (flush_every_update, the
+  /// default) every append is committed on return, so answers and every
+  /// reported metric are bit-identical either way
+  /// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts) and only
+  /// scheduling changes. With manual commit points
+  /// (flush_every_update=false) the snapshot path answers over the
+  /// committed prefix ONLY — appended-but-unflushed records stay
+  /// invisible until Flush(), where the locked path would see them.
+  /// Joins and the ORAM-indexed mode always keep the exclusive
+  /// per-table lock (tree accesses rewrite state). See
+  /// docs/CONCURRENCY.md.
+  bool snapshot_scans = true;
   /// Physical storage for every table (backend kind, shard count, dir).
   StorageConfig storage;
 };
@@ -84,17 +99,26 @@ class ObliDbTable : public EdbTable {
   const EncryptedTableStore& store() const { return store_; }
   const oram::OramMirror* mirror() const { return mirror_.get(); }
 
-  /// Enclave-side scan, returning one plaintext partition per storage
-  /// shard (what query::Table::borrowed_parts consumes). NOT internally
+  /// Enclave-side scan over every appended row, returning shard-major row
+  /// spans (what query::Table::borrowed_spans consumes). NOT internally
   /// locked: the caller must hold table_mutex() across this call and
-  /// every use of the returned partitions (ObliDbServer does). In indexed
-  /// mode
+  /// every use of the returned spans (ObliDbServer does). In indexed mode
   /// every record is first touched through its shard's ORAM — per-shard
   /// oblivious point accesses fanned out on the shared pool — before the
   /// enclave-resident mirrors are served; otherwise it is the plain
-  /// incremental per-shard decrypt. Either way the per-shard row buffers
-  /// persist across queries (no per-query reallocation).
-  StatusOr<std::vector<const std::vector<query::Row>*>> EnclaveScan();
+  /// incremental per-shard decrypt. Either way the per-shard chunk
+  /// buffers persist across queries (no per-query reallocation).
+  StatusOr<SnapshotView> EnclaveScan();
+
+  /// Pins the committed prefix as an immutable SnapshotView: takes
+  /// table_mutex() only for the incremental catch-up + capture, so the
+  /// caller scans the returned view with NO lock held while owner appends
+  /// race. Linear tables only — the indexed mode's scans rewrite ORAM
+  /// trees and must stay under the exclusive lock (Internal error here).
+  StatusOr<SnapshotView> SnapshotScan();
+
+  /// CommitEpoch of the underlying store (flush commit point).
+  uint64_t commit_epoch() const override { return store_.commit_epoch(); }
 
   /// What the last indexed EnclaveScan paid in ORAM accesses.
   const OramScanWork& last_scan_work() const { return last_scan_work_; }
@@ -149,6 +173,10 @@ class ObliDbServer : public EdbServer {
                                     ObliDbTable* table);
   StatusOr<QueryResponse> JoinQuery(const query::SelectQuery& rewritten,
                                     ObliDbTable* left, ObliDbTable* right);
+  /// Lock-free linear scan over the committed prefix: pins a SnapshotView
+  /// (brief lock inside SnapshotScan) and aggregates with no lock held.
+  StatusOr<QueryResponse> SnapshotScanQuery(const query::SelectQuery& rewritten,
+                                            ObliDbTable* table);
   ObliDbTable* FindTable(const std::string& name) const;
 
   ObliDbConfig config_;

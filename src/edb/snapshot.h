@@ -1,0 +1,65 @@
+/// \file snapshot.h
+/// The SnapshotView seam: an immutable, lock-free view of one table's
+/// *committed prefix* at a CommitEpoch.
+///
+/// DP-Sync's flush discipline gives every table a natural commit point —
+/// records become query-visible only when a strategy flushes them — so the
+/// committed prefix is a stable relation between flushes. The encrypted
+/// table store tracks a per-table CommitEpoch (advanced by Flush), keeps
+/// its enclave-resident plaintext mirrors in fixed-capacity, address-
+/// stable RowChunks, and can capture the committed prefix as a
+/// SnapshotView: a list of row spans plus shared ownership of the chunks
+/// they point into.
+///
+/// The whole point of the chunk shape is that a capture is O(#chunks) and
+/// copies nothing: a chunk reserves its full capacity up front and is only
+/// ever appended to in place, so rows never move once decrypted. A reader
+/// holding a SnapshotView therefore scans without any lock while the owner
+/// keeps appending — the writer only writes rows *beyond* every captured
+/// span, and the reader never consults a container size, only the span
+/// bounds frozen at capture time (under the table mutex, which provides
+/// the happens-before edge for everything inside those bounds). Chunks
+/// dropped by Reopen stay alive through the view's shared_ptrs.
+///
+/// Which query paths may use a snapshot is a plan property: linear scans
+/// are read-only and snapshot-eligible; ORAM-indexed scans rewrite tree
+/// state on every access and keep the exclusive table lock (see
+/// query::PlanIsReadOnlyScan and docs/CONCURRENCY.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "query/executor.h"
+
+namespace dpsync::edb {
+
+/// One fixed-capacity block of decrypted enclave rows. The capacity is
+/// reserved at construction and writers never push past it, so element
+/// addresses are stable for the chunk's lifetime — the invariant every
+/// outstanding SnapshotView relies on.
+struct RowChunk {
+  explicit RowChunk(size_t capacity) { rows.reserve(capacity); }
+  std::vector<query::Row> rows;
+};
+
+/// An immutable view of a table's committed prefix. Cheap to copy/move;
+/// valid independent of the table's lifetime (it co-owns the chunks).
+struct SnapshotView {
+  /// The CommitEpoch the view was captured at (monotone per table;
+  /// advanced by every Flush that committed new records, and by Reopen).
+  uint64_t epoch = 0;
+  /// Committed rows across all shards — what a snapshot scan reports as
+  /// records_scanned and what the cost model charges.
+  int64_t total_rows = 0;
+  /// The committed rows, shard-major, in per-shard append order — the
+  /// exact row order a locked scan of the same prefix walks.
+  std::vector<query::RowSpan> spans;
+  /// Committed rows per storage shard (indexed like the store's shards).
+  std::vector<int64_t> shard_rows;
+  /// Keeps every chunk the spans point into alive.
+  std::vector<std::shared_ptr<const RowChunk>> retained;
+};
+
+}  // namespace dpsync::edb

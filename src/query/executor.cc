@@ -14,19 +14,22 @@ namespace {
 constexpr size_t kParallelScanThreshold = 8192;
 
 /// Invokes `fn(row)` for every row with global index in [begin, end),
-/// walking the partition list in order.
+/// walking the span list in order. Spans are the only row access path:
+/// snapshot-backed spans may alias containers a concurrent writer is
+/// growing, and reading strictly inside each span's captured bounds is
+/// what keeps that safe.
 template <typename Fn>
-void ForEachRowInRange(const std::vector<const std::vector<Row>*>& parts,
-                       size_t begin, size_t end, Fn&& fn) {
+void ForEachRowInRange(const std::vector<RowSpan>& spans, size_t begin,
+                       size_t end, Fn&& fn) {
   size_t offset = 0;
-  for (const auto* part : parts) {
-    size_t part_end = offset + part->size();
-    if (part_end > begin) {
+  for (const auto& span : spans) {
+    size_t span_end = offset + span.size;
+    if (span_end > begin) {
       size_t lo = begin > offset ? begin - offset : 0;
-      size_t hi = (end < part_end ? end : part_end) - offset;
-      for (size_t i = lo; i < hi; ++i) fn((*part)[i]);
+      size_t hi = (end < span_end ? end : span_end) - offset;
+      for (size_t i = lo; i < hi; ++i) fn(span.data[i]);
     }
-    offset = part_end;
+    offset = span_end;
     if (offset >= end) break;
   }
 }
@@ -112,8 +115,10 @@ StatusOr<QueryResult> Executor::ExecuteScan(const SelectQuery& q,
   // tables fan out across the shared pool in fixed chunks; per-chunk
   // partials merge in chunk order, so the answer is deterministic for a
   // given partitioning. Expression evaluation is pure/const, which is what
-  // makes the row loop safe to run from pool threads.
-  const auto parts = table.Parts();
+  // makes the row loop safe to run from pool threads — and spans never
+  // read outside their captured bounds, which is what makes the same loop
+  // safe over an epoch snapshot while the owner keeps appending.
+  const auto parts = table.Spans();
   const size_t total = table.TotalRows();
   const size_t max_chunks =
       total >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
@@ -176,7 +181,7 @@ StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
   ColumnExpr left_key(q.join->left_column);
   ColumnExpr right_key(q.join->right_column);
   std::map<Value, std::vector<const Row*>> right_index;
-  const auto right_parts = right.Parts();
+  const auto right_parts = right.Spans();
   ForEachRowInRange(right_parts, 0, right.TotalRows(), [&](const Row& row) {
     // Evaluate the right key against the bare right schema (qualified
     // references fall back to the unqualified column).
@@ -189,7 +194,7 @@ StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
   const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
   AggAccumulator acc(agg->agg);
   Row combined;
-  const auto left_parts = left.Parts();
+  const auto left_parts = left.Spans();
   ForEachRowInRange(left_parts, 0, left.TotalRows(), [&](const Row& lrow) {
     Value key = left_key.Eval(left.schema, lrow);
     if (key.is_null()) return;

@@ -21,33 +21,63 @@
 
 namespace dpsync::query {
 
+/// A borrowed, address-stable run of rows. Spans carry their length
+/// explicitly instead of pointing at a container: the edb snapshot layer
+/// hands out spans over enclave mirror chunks that a concurrent writer may
+/// still be appending to, and a reader that never consults the container's
+/// size cannot observe (or race with) that growth. See edb/snapshot.h.
+struct RowSpan {
+  const Row* data = nullptr;
+  size_t size = 0;
+};
+
 /// A named in-memory relation. Rows are either owned (`rows`), borrowed
-/// from an external store (`borrowed_rows`), or borrowed as a list of
-/// per-shard partitions (`borrowed_parts`) — the edb engines borrow their
-/// enclave-resident shard mirrors to avoid copying per query, and the
-/// executor fans scans out across the partitions.
+/// from an external store (`borrowed_rows`), borrowed as a list of
+/// per-shard partitions (`borrowed_parts`), or borrowed as explicit row
+/// spans (`borrowed_spans`, what an epoch snapshot serves) — the edb
+/// engines borrow their enclave-resident shard mirrors to avoid copying
+/// per query, and the executor fans scans out across the partitions.
 struct Table {
   std::string name;
   Schema schema;
   std::vector<Row> rows;
   const std::vector<Row>* borrowed_rows = nullptr;
   std::vector<const std::vector<Row>*> borrowed_parts;
+  std::vector<RowSpan> borrowed_spans;
 
   /// The effective row set when the table is NOT multi-partition. Callers
-  /// that may see sharded tables must use Parts()/TotalRows() instead.
+  /// that may see sharded tables must use Spans()/TotalRows() instead.
   const std::vector<Row>& data() const {
     return borrowed_rows ? *borrowed_rows : rows;
   }
 
   /// The effective partitions (one per shard; exactly one for owned or
-  /// single-borrow tables). Pointers are non-null.
+  /// single-borrow tables). Pointers are non-null. Span-backed tables have
+  /// no partition form — use Spans(), which every execution path does.
   std::vector<const std::vector<Row>*> Parts() const {
     if (!borrowed_parts.empty()) return borrowed_parts;
     return {borrowed_rows ? borrowed_rows : &rows};
   }
 
-  /// Total rows across all partitions.
+  /// The effective row spans, in scan order (shard-major for sharded
+  /// borrows). This is the one representation every execution path
+  /// consumes; the other storage forms degrade to it.
+  std::vector<RowSpan> Spans() const {
+    if (!borrowed_spans.empty()) return borrowed_spans;
+    std::vector<RowSpan> spans;
+    const auto parts = Parts();
+    spans.reserve(parts.size());
+    for (const auto* part : parts) spans.push_back({part->data(), part->size()});
+    return spans;
+  }
+
+  /// Total rows across all partitions/spans.
   size_t TotalRows() const {
+    if (!borrowed_spans.empty()) {
+      size_t n = 0;
+      for (const auto& span : borrowed_spans) n += span.size;
+      return n;
+    }
     if (borrowed_parts.empty()) return data().size();
     size_t n = 0;
     for (const auto* part : borrowed_parts) n += part->size();

@@ -81,6 +81,17 @@ struct QueryPlan {
   bool grouped = false;
 };
 
+/// Classifies a plan's execution as read-only vs state-mutating. A linear
+/// single-table scan only reads committed rows, so an engine may serve it
+/// from an epoch snapshot without holding the table's exclusive lock.
+/// ORAM-indexed scans rewrite tree state on every oblivious access, and
+/// joins borrow two tables' uncommitted views under their locks — both
+/// stay serialized per table (see docs/CONCURRENCY.md).
+inline bool PlanIsReadOnlyScan(const QueryPlan& plan) {
+  return plan.kind == PlanKind::kScan &&
+         plan.access_path == AccessPath::kLinearScan;
+}
+
 /// Catalog view the planner binds against: table name -> schema, nullptr
 /// for unknown tables. The callback must be safe to invoke from any
 /// thread (edb servers back it with their catalog lock).

@@ -65,18 +65,21 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed) {
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            const edb::StorageConfig& storage,
                                            bool use_oram_index,
-                                           size_t oram_capacity) {
+                                           size_t oram_capacity,
+                                           bool snapshot_scans) {
   if (kind == EngineKind::kObliDb) {
     edb::ObliDbConfig cfg;
     cfg.master_seed = seed;
     cfg.storage = storage;
     cfg.use_oram_index = use_oram_index;
     cfg.oram_capacity = oram_capacity;
+    cfg.snapshot_scans = snapshot_scans;
     return std::make_unique<edb::ObliDbServer>(cfg);
   }
   edb::CryptEpsConfig cfg;
   cfg.master_seed = seed;
   cfg.storage = storage;
+  cfg.snapshot_scans = snapshot_scans;
   return std::make_unique<edb::CryptEpsServer>(cfg);
 }
 
@@ -171,7 +174,8 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   storage.num_shards = config.num_shards;
   storage.dir = storage_dir.dir();
   auto server = MakeServer(config.engine, seeder.Next(), storage,
-                           config.use_oram_index, config.oram_capacity);
+                           config.use_oram_index, config.oram_capacity,
+                           config.snapshot_scans);
 
   TablePipeline yellow;
   DPSYNC_RETURN_IF_ERROR(

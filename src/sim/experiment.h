@@ -72,6 +72,13 @@ struct ExperimentConfig {
   size_t oram_capacity = 1 << 16;
   /// Analyst API driving the query schedule (metrics are invariant in it).
   QueryApi query_api = QueryApi::kSession;
+  /// Serve read-only linear scans from an epoch snapshot of the committed
+  /// prefix instead of holding the per-table lock across the scan (see
+  /// docs/CONCURRENCY.md). Like every other execution knob the reported
+  /// metrics are invariant in it — the experiment schedule is sequential,
+  /// and the committed prefix at query time equals the full table either
+  /// way (every posted update flushes). Indexed-mode scans ignore it.
+  bool snapshot_scans = true;
   /// Segment-log root. Each run writes a unique fresh subdirectory
   /// beneath it (segment files refuse silent reuse across runs). Empty =
   /// a temp root whose per-run subdirectory is removed when the run
@@ -122,11 +129,12 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
 /// Convenience: builds the EdbServer for a kind (used by tests/examples).
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed);
 
-/// As above, with explicit physical-storage knobs and (for ObliDB) the
-/// indexed-mode toggle.
+/// As above, with explicit physical-storage knobs, (for ObliDB) the
+/// indexed-mode toggle, and the snapshot-scan execution knob.
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            const edb::StorageConfig& storage,
                                            bool use_oram_index = false,
-                                           size_t oram_capacity = 1 << 16);
+                                           size_t oram_capacity = 1 << 16,
+                                           bool snapshot_scans = true);
 
 }  // namespace dpsync::sim

@@ -8,6 +8,7 @@
 #include "edb/encrypted_table.h"
 #include "edb/leakage.h"
 #include "edb/oblidb_engine.h"
+#include "edb/plan_cache.h"
 #include "edb/volume_hiding.h"
 #include "query/executor.h"
 #include "query/parser.h"
@@ -702,6 +703,77 @@ TEST_F(QuerySessionTest, PlanCacheCountsHitsAcrossSpellingsAndSessions) {
   EXPECT_EQ(stats.prepares, 2);
   EXPECT_EQ(stats.plan_cache_hits, 1);
   EXPECT_EQ(stats.plan_cache_misses, 1);
+}
+
+namespace {
+
+/// Synthetic cached plan: the cache only inspects fingerprint,
+/// canonical_text and catalog_epoch.
+std::shared_ptr<const query::QueryPlan> FakePlan(uint64_t fingerprint,
+                                                 uint64_t epoch = 0) {
+  auto plan = std::make_shared<query::QueryPlan>();
+  plan->fingerprint = fingerprint;
+  plan->catalog_epoch = epoch;
+  plan->canonical_text = "Q" + std::to_string(fingerprint);
+  return plan;
+}
+
+}  // namespace
+
+TEST(PlanCacheTest, LruEvictionHammeredPastTheCap) {
+  // Hammer insertion far past the cap: the cache must stay bounded, keep
+  // exactly the most-recently-used tail of the stream, and evict in true
+  // LRU order — each eviction in O(1) off the intrusive recency list (a
+  // linear victim scan here would be quadratic across the hammer loop).
+  constexpr size_t kCap = 64;
+  constexpr uint64_t kInserted = 10 * kCap;
+  PlanCache cache(kCap);
+  for (uint64_t f = 1; f <= kInserted; ++f) {
+    cache.Insert(FakePlan(f));
+    ASSERT_LE(cache.size(), kCap);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+  // Survivors are exactly the last kCap distinct fingerprints.
+  for (uint64_t f = kInserted - kCap + 1; f <= kInserted; ++f) {
+    EXPECT_TRUE(cache.Contains(f)) << f;
+  }
+  EXPECT_FALSE(cache.Contains(kInserted - kCap));
+}
+
+TEST(PlanCacheTest, LookupRefreshesRecency) {
+  PlanCache cache(3);
+  for (uint64_t f : {1u, 2u, 3u}) cache.Insert(FakePlan(f));
+  // Touch 1: it becomes most-recent, so inserting 4 must evict 2.
+  EXPECT_NE(cache.Lookup(1, "Q1", 0), nullptr);
+  cache.Insert(FakePlan(4));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  // Re-inserting an existing fingerprint refreshes, never grows.
+  cache.Insert(FakePlan(3));
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Insert(FakePlan(5));
+  EXPECT_FALSE(cache.Contains(1));  // 1 was now the LRU
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(PlanCacheTest, StaleEpochEvictsOnLookupAndKeepsListConsistent) {
+  PlanCache cache(2);
+  cache.Insert(FakePlan(1, /*epoch=*/0));
+  cache.Insert(FakePlan(2, /*epoch=*/0));
+  // Lookup at a newer catalog epoch: the stale entry is dropped from both
+  // the map and the recency list (a dangling list node would corrupt the
+  // next eviction).
+  EXPECT_EQ(cache.Lookup(1, "Q1", /*catalog_epoch=*/1), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Insert(FakePlan(3, 1));
+  cache.Insert(FakePlan(4, 1));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Contains(2));  // evicted as LRU, not crashed over
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
 }
 
 TEST_F(QuerySessionTest, OneShotShimHitsCacheFromSecondCallOn) {

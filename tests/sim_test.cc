@@ -214,19 +214,22 @@ std::vector<double> MetricVector(const ExperimentResult& r) {
 }
 
 TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
-  // The acceptance bar for the storage-spine, per-shard ORAM and Query
-  // API v2 refactors: both engines, both backends, both storage methods
-  // (linear and ORAM-indexed on ObliDB), shard counts {1, 4}, AND both
-  // analyst APIs — every reported metric bit-identical to the
-  // single-shard in-memory baseline at the same seed. The baseline drives
-  // its schedule through the legacy one-shot Query() shim while every
-  // variant runs prepared queries over a session, so this also proves the
-  // prepared path's results and cost metrics (virtual QET, oram_*,
-  // revealed volumes folded into the series) identical to the one-shot
-  // path across engines x backends x shard counts. Physical storage
-  // placement, the oblivious index, and the query API must all be
-  // unobservable in the simulation's outputs; only the ORAM health block
-  // may differ.
+  // The acceptance bar for the storage-spine, per-shard ORAM, Query API
+  // v2 and epoch-snapshot refactors: both engines, both backends, both
+  // storage methods (linear and ORAM-indexed on ObliDB), shard counts
+  // {1, 4}, AND both analyst APIs — every reported metric bit-identical
+  // to the single-shard in-memory baseline at the same seed. The baseline
+  // drives its schedule through the legacy one-shot Query() shim with
+  // snapshot_scans OFF (the fully per-table-serialized path) while every
+  // variant runs prepared queries over a session with snapshot_scans ON
+  // (linear scans pinned to the committed-prefix epoch snapshot), so this
+  // also proves the prepared path's results and cost metrics (virtual
+  // QET, oram_*, revealed volumes folded into the series) identical to
+  // the one-shot path, and the snapshot scan identical to the locked
+  // scan, across engines x backends x shard counts. Physical storage
+  // placement, the oblivious index, the query API, and the snapshot
+  // execution mode must all be unobservable in the simulation's outputs;
+  // only the ORAM health block may differ.
   struct Variant {
     edb::StorageBackendKind backend;
     int num_shards;
@@ -255,6 +258,7 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
         q.interval = (q.name == "Q3") ? 360 : 90;
       }
       base_cfg.query_api = QueryApi::kOneShot;
+      base_cfg.snapshot_scans = false;
       auto baseline = RunExperiment(base_cfg);
       ASSERT_TRUE(baseline.ok()) << EngineKindName(engine);
       auto expect = MetricVector(baseline.value());
@@ -266,6 +270,7 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
       for (const auto& variant : variants) {
         auto cfg = base_cfg;
         cfg.query_api = QueryApi::kSession;
+        cfg.snapshot_scans = true;
         cfg.backend = variant.backend;
         cfg.num_shards = variant.num_shards;
         auto r = RunExperiment(cfg);
@@ -297,6 +302,15 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
                   static_cast<int64_t>(r->queries.size()));
         EXPECT_EQ(r->server_stats.plan_rebinds, 0);
         EXPECT_GT(r->server_stats.queries_executed, 0);
+        // The variants really did run their linear scans through the
+        // snapshot layer (and the baseline really did not); indexed-mode
+        // scans stay locked whatever the knob says.
+        EXPECT_EQ(baseline->server_stats.snapshot_scans, 0);
+        if (indexed) {
+          EXPECT_EQ(r->server_stats.snapshot_scans, 0);
+        } else {
+          EXPECT_GT(r->server_stats.snapshot_scans, 0);
+        }
       }
     }
   }

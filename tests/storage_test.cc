@@ -308,12 +308,14 @@ TEST_F(StorageTest, ShardedStoreSpreadsRecordsAndPreservesArrivalOrder) {
                   .pickup_id,
               i);
   }
-  // EnclaveView returns one partition per shard, covering every record.
+  // EnclaveView reports one committed count per shard, covering every
+  // record, and its spans sum to the same total.
   auto view = store.EnclaveView();
   ASSERT_OK(view);
-  ASSERT_EQ(view.value().size(), 4u);
+  ASSERT_EQ(view->shard_rows.size(), 4u);
+  EXPECT_EQ(view->total_rows, 200);
   size_t total = 0;
-  for (const auto* part : view.value()) total += part->size();
+  for (const auto& span : view->spans) total += span.size;
   EXPECT_EQ(total, 200u);
 }
 

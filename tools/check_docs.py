@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Markdown hygiene gate: validate intra-repo references in all *.md.
+
+Two kinds of reference are checked, in every tracked markdown file
+outside build trees and third_party:
+
+1. **Markdown links** `[text](target)` whose target is not an absolute
+   URL or a pure fragment: the target path (resolved relative to the
+   containing file, `#fragment` stripped) must exist.
+2. **Code-path references**: inline-code or prose mentions of repo paths
+   like `src/edb/snapshot.h`, `docs/CONCURRENCY.md`,
+   `tools/bench_diff.py`, `tests/snapshot_test.cc`,
+   `.github/workflows/ci.yml` — any token rooted at a known top-level
+   code directory with a recognized extension must name an existing
+   file. Tokens inside fenced code blocks are skipped (they quote code,
+   which the compiler already checks — and example output may name
+   paths that do not exist at rest).
+
+Exit 0 when clean; exit 1 listing every broken reference. CI runs this
+in the `docs` job so documentation cannot rot silently; run it locally
+after moving or renaming files:
+
+    python3 tools/check_docs.py [--root <repo>] [-v]
+"""
+import argparse
+import os
+import re
+import sys
+
+# Directories whose *.md participate in the check (recursively), plus
+# the repo root itself (non-recursive).
+DOC_DIRS = ["docs", "tools", "bench", "examples", "src", "tests",
+            ".github", ".claude"]
+SKIP_DIR_NAMES = {"third_party", "node_modules", ".git"}
+SKIP_DIR_PREFIXES = ("build",)  # build/, build-asan/, build-tsan/, ...
+
+# A code-path reference: rooted at a known top-level dir, ending in a
+# recognized source/doc extension.
+PATH_ROOTS = r"(?:src|docs|tests|bench|tools|examples|cmake|third_party|\.github)"
+PATH_EXTS = r"(?:h|cc|cpp|py|md|json|ya?ml|cmake|txt|seg)"
+CODE_PATH_RE = re.compile(
+    r"(?<![\w/.-])(" + PATH_ROOTS + r"/[\w./-]*\.(?:" + PATH_EXTS + r"))\b")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def md_files(root):
+    files = []
+
+    def want_dir(name):
+        return name not in SKIP_DIR_NAMES and not name.startswith(
+            SKIP_DIR_PREFIXES)
+
+    for entry in sorted(os.listdir(root)):
+        full = os.path.join(root, entry)
+        if os.path.isfile(full) and entry.endswith(".md"):
+            files.append(full)
+        elif os.path.isdir(full) and want_dir(entry) and entry in DOC_DIRS:
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames[:] = sorted(d for d in dirnames if want_dir(d))
+                for f in sorted(filenames):
+                    if f.endswith(".md"):
+                        files.append(os.path.join(dirpath, f))
+    return files
+
+
+def strip_fenced_blocks(lines):
+    """Yields (lineno, line) for lines outside ``` fences."""
+    in_fence = False
+    for i, line in enumerate(lines, start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield i, line
+
+
+def check_file(path, root, verbose):
+    errors = []
+    checked = 0
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    here = os.path.dirname(path)
+    rel = os.path.relpath(path, root)
+
+    for lineno, line in strip_fenced_blocks(lines):
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):  # same-file fragment
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            checked += 1
+            resolved = (os.path.join(root, file_part.lstrip("/"))
+                        if target.startswith("/")
+                        else os.path.join(here, file_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}:{lineno}: broken link ({target})")
+        for m in CODE_PATH_RE.finditer(line):
+            ref = m.group(1)
+            checked += 1
+            if not os.path.exists(os.path.join(root, ref)):
+                errors.append(f"{rel}:{lineno}: dangling code path ({ref})")
+    if verbose:
+        print(f"  {rel}: {checked} references")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list per-file reference counts")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root or
+                           os.path.join(os.path.dirname(__file__), os.pardir))
+
+    files = md_files(root)
+    if not files:
+        print(f"check_docs: no markdown files under {root}", file=sys.stderr)
+        return 1
+    all_errors = []
+    for path in files:
+        all_errors.extend(check_file(path, root, args.verbose))
+    if all_errors:
+        print(f"check_docs: {len(all_errors)} broken reference(s) in "
+              f"{len(files)} markdown files:")
+        for e in all_errors:
+            print(f"  {e}")
+        return 1
+    print(f"check_docs: OK ({len(files)} markdown files, all intra-repo "
+          f"links and code paths resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
