@@ -122,7 +122,9 @@ std::string RenderEntry(const sim::ExperimentConfig& config,
      << ",\"rebinds\":" << ss.plan_rebinds
      << ",\"executed\":" << ss.queries_executed
      << ",\"peak_in_flight\":" << ss.peak_in_flight
-     << ",\"snapshot_scans\":" << ss.snapshot_scans << "}";
+     << ",\"snapshot_scans\":" << ss.snapshot_scans
+     << ",\"view_hits\":" << ss.view_hits
+     << ",\"view_folds\":" << ss.view_folds << "}";
   os << "}";
   return os.str();
 }

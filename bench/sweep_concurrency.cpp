@@ -102,6 +102,11 @@ int main() {
       edb::ObliDbConfig cfg;
       cfg.use_oram_index = method.use_oram_index;
       cfg.snapshot_scans = method.snapshot_scans;
+      // This sweep measures the *scan* paths under admission pressure;
+      // materialized views would answer the eligible aggregates in O(1)
+      // and leave nothing to contend. bench/sweep_views.cpp covers the
+      // view path.
+      cfg.materialized_views = false;
       cfg.oram_capacity = static_cast<size_t>(kRecords) * 2;
       cfg.admission.max_in_flight = in_flight;
       cfg.admission.max_queue = 4096;  // never reject in this sweep

@@ -25,6 +25,10 @@
 ///   --snapshot=on|off    serve linear scans from epoch snapshots of the
 ///                        committed prefix (default on; metrics are
 ///                        invariant — see docs/CONCURRENCY.md)
+///   --views=on|off       answer eligible prepared aggregates from
+///                        incremental materialized views (default on;
+///                        effective only with --snapshot=on; metrics are
+///                        invariant, only wall-clock changes)
 ///   --api=session|oneshot  analyst API driving the schedule: prepared
 ///                        queries over a session (default) or the legacy
 ///                        one-shot Query() shim; metrics are identical
@@ -61,7 +65,8 @@ int Usage(const char* argv0) {
                "       [--backend=memory|segment] [--shards=N] "
                "[--storage-dir=path]\n"
                "       [--api=session|oneshot] [--snapshot=on|off] "
-               "[--no-join] [--timing]\n"
+               "[--views=on|off]\n"
+               "       [--no-join] [--timing]\n"
                "       [--csv=path]\n";
   return 2;
 }
@@ -129,6 +134,10 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "snapshot", &v)) {
       if (v == "on") cfg.snapshot_scans = true;
       else if (v == "off") cfg.snapshot_scans = false;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "views", &v)) {
+      if (v == "on") cfg.materialized_views = true;
+      else if (v == "off") cfg.materialized_views = false;
       else return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-join") == 0) {
       cfg.enable_green = false;
@@ -203,7 +212,10 @@ int main(int argc, char** argv) {
               << "executed         : " << ss.queries_executed
               << " (peak in-flight " << ss.peak_in_flight << ")\n"
               << "snapshot scans   : " << ss.snapshot_scans
-              << " (lock-free over the committed prefix)\n";
+              << " (lock-free over the committed prefix)\n"
+              << "view answers     : " << ss.view_hits << " hits / "
+              << ss.view_folds
+              << " folds (O(1) from materialized aggregates)\n";
   }
 
   if (!csv_path.empty()) {

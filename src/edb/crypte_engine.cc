@@ -32,9 +32,23 @@ StatusOr<EdbTable*> CryptEpsServer::CreateTableImpl(
   }
   auto table = std::make_unique<EncryptedTableStore>(
       name, schema, keys_.DeriveKey("table-aead:" + name), config_.storage);
+  table->set_view_fold_counter(view_fold_counter());
   EdbTable* handle = table.get();
   tables_[name] = std::move(table);
   return handle;
+}
+
+void CryptEpsServer::OnPlanReady(
+    const std::shared_ptr<const query::QueryPlan>& plan) {
+  if (!config_.materialized_views || !config_.snapshot_scans ||
+      !query::PlanIsViewEligible(*plan)) {
+    return;
+  }
+  EncryptedTableStore* table = FindTable(plan->table);
+  if (table == nullptr) return;
+  // Best-effort: a failed registration (e.g. a backend error during the
+  // warm fold) simply leaves this plan on the scan path.
+  (void)table->RegisterView(plan);
 }
 
 EncryptedTableStore* CryptEpsServer::FindTable(const std::string& name) const {
@@ -151,7 +165,24 @@ StatusOr<QueryResponse> CryptEpsServer::ExecutePlan(
     if (!full.ok()) return full.status();
     return aggregate(full.value());
   };
-  auto exact = run_exact();
+  // A current materialized view substitutes for the exact-aggregation
+  // scan only: the budget was already reserved above and the Laplace
+  // release below is untouched, so the noise stream, the charged budget
+  // and every reported metric are bit-identical to the scan path — the
+  // view changes where the exact answer came from, nothing else.
+  bool view_hit = false;
+  StatusOr<query::QueryResult> exact =
+      Status::Internal("exact aggregate was never computed");
+  if (config_.materialized_views && config_.snapshot_scans &&
+      query::PlanIsViewEligible(plan)) {
+    if (auto hit =
+            table->TryViewAnswer(plan.fingerprint, plan.canonical_text)) {
+      scanned = hit->committed_rows;
+      exact = std::move(hit->result);
+      view_hit = true;
+    }
+  }
+  if (!view_hit) exact = run_exact();
   if (!exact.ok()) {
     std::lock_guard<std::mutex> lk(budget_mu_);
     consumed_budget_ -= config_.query_epsilon;  // nothing was released
@@ -176,7 +207,11 @@ StatusOr<QueryResponse> CryptEpsServer::ExecutePlan(
     }
   }
 
-  if (config_.snapshot_scans) CountSnapshotScan();
+  if (view_hit) {
+    CountViewHit();
+  } else if (config_.snapshot_scans) {
+    CountSnapshotScan();
+  }
   QueryResponse resp;
   resp.result = std::move(noisy);
   // What the scan actually touched: the pinned view's row count (equal to

@@ -48,6 +48,18 @@ struct CryptEpsConfig {
   /// for — only the flushed prefix, where the locked path would scan the
   /// uncommitted tail too. See docs/CONCURRENCY.md.
   bool snapshot_scans = true;
+  /// Maintain incremental materialized aggregate views for view-eligible
+  /// prepared plans (query::PlanIsViewEligible): Prepare registers the
+  /// view, every Flush commit folds the newly committed delta, and a
+  /// current view substitutes for the exact-aggregation scan in O(1). The
+  /// Laplace release is untouched — budget reservation and noise draws
+  /// happen after (and independently of) how the exact answer was
+  /// computed, so the noise stream and every reported metric are
+  /// bit-identical to the scan path. Views hold committed-prefix state,
+  /// so they are additionally gated on snapshot_scans (the locked path's
+  /// uncommitted-tail visibility cannot be represented). See
+  /// src/edb/view.h.
+  bool materialized_views = true;
   /// Physical storage for every table (backend kind, shard count, dir).
   StorageConfig storage;
 };
@@ -81,6 +93,11 @@ class CryptEpsServer : public EdbServer {
  protected:
   StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
                                       const query::Schema& schema) override;
+  /// Registers a materialized view for every view-eligible plan Prepare
+  /// hands out (best-effort; idempotent per fingerprint). No-op unless
+  /// both materialized_views and snapshot_scans are on.
+  void OnPlanReady(
+      const std::shared_ptr<const query::QueryPlan>& plan) override;
 
  private:
   EncryptedTableStore* FindTable(const std::string& name) const;

@@ -167,8 +167,11 @@ StatusOr<EdbTable*> EdbServer::CreateTable(const std::string& name,
   auto table = CreateTableImpl(name, schema);
   if (table.ok()) {
     // Outstanding plans were bound against the old catalog; mark them
-    // stale so the next execution re-binds.
+    // stale so the next execution re-binds — and sweep them out of the
+    // cache eagerly (lookup-time eviction alone would pin dead-epoch
+    // plans until their exact fingerprints happened to be re-queried).
     catalog_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    plan_cache_.EvictStaleEpoch(catalog_epoch());
   }
   return table;
 }
@@ -193,6 +196,11 @@ StatusOr<PreparedQuery> EdbServer::PrepareInternal(
   const uint64_t fingerprint = query::FingerprintText(text);
   const uint64_t epoch = catalog_epoch();
   if (auto cached = plan_cache_.Lookup(fingerprint, text, epoch)) {
+    // The hook fires on the cache-hit path too: a view registered by an
+    // earlier Prepare survives, but a fresh server process (or an evicted
+    // registration) re-attaches here at no extra cost — registration is
+    // idempotent per fingerprint.
+    OnPlanReady(cached);
     return PreparedQuery(std::move(cached), /*from_cache=*/true);
   }
   auto options = planner_options();
@@ -202,6 +210,7 @@ StatusOr<PreparedQuery> EdbServer::PrepareInternal(
       options);
   if (!plan.ok()) return plan.status();
   plan_cache_.Insert(plan.value());
+  OnPlanReady(plan.value());
   return PreparedQuery(std::move(plan.value()), /*from_cache=*/false);
 }
 
@@ -280,6 +289,8 @@ ServerStats EdbServer::stats() const {
   s.plan_rebinds = rebinds_.load(std::memory_order_relaxed);
   s.queries_executed = executed_.load(std::memory_order_relaxed);
   s.snapshot_scans = snapshot_scans_.load(std::memory_order_relaxed);
+  s.view_hits = view_hits_.load(std::memory_order_relaxed);
+  s.view_folds = view_folds_.load(std::memory_order_relaxed);
   auto admission = admission_.stats();
   s.queries_rejected = admission.rejected_queue_full;
   s.deadlines_exceeded = admission.deadlines_exceeded;

@@ -115,8 +115,17 @@ struct ServerStats {
   /// Read-only linear scans served from an epoch snapshot of the
   /// committed prefix, i.e. without holding the table lock across the
   /// scan (see docs/CONCURRENCY.md). Locked executions — indexed scans,
-  /// joins, snapshot_scans=false — do not count.
+  /// joins, snapshot_scans=false — and view answers do not count.
   int64_t snapshot_scans = 0;
+  /// Executions answered in O(1) from a materialized aggregate view whose
+  /// state was current through the table's CommitEpoch (see
+  /// src/edb/view.h). View hits never scan, so a view-answered execution
+  /// counts here and nowhere else.
+  int64_t view_hits = 0;
+  /// Incremental view folds across the server's tables: one per
+  /// (view, row-set) fold — warm folds at registration, O(delta) folds at
+  /// Flush commit time, and full rebuilds after Reopen all count.
+  int64_t view_folds = 0;
 };
 
 /// Per-execution options.
@@ -307,6 +316,25 @@ class EdbServer {
   virtual query::PlannerOptions planner_options() const;
 
  protected:
+  /// Called by PrepareInternal with every plan it hands out — freshly
+  /// built or served from the plan cache — before the caller sees it.
+  /// Engines override it to attach side structures to plans they care
+  /// about (today: registering a materialized view for view-eligible
+  /// plans when the knob is on). Must be thread-safe and best-effort:
+  /// failures here must not fail the Prepare (the scan path always
+  /// remains correct). Default: no-op.
+  virtual void OnPlanReady(const std::shared_ptr<const query::QueryPlan>& plan) {
+    (void)plan;
+  }
+
+  /// Engines call this once per query they answered from a materialized
+  /// view (ServerStats::view_hits).
+  void CountViewHit() { view_hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The per-fold counter engines wire into their tables
+  /// (EncryptedTableStore::set_view_fold_counter -> ServerStats::view_folds).
+  std::atomic<int64_t>* view_fold_counter() { return &view_folds_; }
+
   /// Engine-specific table creation (the template-method half of
   /// CreateTable).
   virtual StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
@@ -358,6 +386,8 @@ class EdbServer {
   std::atomic<int64_t> rebinds_{0};
   std::atomic<int64_t> executed_{0};
   std::atomic<int64_t> snapshot_scans_{0};
+  std::atomic<int64_t> view_hits_{0};
+  std::atomic<int64_t> view_folds_{0};
 };
 
 }  // namespace dpsync::edb

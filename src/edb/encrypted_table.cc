@@ -129,8 +129,12 @@ Status EncryptedTableStore::FlushAllShards() {
     committed_grew |= MarkCommitted(s, shards_[s]->Count());
   }
   // A flush that committed nothing new (idle table) keeps the epoch: an
-  // unchanged epoch is the readers' license to keep reusing a snapshot.
-  if (committed_grew) AdvanceCommitEpoch();
+  // unchanged epoch is the readers' license to keep reusing a snapshot —
+  // and to keep answering from a materialized view stamped with it.
+  if (committed_grew) {
+    AdvanceCommitEpoch();
+    DPSYNC_RETURN_IF_ERROR(FoldViews());
+  }
   return Status::Ok();
 }
 
@@ -142,7 +146,10 @@ Status EncryptedTableStore::FlushDirtyShards() {
     dirty_[s] = 0;
     committed_grew |= MarkCommitted(s, shards_[s]->Count());
   }
-  if (committed_grew) AdvanceCommitEpoch();
+  if (committed_grew) {
+    AdvanceCommitEpoch();
+    DPSYNC_RETURN_IF_ERROR(FoldViews());
+  }
   return Status::Ok();
 }
 
@@ -223,6 +230,14 @@ Status EncryptedTableStore::Reopen() {
     MarkCommitted(s, shards_[s]->Count());
   }
   AdvanceCommitEpoch();
+  // Reopen advanced the epoch WITHOUT committing new rows, and the
+  // recovered prefix (shard-major journal, truncated tails) need not be
+  // the pre-Reopen prefix. A view that treated "epoch advanced" as
+  // "delta to fold" would serve stale or double-folded state — so views
+  // invalidate here and rebuild lazily: the next commit fold re-folds the
+  // whole committed prefix from row zero, and until then every query
+  // falls back to the snapshot-scan path.
+  views_.InvalidateAll();
   return Status::Ok();
 }
 
@@ -237,13 +252,14 @@ Status EncryptedTableStore::CatchUpShard(int shard) const {
         auto row = query::DeserializeRow(payload.value());
         if (!row.ok()) return row.status();
         // Append into the open chunk; roll a fresh one when full. Chunks
-        // never reallocate (capacity reserved at construction), so rows
-        // already inside an outstanding SnapshotView's bounds never move.
-        if (mirror.chunks.empty() ||
-            mirror.chunks.back()->rows.size() >= kMirrorChunkRows) {
+        // never reallocate (RowChunk::Append enforces the capacity bound
+        // instead of trusting this site), so rows already inside an
+        // outstanding SnapshotView's bounds never move.
+        if (mirror.chunks.empty() || mirror.chunks.back()->full()) {
           mirror.chunks.push_back(std::make_shared<RowChunk>(kMirrorChunkRows));
         }
-        mirror.chunks.back()->rows.push_back(std::move(row.value()));
+        DPSYNC_RETURN_IF_ERROR(
+            mirror.chunks.back()->Append(std::move(row.value())));
         ++mirror.rows;
         return Status::Ok();
       });
@@ -288,6 +304,52 @@ SnapshotView EncryptedTableStore::CaptureView(bool committed_only) const {
     }
   }
   return view;
+}
+
+ViewRowSource EncryptedTableStore::MirrorRowSource() const {
+  return [this](size_t shard, int64_t begin, int64_t end,
+                const ViewRowVisitor& fn) {
+    const ShardMirror& mirror = enclave_[shard];
+    for (int64_t i = begin; i < end; ++i) {
+      const auto& chunk =
+          mirror.chunks[static_cast<size_t>(i) / kMirrorChunkRows];
+      fn(chunk->rows[static_cast<size_t>(i) % kMirrorChunkRows]);
+    }
+  };
+}
+
+Status EncryptedTableStore::FoldViews() {
+  if (views_.size() == 0) return Status::Ok();
+  // O(delta) decrypt: the mirrors catch up to the rows this flush just
+  // committed, then each view folds only its un-folded suffix.
+  DPSYNC_RETURN_IF_ERROR(CatchUpAllShards());
+  views_.FoldAll(schema_, committed_, commit_epoch(), MirrorRowSource());
+  return Status::Ok();
+}
+
+Status EncryptedTableStore::RegisterView(
+    std::shared_ptr<const query::QueryPlan> plan) {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  DPSYNC_RETURN_IF_ERROR(CatchUpAllShards());
+  views_.Register(std::move(plan), schema_, committed_, commit_epoch(),
+                  MirrorRowSource());
+  return Status::Ok();
+}
+
+std::optional<EncryptedTableStore::ViewAnswer>
+EncryptedTableStore::TryViewAnswer(uint64_t fingerprint,
+                                   const std::string& canonical_text) {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  auto result = views_.Answer(fingerprint, canonical_text, commit_epoch());
+  if (!result.has_value()) return std::nullopt;
+  return ViewAnswer{std::move(result.value()),
+                    committed_total_.load(std::memory_order_acquire)};
+}
+
+size_t EncryptedTableStore::registered_views() {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  return views_.size();
 }
 
 StatusOr<SnapshotView> EncryptedTableStore::EnclaveView() const {

@@ -34,6 +34,7 @@
 #include "common/shard_router.h"
 #include "edb/snapshot.h"
 #include "edb/storage_backend.h"
+#include "edb/view.h"
 #include "query/schema.h"
 
 namespace dpsync::edb {
@@ -109,6 +110,40 @@ class EncryptedTableStore : public EdbTable {
   /// strictly beyond the bounds. Repeated captures at an unchanged epoch
   /// return views over the same chunks (no copying either way).
   StatusOr<SnapshotView> Snapshot() const;
+
+  // --- materialized views (see view.h / docs/CONCURRENCY.md) ------------
+  /// Registers an incremental aggregate view for `plan` (idempotent per
+  /// fingerprint) and warm-folds it current through the present
+  /// CommitEpoch, so the very next Execute can answer from it. From then
+  /// on every Flush that commits rows folds the newly committed delta into
+  /// the view under the same table mutex that publishes the epoch; Reopen
+  /// invalidates it (lazy rebuild at the next fold). Locks table_mutex().
+  Status RegisterView(std::shared_ptr<const query::QueryPlan> plan);
+
+  /// One O(1) view answer plus the committed row count it covers — what
+  /// the scan path would report as records_scanned and charge the cost
+  /// model with.
+  struct ViewAnswer {
+    query::QueryResult result;
+    int64_t committed_rows = 0;
+  };
+
+  /// Answers `fingerprint` from its registered view iff the view exists,
+  /// its plan text matches, and its state is current through the present
+  /// CommitEpoch; std::nullopt otherwise (caller falls back to the scan
+  /// path: cold start, post-Reopen, fingerprint never registered). Locks
+  /// table_mutex() briefly — the copy out is O(answer), never O(rows).
+  std::optional<ViewAnswer> TryViewAnswer(uint64_t fingerprint,
+                                          const std::string& canonical_text);
+
+  /// Number of registered views (tests). Locks table_mutex().
+  size_t registered_views();
+
+  /// Wires the per-fold counter (ServerStats::view_folds) of the owning
+  /// server into this store. Call before queries run.
+  void set_view_fold_counter(std::atomic<int64_t>* counter) {
+    views_.set_fold_counter(counter);
+  }
 
   /// CommitEpoch: monotone generation counter of the committed (flushed,
   /// query-visible) prefix. Advanced by every Flush that committed new
@@ -193,6 +228,13 @@ class EncryptedTableStore : public EdbTable {
   /// (committed_only) or over every decrypted row. Mirrors must be caught
   /// up at least that far.
   SnapshotView CaptureView(bool committed_only) const;
+  /// Folds the newly committed rows into every registered view (no-op
+  /// when none are). Called under table_mutex() right after
+  /// AdvanceCommitEpoch(), so view state and epoch publish atomically.
+  Status FoldViews();
+  /// Row source over the enclave mirrors for view folds (mirrors must be
+  /// caught up through the requested range).
+  ViewRowSource MirrorRowSource() const;
 
   std::string name_;
   query::Schema schema_;
@@ -215,6 +257,9 @@ class EncryptedTableStore : public EdbTable {
   std::vector<int64_t> committed_;
   std::atomic<uint64_t> commit_epoch_{0};
   std::atomic<int64_t> committed_total_{0};
+  /// Incremental aggregate views registered on this table. Guarded by
+  /// table_mutex() like committed_ (the registry itself is not locked).
+  ViewRegistry views_;
 };
 
 }  // namespace dpsync::edb

@@ -90,6 +90,18 @@ Status ObliDbTable::Update(const std::vector<Record>& gamma) {
   return CatchUpMirror(gamma);
 }
 
+Status ObliDbTable::RegisterView(
+    std::shared_ptr<const query::QueryPlan> plan) {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  return store_.RegisterView(std::move(plan));
+}
+
+std::optional<EncryptedTableStore::ViewAnswer> ObliDbTable::TryViewAnswer(
+    uint64_t fingerprint, const std::string& canonical_text) {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  return store_.TryViewAnswer(fingerprint, canonical_text);
+}
+
 StatusOr<SnapshotView> ObliDbTable::SnapshotScan() {
   // The lock covers only catch-up + capture; the returned view is then
   // scanned lock-free (see snapshot.h for why that is safe).
@@ -154,9 +166,23 @@ StatusOr<EdbTable*> ObliDbServer::CreateTableImpl(const std::string& name,
   }
   auto table = std::make_unique<ObliDbTable>(
       name, schema, keys_.DeriveKey("table-aead:" + name), config_);
+  table->set_view_fold_counter(view_fold_counter());
   EdbTable* handle = table.get();
   tables_[name] = std::move(table);
   return handle;
+}
+
+void ObliDbServer::OnPlanReady(
+    const std::shared_ptr<const query::QueryPlan>& plan) {
+  if (!config_.materialized_views || !config_.snapshot_scans ||
+      !query::PlanIsViewEligible(*plan)) {
+    return;
+  }
+  ObliDbTable* table = FindTable(plan->table);
+  if (table == nullptr) return;
+  // Best-effort: a failed registration (e.g. a backend error during the
+  // warm fold) simply leaves this plan on the scan path.
+  (void)table->RegisterView(plan);
 }
 
 ObliDbTable* ObliDbServer::FindTable(const std::string& name) const {
@@ -254,6 +280,33 @@ StatusOr<QueryResponse> ObliDbServer::ExecutePlan(
     }
     std::scoped_lock lk(table->table_mutex(), right->table_mutex());
     return JoinQuery(plan.rewritten, table, right);
+  }
+  // Views extend the snapshot machinery: they hold committed-prefix
+  // state, which is exactly what the snapshot path serves. Under
+  // snapshot_scans=false every execution keeps the locked-scan semantics
+  // (the uncommitted tail is visible), which view state cannot represent
+  // — so the view path is gated on both knobs.
+  if (config_.materialized_views && config_.snapshot_scans &&
+      query::PlanIsViewEligible(plan)) {
+    auto start = std::chrono::steady_clock::now();
+    if (auto hit = table->TryViewAnswer(plan.fingerprint,
+                                        plan.canonical_text)) {
+      // O(1) answer from the folded view state, stamped with the current
+      // CommitEpoch under the table mutex — bit-identical to scanning the
+      // committed prefix. The virtual cost still charges the oblivious
+      // scan: views change wall-clock only, never the leakage-calibrated
+      // QET model (metrics stay invariant in the knob).
+      QueryResponse resp;
+      resp.result = std::move(hit->result);
+      resp.stats.records_scanned = hit->committed_rows;
+      resp.stats.virtual_seconds =
+          ScanCost(cost_, hit->committed_rows, plan.grouped);
+      resp.stats.measured_seconds = SecondsSince(start);
+      CountViewHit();
+      return resp;
+    }
+    // Stale or missing view (cold start, post-Reopen): fall through to
+    // the scan paths below; the next commit fold catches the view up.
   }
   if (config_.snapshot_scans && query::PlanIsReadOnlyScan(plan)) {
     // Read-only linear scan: serve it from an epoch snapshot of the

@@ -63,6 +63,16 @@ struct ObliDbConfig {
   /// per-table lock (tree accesses rewrite state). See
   /// docs/CONCURRENCY.md.
   bool snapshot_scans = true;
+  /// Maintain incremental materialized aggregate views for view-eligible
+  /// prepared plans (query::PlanIsViewEligible): Prepare registers the
+  /// view, every Flush commit folds the newly committed delta (O(delta),
+  /// under the table mutex that publishes the CommitEpoch), and Execute
+  /// answers in O(1) when the view is current — falling back to the scan
+  /// path otherwise (cold start, post-Reopen, knob off). Answers, virtual
+  /// QET and every reported metric are bit-identical to the scan path
+  /// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts sweeps this
+  /// knob); only wall-clock changes. See src/edb/view.h.
+  bool materialized_views = true;
   /// Physical storage for every table (backend kind, shard count, dir).
   StorageConfig storage;
 };
@@ -120,6 +130,17 @@ class ObliDbTable : public EdbTable {
   /// CommitEpoch of the underlying store (flush commit point).
   uint64_t commit_epoch() const override { return store_.commit_epoch(); }
 
+  /// Materialized-view forwarding (see encrypted_table.h). Both take
+  /// table_mutex() first, preserving the ObliDbTable-mutex -> store-mutex
+  /// lock order every other path uses, so the store's mirror catch-up
+  /// never races an engine-locked scan.
+  Status RegisterView(std::shared_ptr<const query::QueryPlan> plan);
+  std::optional<EncryptedTableStore::ViewAnswer> TryViewAnswer(
+      uint64_t fingerprint, const std::string& canonical_text);
+  void set_view_fold_counter(std::atomic<int64_t>* counter) {
+    store_.set_view_fold_counter(counter);
+  }
+
   /// What the last indexed EnclaveScan paid in ORAM accesses.
   const OramScanWork& last_scan_work() const { return last_scan_work_; }
 
@@ -166,6 +187,11 @@ class ObliDbServer : public EdbServer {
  protected:
   StatusOr<EdbTable*> CreateTableImpl(const std::string& name,
                                       const query::Schema& schema) override;
+  /// Registers a materialized view for every view-eligible plan Prepare
+  /// hands out (best-effort; idempotent per fingerprint). No-op when
+  /// config_.materialized_views is off.
+  void OnPlanReady(
+      const std::shared_ptr<const query::QueryPlan>& plan) override;
 
  private:
   /// Both run with the table mutex(es) already held.

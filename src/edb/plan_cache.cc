@@ -43,6 +43,15 @@ void PlanCache::Insert(std::shared_ptr<const query::QueryPlan> plan) {
   plans_.emplace(fingerprint, Entry{std::move(plan), lru_.begin()});
 }
 
+void PlanCache::EvictStaleEpoch(uint64_t catalog_epoch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = plans_.begin(); it != plans_.end();) {
+    auto next = std::next(it);
+    if (it->second.plan->catalog_epoch != catalog_epoch) Erase(it);
+    it = next;
+  }
+}
+
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lk(mu_);
   plans_.clear();

@@ -2,7 +2,9 @@
 /// Per-server cache of bound query plans, keyed on the normalized-AST
 /// fingerprint (see query/plan.h). Hash collisions are disarmed by an
 /// exact canonical-text check; stale entries (planned against an older
-/// catalog epoch) are evicted on lookup, and the cache is bounded: past
+/// catalog epoch) are swept eagerly on every epoch bump (EvictStaleEpoch,
+/// called by EdbServer::CreateTable) and defensively evicted on lookup,
+/// and the cache is bounded: past
 /// its capacity the least-recently-used plan is evicted in O(1) — every
 /// entry sits on an intrusive recency list (most-recent at the front),
 /// so an unbounded analyst query stream cannot grow server memory and
@@ -42,6 +44,14 @@ class PlanCache {
                                                  uint64_t catalog_epoch);
 
   void Insert(std::shared_ptr<const query::QueryPlan> plan);
+
+  /// Eagerly evicts every entry bound at an epoch other than
+  /// `catalog_epoch`. Called on each catalog-epoch bump: lookup-time
+  /// eviction alone only reclaims a stale entry when its exact
+  /// fingerprint is queried again, so plans for retired query shapes
+  /// would pin their ASTs (and recency-list slots) until LRU pressure
+  /// happened to reach them.
+  void EvictStaleEpoch(uint64_t catalog_epoch);
 
   void Clear();
 

@@ -29,8 +29,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "query/executor.h"
 
 namespace dpsync::edb {
@@ -38,10 +40,34 @@ namespace dpsync::edb {
 /// One fixed-capacity block of decrypted enclave rows. The capacity is
 /// reserved at construction and writers never push past it, so element
 /// addresses are stable for the chunk's lifetime — the invariant every
-/// outstanding SnapshotView relies on.
+/// outstanding SnapshotView relies on. Append() is the only sanctioned
+/// write path: it enforces the capacity bound instead of trusting call
+/// sites, because one push_back past the reservation would reallocate the
+/// vector and dangle every pinned span silently.
 struct RowChunk {
-  explicit RowChunk(size_t capacity) { rows.reserve(capacity); }
+  explicit RowChunk(size_t capacity) : capacity_(capacity) {
+    rows.reserve(capacity);
+  }
+
+  /// Appends one row in place. Fails (leaving the chunk untouched) when
+  /// the chunk is already at capacity; callers roll a fresh chunk instead.
+  Status Append(query::Row row) {
+    if (rows.size() >= capacity_) {
+      return Status::FailedPrecondition(
+          "RowChunk: append past reserved capacity would reallocate and "
+          "dangle outstanding SnapshotView spans");
+    }
+    rows.push_back(std::move(row));
+    return Status::Ok();
+  }
+
+  bool full() const { return rows.size() >= capacity_; }
+  size_t capacity() const { return capacity_; }
+
   std::vector<query::Row> rows;
+
+ private:
+  size_t capacity_;
 };
 
 /// An immutable view of a table's committed prefix. Cheap to copy/move;

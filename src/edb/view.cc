@@ -1,0 +1,125 @@
+#include "edb/view.h"
+
+namespace dpsync::edb {
+
+MaterializedView::MaterializedView(
+    std::shared_ptr<const query::QueryPlan> plan)
+    : plan_(std::move(plan)),
+      agg_col_(plan_->aggregate.column.empty() ? ""
+                                               : plan_->aggregate.column),
+      key_col_(plan_->grouped ? plan_->rewritten.group_by[0] : ""),
+      needs_value_(plan_->aggregate.agg != query::AggFunc::kCount ||
+                   !plan_->aggregate.column.empty()),
+      scalar_(plan_->aggregate.agg) {}
+
+int64_t MaterializedView::rows_folded() const {
+  int64_t total = 0;
+  for (int64_t f : folded_) total += f;
+  return total;
+}
+
+void MaterializedView::Reset() {
+  folded_.clear();
+  scalar_ = query::AggAccumulator(plan_->aggregate.agg);
+  groups_.clear();
+}
+
+// Mirrors Executor::ExecuteScan's per-row logic exactly — same WHERE
+// gate, same group creation on first matching row, same Value fed to the
+// accumulator — so a view answer is the scan answer. (The executor folds
+// the whole prefix shard-major in one pass; a view folds the same row
+// multiset as a sequence of shard-major deltas. For the integer-valued
+// aggregates of the modeled workloads double addition is exact, so the
+// order difference is unobservable; see docs/CONCURRENCY.md.)
+void MaterializedView::FoldRow(const query::Schema& schema,
+                               const query::Row& row) {
+  const query::SelectQuery& q = plan_->rewritten;
+  if (q.where && !q.where->Eval(schema, row).Truthy()) return;
+  query::Value v =
+      needs_value_ ? agg_col_.Eval(schema, row) : query::Value();
+  if (!plan_->grouped) {
+    scalar_.Add(v);
+    return;
+  }
+  query::Value key = key_col_.Eval(schema, row);
+  auto [it, inserted] = groups_.try_emplace(key, plan_->aggregate.agg);
+  (void)inserted;
+  it->second.Add(v);
+}
+
+int64_t MaterializedView::FoldTo(const query::Schema& schema,
+                                 const std::vector<int64_t>& committed,
+                                 uint64_t epoch,
+                                 const ViewRowSource& source) {
+  if (!valid_) Reset();
+  folded_.resize(committed.size(), 0);
+  int64_t rows = 0;
+  for (size_t s = 0; s < committed.size(); ++s) {
+    if (folded_[s] >= committed[s]) continue;
+    source(s, folded_[s], committed[s],
+           [&](const query::Row& row) { FoldRow(schema, row); });
+    rows += committed[s] - folded_[s];
+    folded_[s] = committed[s];
+  }
+  epoch_ = epoch;
+  valid_ = true;
+  return rows;
+}
+
+std::optional<query::QueryResult> MaterializedView::Answer(
+    uint64_t epoch) const {
+  if (!valid_ || epoch_ != epoch) return std::nullopt;
+  if (!plan_->grouped) {
+    return query::QueryResult::Scalar(scalar_.Result());
+  }
+  query::QueryResult result;
+  result.grouped = true;
+  for (const auto& [key, acc] : groups_) result.groups[key] = acc.Result();
+  return result;
+}
+
+void ViewRegistry::Register(std::shared_ptr<const query::QueryPlan> plan,
+                            const query::Schema& schema,
+                            const std::vector<int64_t>& committed,
+                            uint64_t epoch, const ViewRowSource& source) {
+  auto [it, inserted] = views_.try_emplace(plan->fingerprint, plan);
+  if (!inserted) return;
+  it->second.FoldTo(schema, committed, epoch, source);
+  if (fold_counter_ != nullptr) {
+    fold_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ViewRegistry::FoldAll(const query::Schema& schema,
+                           const std::vector<int64_t>& committed,
+                           uint64_t epoch, const ViewRowSource& source) {
+  for (auto& [fp, view] : views_) {
+    (void)fp;
+    view.FoldTo(schema, committed, epoch, source);
+    if (fold_counter_ != nullptr) {
+      fold_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ViewRegistry::InvalidateAll() {
+  for (auto& [fp, view] : views_) {
+    (void)fp;
+    view.Invalidate();
+  }
+}
+
+std::optional<query::QueryResult> ViewRegistry::Answer(
+    uint64_t fingerprint, const std::string& canonical_text,
+    uint64_t epoch) const {
+  auto it = views_.find(fingerprint);
+  if (it == views_.end()) return std::nullopt;
+  // Fingerprint collisions are disarmed the same way the plan cache does
+  // it: an exact canonical-text comparison.
+  if (it->second.plan().canonical_text != canonical_text) {
+    return std::nullopt;
+  }
+  return it->second.Answer(epoch);
+}
+
+}  // namespace dpsync::edb

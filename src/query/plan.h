@@ -92,6 +92,27 @@ inline bool PlanIsReadOnlyScan(const QueryPlan& plan) {
          plan.access_path == AccessPath::kLinearScan;
 }
 
+/// Classifies a plan as maintainable by an incremental materialized
+/// aggregate view (edb::MaterializedView): a read-only single-table
+/// linear scan whose aggregate folds append-only — COUNT/SUM/AVG, with or
+/// without WHERE and GROUP BY. Their accumulator state is a pure monoid
+/// over (count, sum), so the newly committed delta of a flush can be
+/// folded in without revisiting older rows. MIN/MAX fold under appends
+/// too but would not survive a future deletion/compaction path, so they
+/// stay on the scan path rather than bake that assumption into view
+/// state.
+inline bool PlanIsViewEligible(const QueryPlan& plan) {
+  if (!PlanIsReadOnlyScan(plan)) return false;
+  switch (plan.aggregate.agg) {
+    case AggFunc::kCount:
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Catalog view the planner binds against: table name -> schema, nullptr
 /// for unknown tables. The callback must be safe to invoke from any
 /// thread (edb servers back it with their catalog lock).

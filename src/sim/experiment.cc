@@ -66,7 +66,8 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            const edb::StorageConfig& storage,
                                            bool use_oram_index,
                                            size_t oram_capacity,
-                                           bool snapshot_scans) {
+                                           bool snapshot_scans,
+                                           bool materialized_views) {
   if (kind == EngineKind::kObliDb) {
     edb::ObliDbConfig cfg;
     cfg.master_seed = seed;
@@ -74,12 +75,14 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
     cfg.use_oram_index = use_oram_index;
     cfg.oram_capacity = oram_capacity;
     cfg.snapshot_scans = snapshot_scans;
+    cfg.materialized_views = materialized_views;
     return std::make_unique<edb::ObliDbServer>(cfg);
   }
   edb::CryptEpsConfig cfg;
   cfg.master_seed = seed;
   cfg.storage = storage;
   cfg.snapshot_scans = snapshot_scans;
+  cfg.materialized_views = materialized_views;
   return std::make_unique<edb::CryptEpsServer>(cfg);
 }
 
@@ -175,7 +178,7 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   storage.dir = storage_dir.dir();
   auto server = MakeServer(config.engine, seeder.Next(), storage,
                            config.use_oram_index, config.oram_capacity,
-                           config.snapshot_scans);
+                           config.snapshot_scans, config.materialized_views);
 
   TablePipeline yellow;
   DPSYNC_RETURN_IF_ERROR(

@@ -79,6 +79,14 @@ struct ExperimentConfig {
   /// and the committed prefix at query time equals the full table either
   /// way (every posted update flushes). Indexed-mode scans ignore it.
   bool snapshot_scans = true;
+  /// Maintain incremental materialized aggregate views for view-eligible
+  /// prepared plans (edb/view.h): eligible aggregates answer O(1) from
+  /// folded per-epoch state instead of scanning. Reported metrics are
+  /// invariant in this knob too — answers, virtual QET and the noise
+  /// stream are bit-identical to the scan path
+  /// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts sweeps it);
+  /// only the server's view_hits/view_folds/snapshot_scans counters move.
+  bool materialized_views = true;
   /// Segment-log root. Each run writes a unique fresh subdirectory
   /// beneath it (segment files refuse silent reuse across runs). Empty =
   /// a temp root whose per-run subdirectory is removed when the run
@@ -130,11 +138,13 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed);
 
 /// As above, with explicit physical-storage knobs, (for ObliDB) the
-/// indexed-mode toggle, and the snapshot-scan execution knob.
+/// indexed-mode toggle, and the snapshot-scan / materialized-view
+/// execution knobs.
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            const edb::StorageConfig& storage,
                                            bool use_oram_index = false,
                                            size_t oram_capacity = 1 << 16,
-                                           bool snapshot_scans = true);
+                                           bool snapshot_scans = true,
+                                           bool materialized_views = true);
 
 }  // namespace dpsync::sim

@@ -382,5 +382,39 @@ TEST_P(LaplaceTailTest, TailMatchesAnalytic) {
 INSTANTIATE_TEST_SUITE_P(Scales, LaplaceTailTest,
                          ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0));
 
+#ifdef MINIGTEST_GTEST_H_
+// Self-test of the vendored shim's late-TEST_P guard (real GoogleTest
+// instantiates late bodies itself, so this only compiles against the
+// shim). A TEST_P body that registers after its fixture's
+// INSTANTIATE_TEST_SUITE_P is not part of any instantiation; the shim
+// must record it so RunAllTests fails instead of silently dropping the
+// body. The probe entry is popped again so this suite still passes.
+struct LateParamProbe : public ::testing::TestWithParam<int> {};
+
+TEST(MiniGtestShimTest, LateTestPRegistrationIsRecorded) {
+  using Suite = ::testing::internal::ParamSuite<LateParamProbe>;
+  auto& late = ::testing::internal::Registry::Get().late_param_cases;
+  const size_t cases_before = Suite::Cases().size();
+  const size_t late_before = late.size();
+
+  ASSERT_FALSE(Suite::Instantiated());
+  Suite::Instantiated() = true;  // as if INSTANTIATE_TEST_SUITE_P ran
+  struct ProbeCase : LateParamProbe {
+    void TestBody() override {}
+  };
+  Suite::AddCase<ProbeCase>("LateParamProbe", "ProbeCase");
+
+  ASSERT_EQ(late.size(), late_before + 1);
+  EXPECT_EQ(late.back(), "LateParamProbe.ProbeCase");
+  ASSERT_EQ(Suite::Cases().size(), cases_before + 1);
+
+  // Undo the probe: drop the recorded violation and the orphan case so
+  // the registry is exactly as before.
+  late.pop_back();
+  Suite::Cases().pop_back();
+  Suite::Instantiated() = false;
+}
+#endif  // MINIGTEST_GTEST_H_
+
 }  // namespace
 }  // namespace dpsync

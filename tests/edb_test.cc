@@ -738,6 +738,36 @@ TEST(PlanCacheTest, LruEvictionHammeredPastTheCap) {
     EXPECT_TRUE(cache.Contains(f)) << f;
   }
   EXPECT_FALSE(cache.Contains(kInserted - kCap));
+
+  // A catalog-epoch bump sweeps the whole surviving tail in one call
+  // (EdbServer::CreateTable does this on every catalog change) instead of
+  // leaving dead-epoch plans pinned until their fingerprints recur.
+  cache.EvictStaleEpoch(/*catalog_epoch=*/1);
+  EXPECT_EQ(cache.size(), 0u);
+  // The recency list was swept along with the map: the cache keeps
+  // working at full capacity afterwards.
+  for (uint64_t f = 1; f <= 2 * kCap; ++f) {
+    cache.Insert(FakePlan(f, /*epoch=*/1));
+    ASSERT_LE(cache.size(), kCap);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+}
+
+TEST(PlanCacheTest, EvictStaleEpochSweepsOnlyStaleEntries) {
+  PlanCache cache(8);
+  cache.Insert(FakePlan(1, /*epoch=*/0));
+  cache.Insert(FakePlan(2, /*epoch=*/1));
+  cache.Insert(FakePlan(3, /*epoch=*/0));
+  cache.EvictStaleEpoch(/*catalog_epoch=*/1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+  // The sweep counts no hits or misses — it is bookkeeping, not lookups.
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  // The survivor is still served.
+  EXPECT_NE(cache.Lookup(2, "Q2", 1), nullptr);
 }
 
 TEST(PlanCacheTest, LookupRefreshesRecency) {

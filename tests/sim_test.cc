@@ -215,21 +215,24 @@ std::vector<double> MetricVector(const ExperimentResult& r) {
 
 TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
   // The acceptance bar for the storage-spine, per-shard ORAM, Query API
-  // v2 and epoch-snapshot refactors: both engines, both backends, both
-  // storage methods (linear and ORAM-indexed on ObliDB), shard counts
-  // {1, 4}, AND both analyst APIs — every reported metric bit-identical
-  // to the single-shard in-memory baseline at the same seed. The baseline
+  // v2, epoch-snapshot and materialized-view refactors: both engines,
+  // both backends, both storage methods (linear and ORAM-indexed on
+  // ObliDB), shard counts {1, 4}, both analyst APIs, AND materialized
+  // views on/off — every reported metric bit-identical to the
+  // single-shard in-memory baseline at the same seed. The baseline
   // drives its schedule through the legacy one-shot Query() shim with
   // snapshot_scans OFF (the fully per-table-serialized path) while every
   // variant runs prepared queries over a session with snapshot_scans ON
   // (linear scans pinned to the committed-prefix epoch snapshot), so this
   // also proves the prepared path's results and cost metrics (virtual
   // QET, oram_*, revealed volumes folded into the series) identical to
-  // the one-shot path, and the snapshot scan identical to the locked
-  // scan, across engines x backends x shard counts. Physical storage
-  // placement, the oblivious index, the query API, and the snapshot
-  // execution mode must all be unobservable in the simulation's outputs;
-  // only the ORAM health block may differ.
+  // the one-shot path, the snapshot scan identical to the locked scan,
+  // and the O(1) view answers (Q1/Q2 are view-eligible; on Crypt-eps the
+  // Laplace noise stream is part of the compared series) identical to
+  // scanning, across engines x backends x shard counts. Physical storage
+  // placement, the oblivious index, the query API, the snapshot
+  // execution mode and the view fast path must all be unobservable in
+  // the simulation's outputs; only the ORAM health block may differ.
   struct Variant {
     edb::StorageBackendKind backend;
     int num_shards;
@@ -259,6 +262,7 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
       }
       base_cfg.query_api = QueryApi::kOneShot;
       base_cfg.snapshot_scans = false;
+      base_cfg.materialized_views = false;
       auto baseline = RunExperiment(base_cfg);
       ASSERT_TRUE(baseline.ok()) << EngineKindName(engine);
       auto expect = MetricVector(baseline.value());
@@ -268,48 +272,67 @@ TEST(ExperimentTest, MetricsInvariantAcrossBackendsAndShardCounts) {
       // firing after a query's first is a hit.
       EXPECT_GT(baseline->server_stats.plan_cache_hits, 0);
       for (const auto& variant : variants) {
-        auto cfg = base_cfg;
-        cfg.query_api = QueryApi::kSession;
-        cfg.snapshot_scans = true;
-        cfg.backend = variant.backend;
-        cfg.num_shards = variant.num_shards;
-        auto r = RunExperiment(cfg);
-        ASSERT_TRUE(r.ok())
-            << EngineKindName(engine) << " "
-            << edb::StorageBackendKindName(variant.backend) << " x"
-            << variant.num_shards << (indexed ? " indexed" : " linear");
-        auto got = MetricVector(r.value());
-        ASSERT_EQ(got.size(), expect.size());
-        for (size_t i = 0; i < got.size(); ++i) {
-          ASSERT_EQ(got[i], expect[i])
+        for (bool views : {false, true}) {
+          auto cfg = base_cfg;
+          cfg.query_api = QueryApi::kSession;
+          cfg.snapshot_scans = true;
+          cfg.materialized_views = views;
+          cfg.backend = variant.backend;
+          cfg.num_shards = variant.num_shards;
+          auto r = RunExperiment(cfg);
+          ASSERT_TRUE(r.ok())
               << EngineKindName(engine) << " "
               << edb::StorageBackendKindName(variant.backend) << " x"
               << variant.num_shards << (indexed ? " indexed" : " linear")
-              << " metric index " << i;
-        }
-        // The ORAM did real per-shard work without perturbing any metric.
-        EXPECT_EQ(r->oram.enabled, indexed);
-        if (indexed) {
-          EXPECT_EQ(r->oram.shard_access_counts.size(),
-                    static_cast<size_t>(variant.num_shards));
-          EXPECT_EQ(r->oram.access_count, baseline->oram.access_count);
-          EXPECT_GT(r->oram.access_count, 0);
-        }
-        // Session sweeps prepare each scheduled query exactly once and
-        // execute cached plans from then on.
-        EXPECT_EQ(r->server_stats.plan_cache_hits, 0);
-        EXPECT_EQ(r->server_stats.prepares,
-                  static_cast<int64_t>(r->queries.size()));
-        EXPECT_EQ(r->server_stats.plan_rebinds, 0);
-        EXPECT_GT(r->server_stats.queries_executed, 0);
-        // The variants really did run their linear scans through the
-        // snapshot layer (and the baseline really did not); indexed-mode
-        // scans stay locked whatever the knob says.
-        EXPECT_EQ(baseline->server_stats.snapshot_scans, 0);
-        if (indexed) {
-          EXPECT_EQ(r->server_stats.snapshot_scans, 0);
-        } else {
-          EXPECT_GT(r->server_stats.snapshot_scans, 0);
+              << (views ? " views" : "");
+          auto got = MetricVector(r.value());
+          ASSERT_EQ(got.size(), expect.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i], expect[i])
+                << EngineKindName(engine) << " "
+                << edb::StorageBackendKindName(variant.backend) << " x"
+                << variant.num_shards << (indexed ? " indexed" : " linear")
+                << (views ? " views" : "") << " metric index " << i;
+          }
+          // The ORAM did real per-shard work without perturbing any
+          // metric (and the view path never short-circuits an indexed
+          // scan — every oblivious touch still happens).
+          EXPECT_EQ(r->oram.enabled, indexed);
+          if (indexed) {
+            EXPECT_EQ(r->oram.shard_access_counts.size(),
+                      static_cast<size_t>(variant.num_shards));
+            EXPECT_EQ(r->oram.access_count, baseline->oram.access_count);
+            EXPECT_GT(r->oram.access_count, 0);
+          }
+          // Session sweeps prepare each scheduled query exactly once and
+          // execute cached plans from then on.
+          EXPECT_EQ(r->server_stats.plan_cache_hits, 0);
+          EXPECT_EQ(r->server_stats.prepares,
+                    static_cast<int64_t>(r->queries.size()));
+          EXPECT_EQ(r->server_stats.plan_rebinds, 0);
+          EXPECT_GT(r->server_stats.queries_executed, 0);
+          // The variants really did take the paths they claim: the
+          // baseline never touches the snapshot layer; indexed-mode scans
+          // stay locked (and view-ineligible) whatever the knobs say;
+          // linear scans go through the snapshot layer with views off,
+          // and with views on every eligible execution (Q1/Q2 here) is an
+          // O(1) view hit fed by per-flush delta folds, so the snapshot
+          // layer goes quiet.
+          EXPECT_EQ(baseline->server_stats.snapshot_scans, 0);
+          EXPECT_EQ(baseline->server_stats.view_hits, 0);
+          EXPECT_EQ(baseline->server_stats.view_folds, 0);
+          if (indexed || views) {
+            EXPECT_EQ(r->server_stats.snapshot_scans, 0);
+          } else {
+            EXPECT_GT(r->server_stats.snapshot_scans, 0);
+          }
+          if (views && !indexed) {
+            EXPECT_GT(r->server_stats.view_hits, 0);
+            EXPECT_GT(r->server_stats.view_folds, 0);
+          } else {
+            EXPECT_EQ(r->server_stats.view_hits, 0);
+            EXPECT_EQ(r->server_stats.view_folds, 0);
+          }
         }
       }
     }

@@ -120,6 +120,10 @@ TEST(CommitEpochTest, EngineObservesFlushCommitPoint) {
 TEST(SnapshotVisibilityTest, OwnerReadsItsOwnFlushThroughSnapshotScans) {
   ObliDbConfig cfg;  // snapshot_scans defaults on
   ASSERT_TRUE(cfg.snapshot_scans);
+  // This test pins the *scan* path: with views on, an eligible COUNT(*)
+  // answers from folded state and never reaches the snapshot layer
+  // (view_test covers that route).
+  cfg.materialized_views = false;
   ObliDbServer server(cfg);
   auto t = server.CreateTable("YellowCab", TripSchema());
   ASSERT_TRUE(t.ok());
@@ -209,6 +213,7 @@ TEST(SnapshotStabilityTest, ScanAnswersAreCommittedPrefixesUnderRacingAppends) {
   cfg.storage.num_shards = 4;
   cfg.admission.max_in_flight = 4;
   cfg.admission.max_queue = 4096;
+  cfg.materialized_views = false;  // exercise the racing snapshot scans
   ObliDbServer server(cfg);
   auto t = server.CreateTable("YellowCab", TripSchema());
   ASSERT_TRUE(t.ok());
@@ -267,6 +272,7 @@ TEST(SnapshotStabilityTest, EpochAdvancesDuringExecuteMany) {
   ObliDbConfig cfg;
   cfg.admission.max_in_flight = 8;
   cfg.admission.max_queue = 4096;
+  cfg.materialized_views = false;  // count the snapshot-layer fan-out itself
   ObliDbServer server(cfg);
   auto t = server.CreateTable("YellowCab", TripSchema());
   ASSERT_TRUE(t.ok());

@@ -51,6 +51,11 @@ class Registry {
   bool current_skipped = false;  // GTEST_SKIP tripped
   bool fatal_requested = false;  // an ASSERT_* tripped (skip TestBody)
   int total_failures = 0;
+  /// TEST_P bodies registered after their fixture was already
+  /// instantiated ("Fixture.Case" strings). Such bodies are not part of
+  /// any instantiation, so running the suite would silently skip them —
+  /// RunAllTests refuses to pass while this is non-empty.
+  std::vector<std::string> late_param_cases;
 
  private:
   std::vector<RegisteredTest> tests_;
@@ -318,8 +323,27 @@ struct ParamSuite {
     static std::vector<std::pair<std::string, std::function<void()>>> c;
     return c;
   }
+  /// Set once the fixture has been instantiated. The shim expands
+  /// INSTANTIATE_TEST_SUITE_P over the cases registered *so far*, so a
+  /// TEST_P body that registers after this point would never run — real
+  /// GoogleTest would still pick it up, making the gap a silent
+  /// shim-only coverage hole. AddCase records such late bodies loudly
+  /// and RunAllTests fails on them.
+  static bool& Instantiated() {
+    static bool instantiated = false;
+    return instantiated;
+  }
   template <typename CaseClass>
-  static int AddCase(const char* name) {
+  static int AddCase(const char* fixture_name, const char* name) {
+    if (Instantiated()) {
+      std::string label = std::string(fixture_name) + "." + name;
+      std::fprintf(stderr,
+                   "minigtest: TEST_P(%s, %s) registered after "
+                   "INSTANTIATE_TEST_SUITE_P(%s) — this body would be "
+                   "silently dropped; move it above the instantiation.\n",
+                   fixture_name, name, fixture_name);
+      Registry::Get().late_param_cases.push_back(std::move(label));
+    }
     Cases().emplace_back(name, [] {
       CaseClass f;
       f.Run();
@@ -330,11 +354,14 @@ struct ParamSuite {
 
 // Instantiates every TEST_P case of `Fixture` registered so far, once per
 // parameter value. The shim requires INSTANTIATE_TEST_SUITE_P to appear
-// after the TEST_P bodies in the translation unit (the dpsync suites do).
+// after the TEST_P bodies in the translation unit — enforced: a TEST_P
+// registering after its fixture's instantiation is reported at
+// registration time and fails RunAllTests (see ParamSuite::AddCase).
 template <typename Fixture, typename Gen>
 int InstantiateParamSuite(const char* prefix, const char* suite,
                           const Gen& gen) {
   using P = typename Fixture::ParamType;
+  ParamSuite<Fixture>::Instantiated() = true;
   // Deliberately leaked per-call storage: GetParam() hands out pointers into
   // it for the life of the program. Must NOT be a function-local static —
   // two INSTANTIATE calls for the same <Fixture, Gen> pair would silently
@@ -364,6 +391,18 @@ inline int RunAllTests() {
   // never instantiated), not a passing suite — fail loudly.
   if (tests.empty()) {
     std::fprintf(stderr, "minigtest: no tests registered — failing.\n");
+    return 1;
+  }
+  // TEST_P bodies that landed after their fixture's instantiation never
+  // made it into any registered test: the suite is structurally
+  // incomplete even if every registered test passes.
+  if (!reg.late_param_cases.empty()) {
+    for (const auto& label : reg.late_param_cases) {
+      std::fprintf(stderr,
+                   "minigtest: %s was registered after its "
+                   "INSTANTIATE_TEST_SUITE_P and never ran.\n",
+                   label.c_str());
+    }
     return 1;
   }
   std::printf("[==========] Running %zu tests (minigtest).\n", tests.size());
@@ -413,7 +452,7 @@ inline int RunAllTests() {
   };                                                                         \
   static const int MINIGTEST_CONCAT(minigtest_preg_, __LINE__) =             \
       ::testing::internal::ParamSuite<fixture>::AddCase<MINIGTEST_CLASS(     \
-          fixture, name)>(#name);                                            \
+          fixture, name)>(#fixture, #name);                                  \
   void MINIGTEST_CLASS(fixture, name)::TestBody()
 
 #define INSTANTIATE_TEST_SUITE_P(prefix, fixture, gen, ...)                  \

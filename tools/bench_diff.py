@@ -36,6 +36,21 @@ DETERMINISTIC_QUERY = ["mean_l1", "max_l1", "mean_qet"]
 # ORAM health: access counts are deterministic; the stash high-water mark
 # depends only on the seeded leaf stream, so it is deterministic too.
 DETERMINISTIC_ORAM = ["max_stash", "access_count"]
+# Query-pipeline counters (the "plan_cache" sub-object): all are pure
+# functions of the workload except peak_in_flight, which depends on
+# scheduling. view_hits/view_folds flipping to 0 means the materialized
+# view path silently stopped answering — exactly the regression this
+# gate exists to catch.
+DETERMINISTIC_PLAN_CACHE = [
+    "prepares",
+    "hits",
+    "misses",
+    "rebinds",
+    "executed",
+    "snapshot_scans",
+    "view_hits",
+    "view_folds",
+]
 
 # Wall-clock metrics: machine-dependent, warn only above the tolerance.
 TIMING = ["wall_seconds"]
@@ -201,6 +216,15 @@ def compare(old_path, new_path, tol, regression_threshold, allowlist):
                 diff.check_regression(bench, f"{where} {qname}", name,
                                       oq.get(name), nq.get(name),
                                       regression_threshold, allowlist)
+        old_pc, new_pc = old.get("plan_cache"), new.get("plan_cache")
+        if (old_pc is None) != (new_pc is None):
+            diff.warnings.append(
+                f"{where}: plan_cache counters present only in one run")
+        elif old_pc is not None:
+            for name in DETERMINISTIC_PLAN_CACHE:
+                diff.compare_scalar(f"{where} plan_cache", name,
+                                    old_pc.get(name), new_pc.get(name),
+                                    True, tol)
         old_oram, new_oram = old.get("oram"), new.get("oram")
         if (old_oram is None) != (new_oram is None):
             diff.warnings.append(f"{where}: oram health present only in one run")
