@@ -95,7 +95,7 @@ int main() {
   };
 
   TablePrinter table({"method", "in-flight", "queries", "wall (s)", "qps",
-                      "peak", "plans", "snapshots", "executions"});
+                      "rows/s", "peak", "plans", "snapshots", "executions"});
   std::map<std::string, std::map<int, double>> qps_by_method;
   for (const Method& method : kMethods) {
     for (int in_flight : {1, 4, 8}) {
@@ -107,6 +107,7 @@ int main() {
       // and leave nothing to contend. bench/sweep_views.cpp covers the
       // view path.
       cfg.materialized_views = false;
+      cfg.vectorized_execution = VectorizedMode();
       cfg.oram_capacity = static_cast<size_t>(kRecords) * 2;
       cfg.admission.max_in_flight = in_flight;
       cfg.admission.max_queue = 4096;  // never reject in this sweep
@@ -180,14 +181,22 @@ int main() {
       }
 
       double qps = wall > 0 ? kQueries / wall : 0;
+      // Every query scans the whole table, so the scan throughput each
+      // cell sustains is (records per scan) x (scans per second) — the
+      // number the vectorized execution path moves (see
+      // bench/sweep_vectorized.cpp for the per-query-shape breakdown).
+      double rows_per_sec =
+          wall > 0 ? static_cast<double>(kRecords) * kQueries / wall : 0;
       qps_by_method[method.name][in_flight] = qps;
       std::cout << "sweep_concurrency," << method.name << ",x" << in_flight
                 << "," << kQueries << "," << wall << "," << qps << ","
-                << stats.peak_in_flight << "," << stats.plan_cache_misses
-                << "," << stats.queries_executed << "\n";
+                << rows_per_sec << "," << stats.peak_in_flight << ","
+                << stats.plan_cache_misses << ","
+                << stats.queries_executed << "\n";
       table.AddRow({method.name, std::to_string(in_flight),
                     std::to_string(kQueries), TablePrinter::Fmt(wall, 3),
                     TablePrinter::Fmt(qps, 1),
+                    TablePrinter::Fmt(rows_per_sec, 0),
                     std::to_string(stats.peak_in_flight),
                     std::to_string(stats.plan_cache_misses),
                     std::to_string(stats.snapshot_scans),
@@ -203,6 +212,8 @@ int main() {
            << (method.snapshot_scans ? "true" : "false")
            << ",\"records\":" << kRecords << ",\"query_count\":" << kQueries
            << ",\"wall_seconds\":" << wall << ",\"qps\":" << qps
+           << ",\"rows_per_sec\":" << rows_per_sec
+           << ",\"vectorized\":" << (VectorizedMode() ? "true" : "false")
            << ",\"virtual_seconds\":" << virtual_seconds
            << ",\"peak_in_flight\":" << stats.peak_in_flight
            << ",\"plan_cache\":{\"prepares\":" << stats.prepares

@@ -29,6 +29,10 @@
 ///                        incremental materialized views (default on;
 ///                        effective only with --snapshot=on; metrics are
 ///                        invariant, only wall-clock changes)
+///   --vectorized=on|off  execute eligible scans on the columnar batch
+///                        path (default on; answers and metrics are
+///                        bit-identical, only wall-clock changes — see
+///                        docs/ARCHITECTURE.md)
 ///   --api=session|oneshot  analyst API driving the schedule: prepared
 ///                        queries over a session (default) or the legacy
 ///                        one-shot Query() shim; metrics are identical
@@ -66,6 +70,7 @@ int Usage(const char* argv0) {
                "[--storage-dir=path]\n"
                "       [--api=session|oneshot] [--snapshot=on|off] "
                "[--views=on|off]\n"
+               "       [--vectorized=on|off]\n"
                "       [--no-join] [--timing]\n"
                "       [--csv=path]\n";
   return 2;
@@ -138,6 +143,10 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "views", &v)) {
       if (v == "on") cfg.materialized_views = true;
       else if (v == "off") cfg.materialized_views = false;
+      else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "vectorized", &v)) {
+      if (v == "on") cfg.vectorized_execution = true;
+      else if (v == "off") cfg.vectorized_execution = false;
       else return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-join") == 0) {
       cfg.enable_green = false;

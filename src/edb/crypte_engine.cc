@@ -146,7 +146,8 @@ StatusOr<QueryResponse> CryptEpsServer::ExecutePlan(
     plain.borrowed_spans = view.spans;
     query::Catalog catalog;
     catalog.AddTable(&plain);
-    query::Executor executor(&catalog);
+    query::Executor executor(
+        &catalog, query::ExecutorOptions{config_.vectorized_execution});
     return executor.Execute(plan.rewritten);
   };
   auto run_exact = [&]() -> StatusOr<query::QueryResult> {

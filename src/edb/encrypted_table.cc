@@ -256,7 +256,10 @@ Status EncryptedTableStore::CatchUpShard(int shard) const {
         // instead of trusting this site), so rows already inside an
         // outstanding SnapshotView's bounds never move.
         if (mirror.chunks.empty() || mirror.chunks.back()->full()) {
-          mirror.chunks.push_back(std::make_shared<RowChunk>(kMirrorChunkRows));
+          // The schema gives each chunk a columnar projection of the same
+          // rows; the vectorized scan path folds those arrays directly.
+          mirror.chunks.push_back(
+              std::make_shared<RowChunk>(kMirrorChunkRows, &schema_));
         }
         DPSYNC_RETURN_IF_ERROR(
             mirror.chunks.back()->Append(std::move(row.value())));
@@ -298,7 +301,14 @@ SnapshotView EncryptedTableStore::CaptureView(bool committed_only) const {
     for (const auto& chunk : mirror.chunks) {
       if (visible == 0) break;
       size_t take = std::min(visible, chunk->rows.size());
-      view.spans.push_back({chunk->rows.data(), take});
+      query::RowSpan span;
+      span.data = chunk->rows.data();
+      span.size = take;
+      // Freeze the columnar projection's raw pointers alongside the row
+      // pointer, under the same table mutex: both obey the never-moves
+      // rule, and readers stay inside [0, take) of either representation.
+      if (chunk->columns) span.columns = chunk->columns->CaptureSpans(take);
+      view.spans.push_back(std::move(span));
       view.retained.push_back(chunk);
       visible -= take;
     }

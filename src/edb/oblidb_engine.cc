@@ -329,14 +329,15 @@ StatusOr<QueryResponse> AggregateOverView(const query::SelectQuery& rewritten,
                                           const std::string& table_name,
                                           const query::Schema& schema,
                                           const SnapshotView& view,
-                                          const CostModel& cost) {
+                                          const CostModel& cost,
+                                          bool vectorized) {
   query::Table plain;
   plain.name = table_name;
   plain.schema = schema;
   plain.borrowed_spans = view.spans;
   query::Catalog catalog;
   catalog.AddTable(&plain);
-  query::Executor executor(&catalog);
+  query::Executor executor(&catalog, query::ExecutorOptions{vectorized});
   auto result = executor.Execute(rewritten);
   if (!result.ok()) return result.status();
 
@@ -362,7 +363,8 @@ StatusOr<QueryResponse> ObliDbServer::SnapshotScanQuery(
   // No lock held from here on: concurrent same-table scans and owner
   // appends proceed while we aggregate over the pinned prefix.
   auto resp = AggregateOverView(rewritten, table->table_name(),
-                                table->store().schema(), snap.value(), cost_);
+                                table->store().schema(), snap.value(), cost_,
+                                config_.vectorized_execution);
   if (!resp.ok()) return resp.status();
   CountSnapshotScan();
   resp->stats.measured_seconds = SecondsSince(start);
@@ -378,7 +380,8 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
   auto view = table->EnclaveScan();
   if (!view.ok()) return view.status();
   auto resp = AggregateOverView(rewritten, table->table_name(),
-                                table->store().schema(), view.value(), cost_);
+                                table->store().schema(), view.value(), cost_,
+                                config_.vectorized_execution);
   if (!resp.ok()) return resp.status();
   resp->stats.measured_seconds = SecondsSince(start);
   if (table->mirror()) {

@@ -29,10 +29,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "query/columnar.h"
 #include "query/executor.h"
 
 namespace dpsync::edb {
@@ -44,19 +46,30 @@ namespace dpsync::edb {
 /// write path: it enforces the capacity bound instead of trusting call
 /// sites, because one push_back past the reservation would reallocate the
 /// vector and dangle every pinned span silently.
+///
+/// When constructed with a schema, the chunk also maintains a columnar
+/// projection of the same rows (`columns`): per-column contiguous arrays
+/// the vectorized scan path folds directly. The projection follows the
+/// exact same discipline — reserved at full capacity, append-only, never
+/// moves — so captured column pointers stay valid under concurrent
+/// appends for the same reason captured row pointers do.
 struct RowChunk {
-  explicit RowChunk(size_t capacity) : capacity_(capacity) {
+  explicit RowChunk(size_t capacity, const query::Schema* schema = nullptr)
+      : capacity_(capacity) {
     rows.reserve(capacity);
+    if (schema != nullptr) columns.emplace(*schema, capacity);
   }
 
-  /// Appends one row in place. Fails (leaving the chunk untouched) when
-  /// the chunk is already at capacity; callers roll a fresh chunk instead.
+  /// Appends one row in place (row-major and, when present, columnar).
+  /// Fails (leaving the chunk untouched) when the chunk is already at
+  /// capacity; callers roll a fresh chunk instead.
   Status Append(query::Row row) {
     if (rows.size() >= capacity_) {
       return Status::FailedPrecondition(
           "RowChunk: append past reserved capacity would reallocate and "
           "dangle outstanding SnapshotView spans");
     }
+    if (columns) columns->Append(row);
     rows.push_back(std::move(row));
     return Status::Ok();
   }
@@ -65,6 +78,9 @@ struct RowChunk {
   size_t capacity() const { return capacity_; }
 
   std::vector<query::Row> rows;
+  /// Columnar mirror of `rows` (same order, same bounds); nullopt for
+  /// chunks built without a schema.
+  std::optional<query::ColumnarBlock> columns;
 
  private:
   size_t capacity_;

@@ -16,12 +16,18 @@
 
 namespace dpsync::query {
 
+/// Concrete expression shapes, exposed so non-evaluating consumers (the
+/// vectorized predicate compiler, plan classification) can walk the tree
+/// without RTTI.
+enum class ExprKind { kColumn, kLiteral, kCompare, kBetween, kLogical, kNot };
+
 /// Base class for predicate/scalar expressions.
 class Expr {
  public:
   virtual ~Expr() = default;
   /// Evaluates against one row. Unknown columns evaluate to NULL.
   virtual Value Eval(const Schema& schema, const Row& row) const = 0;
+  virtual ExprKind kind() const = 0;
   virtual std::unique_ptr<Expr> Clone() const = 0;
   virtual std::string ToString() const = 0;
 };
@@ -33,6 +39,7 @@ class ColumnExpr : public Expr {
  public:
   explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
   Value Eval(const Schema& schema, const Row& row) const override;
+  ExprKind kind() const override { return ExprKind::kColumn; }
   ExprPtr Clone() const override { return std::make_unique<ColumnExpr>(name_); }
   std::string ToString() const override { return name_; }
   const std::string& name() const { return name_; }
@@ -46,6 +53,7 @@ class LiteralExpr : public Expr {
  public:
   explicit LiteralExpr(Value v) : v_(std::move(v)) {}
   Value Eval(const Schema&, const Row&) const override { return v_; }
+  ExprKind kind() const override { return ExprKind::kLiteral; }
   ExprPtr Clone() const override { return std::make_unique<LiteralExpr>(v_); }
   /// String literals render quoted ('bob'), so ToString() round-trips
   /// through the parser (the canonical-text fingerprint in plan.h relies
@@ -66,10 +74,14 @@ class CompareExpr : public Expr {
   CompareExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   Value Eval(const Schema& schema, const Row& row) const override;
+  ExprKind kind() const override { return ExprKind::kCompare; }
   ExprPtr Clone() const override {
     return std::make_unique<CompareExpr>(op_, lhs_->Clone(), rhs_->Clone());
   }
   std::string ToString() const override;
+  CmpOp op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
 
  private:
   CmpOp op_;
@@ -82,11 +94,15 @@ class BetweenExpr : public Expr {
   BetweenExpr(ExprPtr operand, ExprPtr lo, ExprPtr hi)
       : operand_(std::move(operand)), lo_(std::move(lo)), hi_(std::move(hi)) {}
   Value Eval(const Schema& schema, const Row& row) const override;
+  ExprKind kind() const override { return ExprKind::kBetween; }
   ExprPtr Clone() const override {
     return std::make_unique<BetweenExpr>(operand_->Clone(), lo_->Clone(),
                                          hi_->Clone());
   }
   std::string ToString() const override;
+  const Expr& operand() const { return *operand_; }
+  const Expr& lo() const { return *lo_; }
+  const Expr& hi() const { return *hi_; }
 
  private:
   ExprPtr operand_, lo_, hi_;
@@ -99,10 +115,14 @@ class LogicalExpr : public Expr {
   LogicalExpr(Op op, ExprPtr lhs, ExprPtr rhs)
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   Value Eval(const Schema& schema, const Row& row) const override;
+  ExprKind kind() const override { return ExprKind::kLogical; }
   ExprPtr Clone() const override {
     return std::make_unique<LogicalExpr>(op_, lhs_->Clone(), rhs_->Clone());
   }
   std::string ToString() const override;
+  Op op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
 
  private:
   Op op_;
@@ -116,12 +136,14 @@ class NotExpr : public Expr {
   Value Eval(const Schema& schema, const Row& row) const override {
     return Value::Bool(!inner_->Eval(schema, row).Truthy());
   }
+  ExprKind kind() const override { return ExprKind::kNot; }
   ExprPtr Clone() const override {
     return std::make_unique<NotExpr>(inner_->Clone());
   }
   std::string ToString() const override {
     return "NOT (" + inner_->ToString() + ")";
   }
+  const Expr& inner() const { return *inner_; }
 
  private:
   ExprPtr inner_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.h"
+#include "query/vectorized.h"
 
 namespace dpsync::query {
 
@@ -13,25 +14,42 @@ namespace {
 /// pre-sharding executor did.
 constexpr size_t kParallelScanThreshold = 8192;
 
-/// Invokes `fn(row)` for every row with global index in [begin, end),
-/// walking the span list in order. Spans are the only row access path:
-/// snapshot-backed spans may alias containers a concurrent writer is
-/// growing, and reading strictly inside each span's captured bounds is
-/// what keeps that safe.
+/// Tile size for the vectorized path: selection bitmaps are computed and
+/// folded this many rows at a time, bounding scratch memory and keeping
+/// the predicate's column reads cache-resident. Tiling never reorders the
+/// fold — rows are consumed in strict ascending order within each pool
+/// chunk — so it cannot affect FP-sensitive answers.
+constexpr size_t kVectorTileRows = 2048;
+
+/// Invokes `fn(span, lo, hi)` for every maximal per-span segment of the
+/// global row range [begin, end), walking the span list in order. Spans
+/// are the only row access path: snapshot-backed spans may alias
+/// containers a concurrent writer is growing, and reading strictly inside
+/// each span's captured bounds is what keeps that safe.
 template <typename Fn>
-void ForEachRowInRange(const std::vector<RowSpan>& spans, size_t begin,
-                       size_t end, Fn&& fn) {
+void ForEachSpanSegment(const std::vector<RowSpan>& spans, size_t begin,
+                        size_t end, Fn&& fn) {
   size_t offset = 0;
   for (const auto& span : spans) {
     size_t span_end = offset + span.size;
     if (span_end > begin) {
       size_t lo = begin > offset ? begin - offset : 0;
       size_t hi = (end < span_end ? end : span_end) - offset;
-      for (size_t i = lo; i < hi; ++i) fn(span.data[i]);
+      fn(span, lo, hi);
     }
     offset = span_end;
     if (offset >= end) break;
   }
+}
+
+/// Row-at-a-time form of ForEachSpanSegment (the scalar reference path).
+template <typename Fn>
+void ForEachRowInRange(const std::vector<RowSpan>& spans, size_t begin,
+                       size_t end, Fn&& fn) {
+  ForEachSpanSegment(spans, begin, end,
+                     [&](const RowSpan& span, size_t lo, size_t hi) {
+                       for (size_t i = lo; i < hi; ++i) fn(span.data[i]);
+                     });
 }
 
 }  // namespace
@@ -55,6 +73,46 @@ void AggAccumulator::Merge(const AggAccumulator& other) {
     if (!seen_ || other.max_ > max_) max_ = other.max_;
     seen_ = true;
   }
+}
+
+void AggAccumulator::FoldColumn(const ColumnSpan& col, size_t begin, size_t n,
+                                const uint8_t* sel) {
+  // One branch-free-ish loop per storage type, consuming rows in strict
+  // ascending order. Each selected row replays Add()'s exact statement
+  // sequence (via AddNull/AddMeasure), so the accumulator state after the
+  // fold is bit-identical to the scalar path's.
+  const uint8_t* nu = col.nulls + begin;
+  if (col.type == ValueType::kInt) {
+    const int64_t* v = col.ints + begin;
+    for (size_t i = 0; i < n; ++i) {
+      if (sel != nullptr && !sel[i]) continue;
+      if (nu[i]) {
+        AddNull();
+      } else {
+        AddMeasure(static_cast<double>(v[i]));
+      }
+    }
+    return;
+  }
+  const double* v = col.doubles + begin;
+  for (size_t i = 0; i < n; ++i) {
+    if (sel != nullptr && !sel[i]) continue;
+    if (nu[i]) {
+      AddNull();
+    } else {
+      AddMeasure(v[i]);
+    }
+  }
+}
+
+void AggAccumulator::FoldCount(size_t n, const uint8_t* sel) {
+  if (sel == nullptr) {
+    count_ += static_cast<int64_t>(n);
+    return;
+  }
+  int64_t c = 0;
+  for (size_t i = 0; i < n; ++i) c += sel[i];
+  count_ += c;
 }
 
 double AggAccumulator::Result() const {
@@ -111,6 +169,16 @@ StatusOr<QueryResult> Executor::ExecuteScan(const SelectQuery& q,
   ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
   const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
 
+  if (options_.vectorized) {
+    // Columnar batch path: bit-identical to the scalar loop below by
+    // construction (same pool chunking, strict row-order folds, same
+    // chunk-order merge), so falling through on ineligibility is purely a
+    // performance decision.
+    if (auto vec = TryVectorizedScan(q, table, *agg)) {
+      return std::move(*vec);
+    }
+  }
+
   // The L-0 oblivious scan: touch every row of every partition. Large
   // tables fan out across the shared pool in fixed chunks; per-chunk
   // partials merge in chunk order, so the answer is deterministic for a
@@ -160,6 +228,165 @@ StatusOr<QueryResult> Executor::ExecuteScan(const SelectQuery& q,
       (void)inserted;
       it->second.Merge(acc);
     }
+  }
+  QueryResult result;
+  result.grouped = true;
+  for (const auto& [k, acc] : groups) result.groups[k] = acc.Result();
+  return result;
+}
+
+std::optional<QueryResult> Executor::TryVectorizedScan(
+    const SelectQuery& q, const Table& table, const SelectItem& agg) const {
+  const auto parts = table.Spans();
+  const size_t total = table.TotalRows();
+  if (total == 0) return std::nullopt;  // scalar handles empty trivially
+  const Schema& schema = table.schema;
+
+  // Eligibility is all-or-nothing across spans: every non-empty span must
+  // carry a full columnar projection with the needed columns typed, so the
+  // parallel fold below never has to switch representation mid-scan (the
+  // chunk partitioning — and with it the FP merge tree — stays exactly the
+  // scalar path's).
+  for (const auto& span : parts) {
+    if (span.size > 0 && span.columns.size() != schema.size()) {
+      return std::nullopt;
+    }
+  }
+
+  // COUNT ignores its input value entirely (Add() returns before reading
+  // it), so only SUM/AVG/MIN/MAX need a typed numeric measure column.
+  const bool count_only = agg.agg == AggFunc::kCount;
+  size_t agg_idx = 0;
+  if (!count_only) {
+    auto idx = ResolveColumnName(schema, agg.column);
+    if (!idx) return std::nullopt;  // unknown column: scalar path feeds NULLs
+    agg_idx = *idx;
+    const ValueType t = schema.fields()[agg_idx].type;
+    if (t != ValueType::kInt && t != ValueType::kDouble) return std::nullopt;
+    for (const auto& span : parts) {
+      if (span.size > 0 && span.columns[agg_idx].type != t) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<VectorPredicate> pred;
+  if (q.where) {
+    pred = VectorPredicate::Compile(q.where.get(), schema);
+    if (!pred) return std::nullopt;
+    for (const auto& span : parts) {
+      if (span.size > 0 && !pred->CompatibleWith(span.columns)) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Group keys run through the open-addressing hash table, which is keyed
+  // on raw int64 — the only key type the evaluation schemas group by.
+  // String/double keys stay on the scalar std::map path.
+  const bool grouped = !q.group_by.empty();
+  size_t key_idx = 0;
+  if (grouped) {
+    auto idx = ResolveColumnName(schema, q.group_by[0]);
+    if (!idx) return std::nullopt;
+    key_idx = *idx;
+    if (schema.fields()[key_idx].type != ValueType::kInt) return std::nullopt;
+    for (const auto& span : parts) {
+      if (span.size > 0 && span.columns[key_idx].type != ValueType::kInt) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  const size_t max_chunks =
+      total >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
+
+  if (!grouped) {
+    std::vector<AggAccumulator> partials(std::max<size_t>(1, max_chunks),
+                                         AggAccumulator(agg.agg));
+    SharedPool()->ParallelFor(
+        total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
+          AggAccumulator& acc = partials[chunk];
+          std::vector<std::vector<uint8_t>> scratch;
+          std::vector<uint8_t> sel;
+          ForEachSpanSegment(
+              parts, begin, end,
+              [&](const RowSpan& span, size_t lo, size_t hi) {
+                for (size_t t = lo; t < hi; t += kVectorTileRows) {
+                  const size_t n = std::min(kVectorTileRows, hi - t);
+                  const uint8_t* selp = nullptr;
+                  if (pred) {
+                    sel.resize(n);
+                    pred->Eval(span.columns, t, n, sel.data(), &scratch);
+                    selp = sel.data();
+                  }
+                  if (count_only) {
+                    acc.FoldCount(n, selp);
+                  } else {
+                    acc.FoldColumn(span.columns[agg_idx], t, n, selp);
+                  }
+                }
+              });
+        });
+    AggAccumulator acc(agg.agg);
+    for (const auto& partial : partials) acc.Merge(partial);
+    return QueryResult::Scalar(acc.Result());
+  }
+
+  using GroupMap = FlatGroupMap<AggAccumulator>;
+  std::vector<GroupMap> partials(std::max<size_t>(1, max_chunks),
+                                 GroupMap(AggAccumulator(agg.agg)));
+  SharedPool()->ParallelFor(
+      total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
+        GroupMap& groups = partials[chunk];
+        std::vector<std::vector<uint8_t>> scratch;
+        std::vector<uint8_t> sel;
+        ForEachSpanSegment(
+            parts, begin, end, [&](const RowSpan& span, size_t lo, size_t hi) {
+              const ColumnSpan& kc = span.columns[key_idx];
+              const ColumnSpan* mc =
+                  count_only ? nullptr : &span.columns[agg_idx];
+              for (size_t t = lo; t < hi; t += kVectorTileRows) {
+                const size_t n = std::min(kVectorTileRows, hi - t);
+                const uint8_t* selp = nullptr;
+                if (pred) {
+                  sel.resize(n);
+                  pred->Eval(span.columns, t, n, sel.data(), &scratch);
+                  selp = sel.data();
+                }
+                for (size_t i = 0; i < n; ++i) {
+                  if (selp != nullptr && !selp[i]) continue;
+                  const size_t r = t + i;
+                  AggAccumulator& acc = kc.nulls[r] ? groups.NullSlot()
+                                                    : groups.Upsert(kc.ints[r]);
+                  if (mc == nullptr || mc->nulls[r]) {
+                    acc.AddNull();
+                  } else {
+                    acc.AddMeasure(mc->type == ValueType::kInt
+                                       ? static_cast<double>(mc->ints[r])
+                                       : mc->doubles[r]);
+                  }
+                }
+              }
+            });
+      });
+  // Merge the per-chunk hash tables in deterministic chunk order. Within a
+  // chunk the visit order over groups is arbitrary, which is fine: merges
+  // only combine accumulators of the SAME group, and per group the chunk
+  // order fixes the sequence — the same sequence the scalar path's
+  // ordered-map merge produces.
+  std::map<Value, AggAccumulator> groups;
+  for (const auto& partial : partials) {
+    if (partial.has_null()) {
+      auto [it, inserted] = groups.try_emplace(Value(), agg.agg);
+      (void)inserted;
+      it->second.Merge(partial.null_slot());
+    }
+    partial.ForEach([&](int64_t key, const AggAccumulator& acc) {
+      auto [it, inserted] = groups.try_emplace(Value(key), agg.agg);
+      (void)inserted;
+      it->second.Merge(acc);
+    });
   }
   QueryResult result;
   result.grouped = true;

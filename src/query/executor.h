@@ -11,11 +11,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "query/ast.h"
+#include "query/columnar.h"
 #include "query/result.h"
 #include "query/schema.h"
 
@@ -26,9 +28,16 @@ namespace dpsync::query {
 /// hands out spans over enclave mirror chunks that a concurrent writer may
 /// still be appending to, and a reader that never consults the container's
 /// size cannot observe (or race with) that growth. See edb/snapshot.h.
+///
+/// `columns`, when non-empty, carries one ColumnSpan per schema column — a
+/// columnar projection of the same rows captured under the same lock and
+/// bounded by the same `size`. Spans without projections (plain in-memory
+/// tables, pre-columnar borrows) simply keep the executor on the scalar
+/// row path.
 struct RowSpan {
   const Row* data = nullptr;
   size_t size = 0;
+  std::vector<ColumnSpan> columns;
 };
 
 /// A named in-memory relation. Rows are either owned (`rows`), borrowed
@@ -102,10 +111,25 @@ class Catalog {
 /// ("Left.col", "Right.col") so predicates can address either side.
 Schema JoinedSchema(const Table& left, const Table& right);
 
+/// Execution knobs. `vectorized` (default on) lets eligible scans run on
+/// the columnar batch path: predicate evaluation fills a selection bitmap
+/// per tile and aggregation folds typed column arrays directly. The
+/// scalar row path remains the reference implementation and answers every
+/// query the batch path cannot take (joins, spans without columnar
+/// projections, non-compilable predicates, string/float group keys) — and
+/// the batch path is constructed to be bit-identical to it (fixed
+/// reduction order; see docs/ARCHITECTURE.md), so flipping this knob never
+/// changes an answer, only wall-clock time.
+struct ExecutorOptions {
+  bool vectorized = true;
+};
+
 /// Executes SELECT statements against a catalog.
 class Executor {
  public:
-  explicit Executor(const Catalog* catalog) : catalog_(catalog) {}
+  explicit Executor(const Catalog* catalog,
+                    ExecutorOptions options = ExecutorOptions())
+      : catalog_(catalog), options_(options) {}
 
   /// Runs the query. Errors: NotFound (unknown table), Unimplemented
   /// (unsupported shapes: no aggregate, multi-column GROUP BY).
@@ -116,8 +140,14 @@ class Executor {
                                     const Table& table) const;
   StatusOr<QueryResult> ExecuteJoin(const SelectQuery& q, const Table& left,
                                     const Table& right) const;
+  /// Attempts the columnar batch path; nullopt means "not eligible, use
+  /// the scalar path". Never wrong, only sometimes unavailable.
+  std::optional<QueryResult> TryVectorizedScan(const SelectQuery& q,
+                                               const Table& table,
+                                               const SelectItem& agg) const;
 
   const Catalog* catalog_;
+  ExecutorOptions options_;
 };
 
 /// Streaming aggregate accumulator shared by all execution backends.
@@ -136,6 +166,36 @@ class AggAccumulator {
   /// Add()ed here in order. Lets parallel scans keep per-chunk partials
   /// and merge them deterministically (chunk-index order).
   void Merge(const AggAccumulator& other);
+
+  /// Vectorized-path equivalents of Add(), inlined so FoldColumn's tight
+  /// loops compile to straight-line code. AddNull() is Add(NULL): the row
+  /// is counted (COUNT(col) and AVG's divisor include NULLs — the
+  /// documented Add() semantics) but contributes nothing else.
+  /// AddMeasure(d) is Add(v) for non-null v with v.AsDouble() == d; the
+  /// statement order matches Add() exactly so SUM/MIN/MAX state evolves
+  /// bit-identically.
+  void AddNull() { ++count_; }
+  void AddMeasure(double d) {
+    ++count_;
+    if (func_ == AggFunc::kCount) return;
+    sum_ += d;
+    if (!seen_ || d < min_) min_ = d;
+    if (!seen_ || d > max_) max_ = d;
+    seen_ = true;
+  }
+
+  /// Folds the selected rows [begin, begin+n) of a typed column in strict
+  /// ascending row order — the fixed lane-reduction order that keeps
+  /// FP-sensitive aggregates (SUM/AVG) bit-identical to row-at-a-time
+  /// Add() over the same rows. `sel` is a 0/1 bitmap of length n;
+  /// nullptr means every row is selected. `col` must be typed
+  /// (kInt or kDouble).
+  void FoldColumn(const ColumnSpan& col, size_t begin, size_t n,
+                  const uint8_t* sel);
+
+  /// COUNT-style fold: every selected row contributes its existence only
+  /// (Add() ignores the value for kCount).
+  void FoldCount(size_t n, const uint8_t* sel);
 
   int64_t count() const { return count_; }
 

@@ -67,7 +67,8 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            bool use_oram_index,
                                            size_t oram_capacity,
                                            bool snapshot_scans,
-                                           bool materialized_views) {
+                                           bool materialized_views,
+                                           bool vectorized_execution) {
   if (kind == EngineKind::kObliDb) {
     edb::ObliDbConfig cfg;
     cfg.master_seed = seed;
@@ -76,6 +77,7 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
     cfg.oram_capacity = oram_capacity;
     cfg.snapshot_scans = snapshot_scans;
     cfg.materialized_views = materialized_views;
+    cfg.vectorized_execution = vectorized_execution;
     return std::make_unique<edb::ObliDbServer>(cfg);
   }
   edb::CryptEpsConfig cfg;
@@ -83,6 +85,7 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
   cfg.storage = storage;
   cfg.snapshot_scans = snapshot_scans;
   cfg.materialized_views = materialized_views;
+  cfg.vectorized_execution = vectorized_execution;
   return std::make_unique<edb::CryptEpsServer>(cfg);
 }
 
@@ -178,7 +181,8 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   storage.dir = storage_dir.dir();
   auto server = MakeServer(config.engine, seeder.Next(), storage,
                            config.use_oram_index, config.oram_capacity,
-                           config.snapshot_scans, config.materialized_views);
+                           config.snapshot_scans, config.materialized_views,
+                           config.vectorized_execution);
 
   TablePipeline yellow;
   DPSYNC_RETURN_IF_ERROR(

@@ -87,6 +87,13 @@ struct ExperimentConfig {
   /// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts sweeps it);
   /// only the server's view_hits/view_folds/snapshot_scans counters move.
   bool materialized_views = true;
+  /// Execute eligible scans on the columnar batch path (the engines'
+  /// vectorized_execution knob). Reported metrics are invariant in it —
+  /// the batch path's fixed reduction order makes answers, virtual QET
+  /// and the noise stream bit-identical to the scalar row path
+  /// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts sweeps it);
+  /// only wall-clock changes.
+  bool vectorized_execution = true;
   /// Segment-log root. Each run writes a unique fresh subdirectory
   /// beneath it (segment files refuse silent reuse across runs). Empty =
   /// a temp root whose per-run subdirectory is removed when the run
@@ -138,13 +145,14 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed);
 
 /// As above, with explicit physical-storage knobs, (for ObliDB) the
-/// indexed-mode toggle, and the snapshot-scan / materialized-view
-/// execution knobs.
+/// indexed-mode toggle, and the snapshot-scan / materialized-view /
+/// vectorized-execution knobs.
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            const edb::StorageConfig& storage,
                                            bool use_oram_index = false,
                                            size_t oram_capacity = 1 << 16,
                                            bool snapshot_scans = true,
-                                           bool materialized_views = true);
+                                           bool materialized_views = true,
+                                           bool vectorized_execution = true);
 
 }  // namespace dpsync::sim

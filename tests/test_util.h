@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "common/bytes.h"
@@ -22,6 +23,16 @@ namespace dpsync::testutil {
 inline constexpr uint64_t kTestSeed = 42;
 
 inline Rng MakeRng(uint64_t salt = 0) { return Rng(kTestSeed + salt); }
+
+/// Effective vectorized-execution setting for suites whose servers should
+/// honor the CI A/B knob: DPSYNC_VECTORIZED=0 pins the scalar reference
+/// path, anything else (or unset) keeps the default columnar batch path.
+/// Answers are bit-identical either way — the TSan job runs the racing
+/// suites under both values so each engine's reads race real appends.
+inline bool EnvVectorized() {
+  const char* v = std::getenv("DPSYNC_VECTORIZED");
+  return v == nullptr || v[0] != '0';
+}
 
 /// Decodes a hex string, failing the current test on malformed input.
 inline Bytes Hex(const std::string& h) {
