@@ -123,6 +123,7 @@ std::string RenderEntry(const sim::ExperimentConfig& config,
      << ",\"executed\":" << ss.queries_executed
      << ",\"peak_in_flight\":" << ss.peak_in_flight
      << ",\"snapshot_scans\":" << ss.snapshot_scans
+     << ",\"snapshot_joins\":" << ss.snapshot_joins
      << ",\"view_hits\":" << ss.view_hits
      << ",\"view_folds\":" << ss.view_folds << "}";
   os << "}";

@@ -33,6 +33,10 @@
 ///                        path (default on; answers and metrics are
 ///                        bit-identical, only wall-clock changes — see
 ///                        docs/ARCHITECTURE.md)
+///   --parallel-joins=on|off  run hash joins' partition/build/probe
+///                        phases on the shared pool (default on; answers
+///                        and metrics are bit-identical, only wall-clock
+///                        changes)
 ///   --api=session|oneshot  analyst API driving the schedule: prepared
 ///                        queries over a session (default) or the legacy
 ///                        one-shot Query() shim; metrics are identical
@@ -70,7 +74,7 @@ int Usage(const char* argv0) {
                "[--storage-dir=path]\n"
                "       [--api=session|oneshot] [--snapshot=on|off] "
                "[--views=on|off]\n"
-               "       [--vectorized=on|off]\n"
+               "       [--vectorized=on|off] [--parallel-joins=on|off]\n"
                "       [--no-join] [--timing]\n"
                "       [--csv=path]\n";
   return 2;
@@ -148,6 +152,10 @@ int main(int argc, char** argv) {
       if (v == "on") cfg.vectorized_execution = true;
       else if (v == "off") cfg.vectorized_execution = false;
       else return Usage(argv[0]);
+    } else if (ParseFlag(argv[i], "parallel-joins", &v)) {
+      if (v == "on") cfg.parallel_joins = true;
+      else if (v == "off") cfg.parallel_joins = false;
+      else return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--no-join") == 0) {
       cfg.enable_green = false;
       cfg.queries = sim::DefaultQueries(false);
@@ -222,6 +230,8 @@ int main(int argc, char** argv) {
               << " (peak in-flight " << ss.peak_in_flight << ")\n"
               << "snapshot scans   : " << ss.snapshot_scans
               << " (lock-free over the committed prefix)\n"
+              << "snapshot joins   : " << ss.snapshot_joins
+              << " (lock-free over two pinned prefixes)\n"
               << "view answers     : " << ss.view_hits << " hits / "
               << ss.view_folds
               << " folds (O(1) from materialized aggregates)\n";

@@ -289,6 +289,7 @@ ServerStats EdbServer::stats() const {
   s.plan_rebinds = rebinds_.load(std::memory_order_relaxed);
   s.queries_executed = executed_.load(std::memory_order_relaxed);
   s.snapshot_scans = snapshot_scans_.load(std::memory_order_relaxed);
+  s.snapshot_joins = snapshot_joins_.load(std::memory_order_relaxed);
   s.view_hits = view_hits_.load(std::memory_order_relaxed);
   s.view_folds = view_folds_.load(std::memory_order_relaxed);
   auto admission = admission_.stats();

@@ -115,8 +115,14 @@ struct ServerStats {
   /// Read-only linear scans served from an epoch snapshot of the
   /// committed prefix, i.e. without holding the table lock across the
   /// scan (see docs/CONCURRENCY.md). Locked executions — indexed scans,
-  /// joins, snapshot_scans=false — and view answers do not count.
+  /// snapshot_scans=false — and view answers do not count.
   int64_t snapshot_scans = 0;
+  /// Read-only linear joins served from two pinned epoch snapshots (one
+  /// brief ordered capture lock, then lock-free execution — see
+  /// docs/CONCURRENCY.md). Locked joins (indexed mode,
+  /// snapshot_scans=false) do not count, and snapshot joins do not count
+  /// in `snapshot_scans`.
+  int64_t snapshot_joins = 0;
   /// Executions answered in O(1) from a materialized aggregate view whose
   /// state was current through the table's CommitEpoch (see
   /// src/edb/view.h). View hits never scan, so a view-answered execution
@@ -353,6 +359,12 @@ class EdbServer {
     snapshot_scans_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Engines call this once per join they served from two pinned epoch
+  /// snapshots (ServerStats::snapshot_joins).
+  void CountSnapshotJoin() {
+    snapshot_joins_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   friend class QuerySession;
 
@@ -386,6 +398,7 @@ class EdbServer {
   std::atomic<int64_t> rebinds_{0};
   std::atomic<int64_t> executed_{0};
   std::atomic<int64_t> snapshot_scans_{0};
+  std::atomic<int64_t> snapshot_joins_{0};
   std::atomic<int64_t> view_hits_{0};
   std::atomic<int64_t> view_folds_{0};
 };

@@ -271,9 +271,19 @@ StatusOr<QueryResponse> ObliDbServer::ExecutePlan(
       return Status::Internal("plan references lost table " +
                               plan.join_table);
     }
-    // Hold both table locks across the pre-join scans AND the join over
-    // the borrowed partitions; scoped_lock orders the acquisition, so
-    // concurrent joins cannot deadlock. A self-join locks once.
+    // Read-only linear joins pin both sides' committed prefixes under a
+    // brief ordered capture lock and execute lock-free (mirror checks are
+    // defensive: PlanIsReadOnlyJoin already excludes ORAM-indexed plans,
+    // and every table shares the engine config).
+    if (config_.snapshot_scans && query::PlanIsReadOnlyJoin(plan) &&
+        !table->mirror() && !right->mirror()) {
+      return SnapshotJoinQuery(plan.rewritten, table, right);
+    }
+    // Exclusive path (knob off, or indexed mode whose pre-join scans
+    // rewrite ORAM state): hold both table locks across the scans AND the
+    // join over the borrowed partitions; scoped_lock orders the
+    // acquisition, so concurrent joins cannot deadlock. A self-join locks
+    // once.
     if (table == right) {
       std::lock_guard<std::mutex> lk(table->table_mutex());
       return JoinQuery(plan.rewritten, table, right);
@@ -398,6 +408,112 @@ StatusOr<QueryResponse> ObliDbServer::ScanQuery(
   return resp;
 }
 
+namespace {
+
+/// Shared back half of the join paths: the oblivious-nested-loop vs
+/// hash-join decision plus response pricing, over two tables whose row
+/// spans are already borrowed (locked enclave views or pinned snapshots).
+/// Safe to run with or without the table locks — the spans bound every
+/// row access. `n1`/`n2` are the row counts the borrowed views cover.
+StatusOr<QueryResponse> JoinOverTables(const query::SelectQuery& rewritten,
+                                       query::Table& lt, query::Table& rt,
+                                       int64_t n1, int64_t n2,
+                                       const ObliDbConfig& config,
+                                       const CostModel& cost) {
+  const int64_t pairs = n1 * n2;
+  const query::SelectItem* agg = rewritten.AggregateItem();
+  const bool nested_loop_expressible =
+      agg != nullptr && agg->agg == query::AggFunc::kCount &&
+      rewritten.group_by.empty();
+
+  query::QueryResult result;
+  if (pairs <= config.oblivious_join_limit && nested_loop_expressible) {
+    // Real oblivious nested loop: touch every pair in fixed order and
+    // accumulate matches branchlessly (data-independent control flow).
+    // It computes match counts only, so grouped and non-COUNT joins take
+    // the hash path below regardless of the pair limit (still charged the
+    // nested-loop virtual cost — the QET model is shape-, not
+    // strategy-dependent).
+    query::Schema joined = query::JoinedSchema(lt, rt);
+    query::ColumnExpr lkey(rewritten.join->left_column);
+    query::ColumnExpr rkey(rewritten.join->right_column);
+    // Per-side dummy filters, applied branchlessly alongside the
+    // rewritten WHERE. The engine only joins rewritten queries over
+    // dummy-flagged schemas, so the `isDummy = 0` conjuncts are always in
+    // the WHERE — but on a self-join both conjuncts name the same
+    // qualified column and resolve to the LEFT copy, so the WHERE alone
+    // would let right-side dummies through. Reading each side's own
+    // isDummy cell (non-NULL and == 0, the conjunct's exact semantics)
+    // keeps the loop bit-identical to the hash path's hoisted
+    // filter-before-join for every join, self- or two-table.
+    const query::Value kZero(int64_t{0});
+    auto real_row = [&kZero](const query::Schema& schema,
+                             const query::Row& row) -> int {
+      auto idx = schema.FindIndex(query::Schema::kDummyColumn);
+      if (!idx || *idx >= row.size()) return 1;
+      const query::Value& v = row[*idx];
+      return (!v.is_null() && v.Compare(kZero) == 0) ? 1 : 0;
+    };
+    int64_t count = 0;
+    query::Row combined;
+    const auto lspans = lt.Spans();
+    const auto rspans = rt.Spans();
+    for (const auto& lspan : lspans) {
+      for (size_t li = 0; li < lspan.size; ++li) {
+        const query::Row& a = lspan.data[li];
+        query::Value ka = lkey.Eval(lt.schema, a);
+        const int lreal = real_row(lt.schema, a);
+        for (const auto& rspan : rspans) {
+          for (size_t ri = 0; ri < rspan.size; ++ri) {
+            const query::Row& b = rspan.data[ri];
+            query::Value kb = rkey.Eval(rt.schema, b);
+            int match =
+                (!ka.is_null() && !kb.is_null() && ka.Compare(kb) == 0);
+            int pass = 1;
+            if (rewritten.where) {
+              combined.clear();
+              combined.insert(combined.end(), a.begin(), a.end());
+              combined.insert(combined.end(), b.begin(), b.end());
+              pass = rewritten.where->Eval(joined, combined).Truthy() ? 1 : 0;
+            }
+            count += match & pass & lreal & real_row(rt.schema, b);
+          }
+        }
+      }
+    }
+    result = query::QueryResult::Scalar(static_cast<double>(count));
+  } else {
+    // Simulation shortcut above the pair limit: identical answer via the
+    // partitioned hash join; the virtual cost still charges the full
+    // nested loop. join_skip_dummy_rows hoists the Appendix-B `isDummy =
+    // 0` conjuncts of the rewritten WHERE into key-extraction filters —
+    // the same filter(T, isDummy = FALSE)-before-join semantics the old
+    // row-copying drop implemented, now zero-copy over the borrowed
+    // spans (and still avoiding the quadratic blow-up of dummies sharing
+    // a join key).
+    query::Catalog catalog;
+    catalog.AddTable(&lt);
+    catalog.AddTable(&rt);
+    query::ExecutorOptions opts;
+    opts.vectorized = config.vectorized_execution;
+    opts.parallel_join = config.parallel_joins;
+    opts.join_skip_dummy_rows = true;
+    query::Executor executor(&catalog, opts);
+    auto r = executor.Execute(rewritten);
+    if (!r.ok()) return r.status();
+    result = std::move(r.value());
+  }
+
+  QueryResponse resp;
+  resp.result = std::move(result);
+  resp.stats.records_scanned = n1 + n2;
+  resp.stats.join_pairs = pairs;
+  resp.stats.virtual_seconds = JoinCost(cost, n1, n2);
+  return resp;
+}
+
+}  // namespace
+
 StatusOr<QueryResponse> ObliDbServer::JoinQuery(
     const query::SelectQuery& rewritten, ObliDbTable* left,
     ObliDbTable* right) {
@@ -419,92 +535,67 @@ StatusOr<QueryResponse> ObliDbServer::JoinQuery(
   rt.schema = right->store().schema();
   rt.borrowed_spans = rview->spans;
 
-  int64_t n1 = left->outsourced_count();
-  int64_t n2 = right->outsourced_count();
-  int64_t pairs = n1 * n2;
-
-  query::QueryResult result;
-  if (pairs <= config_.oblivious_join_limit) {
-    // Real oblivious nested loop: touch every pair in fixed order and
-    // accumulate matches branchlessly (data-independent control flow).
-    query::Schema joined = query::JoinedSchema(lt, rt);
-    query::ColumnExpr lkey(rewritten.join->left_column);
-    query::ColumnExpr rkey(rewritten.join->right_column);
-    int64_t count = 0;
-    query::Row combined;
-    const auto lspans = lt.Spans();
-    const auto rspans = rt.Spans();
-    for (const auto& lspan : lspans) {
-      for (size_t li = 0; li < lspan.size; ++li) {
-        const query::Row& a = lspan.data[li];
-        query::Value ka = lkey.Eval(lt.schema, a);
-        for (const auto& rspan : rspans) {
-          for (size_t ri = 0; ri < rspan.size; ++ri) {
-            const query::Row& b = rspan.data[ri];
-            query::Value kb = rkey.Eval(rt.schema, b);
-            int match =
-                (!ka.is_null() && !kb.is_null() && ka.Compare(kb) == 0);
-            int pass = 1;
-            if (rewritten.where) {
-              combined.clear();
-              combined.insert(combined.end(), a.begin(), a.end());
-              combined.insert(combined.end(), b.begin(), b.end());
-              pass = rewritten.where->Eval(joined, combined).Truthy() ? 1 : 0;
-            }
-            count += match & pass;
-          }
-        }
-      }
-    }
-    result = query::QueryResult::Scalar(static_cast<double>(count));
-  } else {
-    // Simulation shortcut above the pair limit: identical answer via hash
-    // join; the virtual cost still charges the full nested loop. Dummy rows
-    // are dropped from each side first — exactly the Appendix-B semantics
-    // (filter(T, isDummy = FALSE) before the join) — which also avoids a
-    // quadratic blow-up on dummies sharing a join key.
-    auto drop_dummies = [](query::Table* t) {
-      std::vector<query::Row> filtered;
-      filtered.reserve(t->TotalRows());
-      for (const auto& span : t->Spans()) {
-        for (size_t i = 0; i < span.size; ++i) {
-          if (!query::IsDummyRow(t->schema, span.data[i])) {
-            filtered.push_back(span.data[i]);
-          }
-        }
-      }
-      t->rows = std::move(filtered);
-      t->borrowed_rows = nullptr;
-      t->borrowed_parts.clear();
-      t->borrowed_spans.clear();
-    };
-    drop_dummies(&lt);
-    drop_dummies(&rt);
-    query::Catalog catalog;
-    catalog.AddTable(&lt);
-    catalog.AddTable(&rt);
-    query::Executor executor(&catalog);
-    auto r = executor.Execute(rewritten);
-    if (!r.ok()) return r.status();
-    result = std::move(r.value());
-  }
-
-  QueryResponse resp;
-  resp.result = std::move(result);
-  resp.stats.records_scanned = n1 + n2;
-  resp.stats.join_pairs = pairs;
-  resp.stats.measured_seconds = SecondsSince(start);
-  resp.stats.virtual_seconds = JoinCost(cost_, n1, n2);
+  auto resp = JoinOverTables(rewritten, lt, rt, left->outsourced_count(),
+                             right->outsourced_count(), config_, cost_);
+  if (!resp.ok()) return resp.status();
+  resp->stats.measured_seconds = SecondsSince(start);
   if (left->mirror() || right->mirror()) {
     // ORAM work both sides' pre-join scans paid, charged per shard height
     // (reported alongside the headline cost, same as ScanQuery).
     const auto& lw = left->last_scan_work();
     const auto& rw = right->last_scan_work();
-    resp.stats.oram_paths = lw.paths + rw.paths;
-    resp.stats.oram_buckets = lw.buckets + rw.buckets;
-    resp.stats.oram_virtual_seconds =
-        OramBucketsCost(cost_, resp.stats.oram_buckets);
+    resp->stats.oram_paths = lw.paths + rw.paths;
+    resp->stats.oram_buckets = lw.buckets + rw.buckets;
+    resp->stats.oram_virtual_seconds =
+        OramBucketsCost(cost_, resp->stats.oram_buckets);
   }
+  return resp;
+}
+
+StatusOr<QueryResponse> ObliDbServer::SnapshotJoinQuery(
+    const query::SelectQuery& rewritten, ObliDbTable* left,
+    ObliDbTable* right) {
+  auto start = std::chrono::steady_clock::now();
+  // Pin both committed prefixes under ONE brief critical section —
+  // incremental catch-up + capture only, never the join itself.
+  // std::scoped_lock acquires the two mutexes deadlock-free regardless of
+  // argument order, so concurrent A⋈B and B⋈A captures cannot hang; a
+  // self-join pins the same epoch for both sides under a single lock.
+  // Capturing both sides at one instant is also what makes the two views
+  // mutually consistent: no commit can land between the captures.
+  SnapshotView lview, rview;
+  if (left == right) {
+    std::lock_guard<std::mutex> lk(left->table_mutex());
+    auto snap = left->store().Snapshot();
+    if (!snap.ok()) return snap.status();
+    lview = std::move(snap).value();
+    rview = lview;
+  } else {
+    std::scoped_lock lk(left->table_mutex(), right->table_mutex());
+    auto lsnap = left->store().Snapshot();
+    if (!lsnap.ok()) return lsnap.status();
+    auto rsnap = right->store().Snapshot();
+    if (!rsnap.ok()) return rsnap.status();
+    lview = std::move(lsnap).value();
+    rview = std::move(rsnap).value();
+  }
+
+  // No lock held from here on: owner appends and every other reader on
+  // either table proceed while we join the pinned prefixes.
+  query::Table lt;
+  lt.name = left->table_name();
+  lt.schema = left->store().schema();
+  lt.borrowed_spans = lview.spans;
+  query::Table rt;
+  rt.name = right->table_name();
+  rt.schema = right->store().schema();
+  rt.borrowed_spans = rview.spans;
+
+  auto resp = JoinOverTables(rewritten, lt, rt, lview.total_rows,
+                             rview.total_rows, config_, cost_);
+  if (!resp.ok()) return resp.status();
+  CountSnapshotJoin();
+  resp->stats.measured_seconds = SecondsSince(start);
   return resp;
 }
 

@@ -9,11 +9,14 @@
 ///     every scan touches each record through an oblivious path access.
 ///     The mirror shares the store's shard topology, so per-shard scans
 ///     fan out across the thread pool exactly like linear scans do.
-/// Joins run as an oblivious nested loop (O(N1*N2) touched pairs). For the
-/// month-long experiment traces the pair count reaches ~4*10^8 per query
-/// point; above `oblivious_join_limit` the engine computes the (identical)
-/// answer with a hash join and charges the nested-loop virtual cost — a
-/// documented simulation shortcut that changes wall-clock only.
+/// Ungrouped COUNT joins run as an oblivious nested loop (O(N1*N2) touched
+/// pairs). For the month-long experiment traces the pair count reaches
+/// ~4*10^8 per query point; above `oblivious_join_limit` — and for every
+/// grouped or non-COUNT join, which the nested loop cannot express — the
+/// engine computes the (identical) answer with a partitioned hash join and
+/// charges the nested-loop virtual cost — a documented simulation shortcut
+/// that changes wall-clock only. Under `snapshot_scans`, linear joins pin
+/// both sides' committed prefixes and execute lock-free (see ExecutePlan).
 #pragma once
 
 #include <map>
@@ -59,9 +62,11 @@ struct ObliDbConfig {
   /// (flush_every_update=false) the snapshot path answers over the
   /// committed prefix ONLY — appended-but-unflushed records stay
   /// invisible until Flush(), where the locked path would see them.
-  /// Joins and the ORAM-indexed mode always keep the exclusive
-  /// per-table lock (tree accesses rewrite state). See
-  /// docs/CONCURRENCY.md.
+  /// Linear joins take the same path: both sides' committed prefixes are
+  /// pinned under one brief ordered two-table lock (catch-up + capture)
+  /// and the join executes with no locks held. The ORAM-indexed mode
+  /// always keeps the exclusive per-table lock (tree accesses rewrite
+  /// state). See docs/CONCURRENCY.md.
   bool snapshot_scans = true;
   /// Maintain incremental materialized aggregate views for view-eligible
   /// prepared plans (query::PlanIsViewEligible): Prepare registers the
@@ -83,6 +88,13 @@ struct ObliDbConfig {
   /// remains the reference implementation and still answers joins and any
   /// scan the batch path cannot take.
   bool vectorized_execution = true;
+  /// Run hash joins' key extraction, build and probe phases on the shared
+  /// pool (query::ExecutorOptions::parallel_join). The probe keeps the
+  /// serial path's chunk decomposition and chunk-order partial merge, so
+  /// answers, the noise stream and every metric are bit-identical either
+  /// way — wall-clock only. Does not affect the oblivious nested-loop
+  /// path (fixed access pattern) or its pair limit.
+  bool parallel_joins = true;
   /// Physical storage for every table (backend kind, shard count, dir).
   StorageConfig storage;
 };
@@ -213,6 +225,13 @@ class ObliDbServer : public EdbServer {
   /// (brief lock inside SnapshotScan) and aggregates with no lock held.
   StatusOr<QueryResponse> SnapshotScanQuery(const query::SelectQuery& rewritten,
                                             ObliDbTable* table);
+  /// Lock-free linear join: pins BOTH sides' committed prefixes under one
+  /// brief std::scoped_lock (address-ordered acquisition — catch-up +
+  /// capture only; a self-join locks once) and joins with no locks held,
+  /// overlapping owner appends, other joins and scans on either table.
+  StatusOr<QueryResponse> SnapshotJoinQuery(const query::SelectQuery& rewritten,
+                                            ObliDbTable* left,
+                                            ObliDbTable* right);
   ObliDbTable* FindTable(const std::string& name) const;
 
   ObliDbConfig config_;

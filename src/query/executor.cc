@@ -1,6 +1,7 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/thread_pool.h"
 #include "query/vectorized.h"
@@ -394,49 +395,598 @@ std::optional<QueryResult> Executor::TryVectorizedScan(
   return result;
 }
 
+namespace {
+
+// --- partitioned hash join ------------------------------------------------
+//
+// The join runs in three phases, each a pure function of the captured
+// spans (safe over snapshot-backed tables with no lock held):
+//   1. key extraction: both sides' ON keys are hoisted once into flat
+//      arrays — straight off the typed columnar projections for int/string
+//      keys, through the scalar cell access (mirroring ColumnExpr::Eval)
+//      otherwise — along with a splitmix64 hash per key;
+//   2. build: the right side's rows are scattered by the hash's top bits
+//      into partitions, and each partition builds an open-addressing table
+//      (capacity reserved from its row count) whose per-key chains keep
+//      append order;
+//   3. probe: the left side is walked in strict ascending row order in
+//      fixed chunks; each chunk accumulates its own partial and partials
+//      merge in chunk order — the scan path's reduction discipline, which
+//      is what keeps FP-sensitive aggregates deterministic and makes the
+//      serial and parallel modes bit-identical (same boundaries, same
+//      merge; only the walking thread changes).
+//
+// Match enumeration order is exactly the old row-at-a-time join's: probe
+// rows ascending, and per key the build rows in append order. Partitioning
+// only routes lookups; it never reorders Add() calls.
+
+/// Build-side partition count when the build side is large enough to fan
+/// out (power of two; the hash's top bits select the partition, the low
+/// bits the slot, so the two decisions stay independent).
+constexpr size_t kJoinBuildPartitions = 64;
+constexpr int kJoinPartitionShift = 58;
+static_assert(kJoinBuildPartitions == (size_t{1} << (64 - kJoinPartitionShift)),
+              "partition selector must cover exactly the partition count");
+
+/// splitmix64 finalizer — the FlatGroupMap hashing discipline
+/// (query/vectorized.h), reused for join-key partitioning and the
+/// per-partition open-addressing tables.
+inline uint64_t SplitMix64(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+inline uint64_t HashJoinBytes(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return SplitMix64(h);
+}
+
+/// Hash of a non-null scalar join key. Keys that Compare() equal MUST hash
+/// equal: numeric keys hash their coerced double's bit pattern — the exact
+/// coercion Compare() applies to mixed int/double pairs — with -0.0
+/// canonicalized to +0.0 (they compare equal) and every NaN payload to one
+/// pattern. Strings hash their bytes; strings never Compare() equal to
+/// numbers, so hash collisions across the two spaces are resolved by the
+/// full Compare() in the table.
+inline uint64_t HashJoinValue(const Value& v) {
+  if (v.type() == ValueType::kString) {
+    const std::string& s = v.AsString();
+    return HashJoinBytes(s.data(), s.size());
+  }
+  double d = v.AsDouble();
+  if (d == 0.0) d = 0.0;  // collapses -0.0 onto +0.0
+  uint64_t bits = 0x7ff8000000000000ull;  // canonical NaN
+  if (d == d) std::memcpy(&bits, &d, sizeof(bits));
+  return SplitMix64(bits);
+}
+
+/// Which representation the hoisted key arrays use. Typed modes require
+/// BOTH sides' declared key types to agree and every non-empty span to
+/// carry that typed projection (a poisoned column reports untyped and
+/// drops the join to kValue — the scalar row fallback).
+enum class JoinKeyMode { kInt, kString, kValue };
+
+/// One side's hoisted join state: row pointers plus per-row key arrays.
+struct JoinSide {
+  size_t rows = 0;
+  std::vector<const Row*> row_ptrs;
+  /// 1 = key is non-null and the row passed its dummy filter.
+  std::vector<uint8_t> valid;
+  std::vector<uint64_t> hash;            ///< valid rows only
+  std::vector<int64_t> ints;             ///< JoinKeyMode::kInt
+  std::vector<const std::string*> strs;  ///< JoinKeyMode::kString
+  std::vector<Value> vals;               ///< JoinKeyMode::kValue
+};
+
+/// Pre-filter for one side's own `isDummy = 0` conjunct, mirroring that
+/// CompareExpr's evaluation over the combined row: active-but-unresolved
+/// means the conjunct evaluates NULL and excludes every row.
+struct JoinDummyFilter {
+  bool active = false;
+  bool resolved = false;
+  size_t col = 0;
+};
+
+inline bool PassesDummyFilter(const JoinDummyFilter& f, const Row& row) {
+  if (!f.active) return true;
+  if (!f.resolved || f.col >= row.size()) return false;
+  const Value& cell = row[f.col];
+  return !cell.is_null() &&
+         cell.Compare(Value(static_cast<int64_t>(0))) == 0;
+}
+
+/// True when `e` is exactly `<col> = 0` (the conjunct MakeNotDummyPredicate
+/// builds).
+bool IsNotDummyConjunct(const Expr* e, const std::string& col) {
+  if (e == nullptr || e->kind() != ExprKind::kCompare) return false;
+  const auto& cmp = static_cast<const CompareExpr&>(*e);
+  if (cmp.op() != CmpOp::kEq) return false;
+  if (cmp.lhs().kind() != ExprKind::kColumn ||
+      cmp.rhs().kind() != ExprKind::kLiteral) {
+    return false;
+  }
+  if (static_cast<const ColumnExpr&>(cmp.lhs()).name() != col) return false;
+  const Value& v = static_cast<const LiteralExpr&>(cmp.rhs()).value();
+  return v.type() == ValueType::kInt && v.AsInt() == 0;
+}
+
+/// Recognizes `[user AND] lcol = 0 AND rcol = 0` — the exact tree
+/// RewriteForDummies appends for joins — and returns true with `*user_out`
+/// set to the remaining user predicate (null when the WHERE was only the
+/// conjuncts). The predicates are pure, so hoisting the conjuncts into
+/// row filters cannot change any pair's outcome.
+bool SplitDummyConjuncts(const Expr* where, const std::string& lcol,
+                         const std::string& rcol, const Expr** user_out) {
+  *user_out = nullptr;
+  if (where == nullptr || where->kind() != ExprKind::kLogical) return false;
+  const auto& outer = static_cast<const LogicalExpr&>(*where);
+  if (outer.op() != LogicalExpr::Op::kAnd ||
+      !IsNotDummyConjunct(&outer.rhs(), rcol)) {
+    return false;
+  }
+  const Expr* lhs = &outer.lhs();
+  if (IsNotDummyConjunct(lhs, lcol)) return true;
+  if (lhs->kind() != ExprKind::kLogical) return false;
+  const auto& inner = static_cast<const LogicalExpr&>(*lhs);
+  if (inner.op() != LogicalExpr::Op::kAnd ||
+      !IsNotDummyConjunct(&inner.rhs(), lcol)) {
+    return false;
+  }
+  *user_out = &inner.lhs();
+  return true;
+}
+
+/// Whether every non-empty span carries a full columnar projection whose
+/// column `idx` is typed `t`.
+bool SpansTyped(const std::vector<RowSpan>& spans, size_t n_cols, size_t idx,
+                ValueType t) {
+  for (const auto& span : spans) {
+    if (span.size == 0) continue;
+    if (span.columns.size() != n_cols || span.columns[idx].type != t) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs `fn(chunk, begin, end)` over [0, n) with the scan path's chunk
+/// discipline. Parallel mode dispatches on the shared pool; serial mode
+/// walks the SAME chunk boundaries inline (ParallelFor's even split for
+/// min(max_chunks, n, num_threads) chunks), so chunk-indexed partials —
+/// and with them FP-sensitive merges — are bit-identical across the
+/// parallel_join knob.
+template <typename Fn>
+void RunJoinChunks(size_t n, size_t max_chunks, bool parallel, Fn&& fn) {
+  if (n == 0) return;
+  if (parallel) {
+    SharedPool()->ParallelFor(n, max_chunks, fn);
+    return;
+  }
+  size_t chunks = std::min({max_chunks, n, SharedPool()->num_threads()});
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    fn(c, begin, end);
+    begin = end;
+  }
+}
+
+/// Hoists one side's keys (and row pointers) into flat arrays. Output is
+/// a pure per-row function, so the parallel fill is chunking-independent.
+void ExtractJoinSide(const std::vector<RowSpan>& spans, size_t total,
+                     std::optional<size_t> key_idx, JoinKeyMode mode,
+                     const JoinDummyFilter& filter, bool parallel,
+                     JoinSide* out) {
+  out->rows = total;
+  out->row_ptrs.resize(total);
+  out->valid.assign(total, 0);
+  out->hash.resize(total);
+  switch (mode) {
+    case JoinKeyMode::kInt:
+      out->ints.resize(total);
+      break;
+    case JoinKeyMode::kString:
+      out->strs.resize(total);
+      break;
+    case JoinKeyMode::kValue:
+      out->vals.assign(total, Value());
+      break;
+  }
+  const size_t max_chunks =
+      total >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
+  RunJoinChunks(total, max_chunks, parallel,
+                [&](size_t, size_t begin, size_t end) {
+    size_t g = begin;
+    ForEachSpanSegment(spans, begin, end,
+                       [&](const RowSpan& span, size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i, ++g) {
+        const Row& row = span.data[i];
+        out->row_ptrs[g] = &row;
+        if (!PassesDummyFilter(filter, row)) continue;
+        switch (mode) {
+          case JoinKeyMode::kInt: {
+            const ColumnSpan& kc = span.columns[*key_idx];
+            if (kc.nulls[i]) continue;
+            out->ints[g] = kc.ints[i];
+            out->hash[g] = SplitMix64(static_cast<uint64_t>(kc.ints[i]));
+            break;
+          }
+          case JoinKeyMode::kString: {
+            const ColumnSpan& kc = span.columns[*key_idx];
+            if (kc.nulls[i]) continue;
+            out->strs[g] = &kc.strings[i];
+            out->hash[g] =
+                HashJoinBytes(kc.strings[i].data(), kc.strings[i].size());
+            break;
+          }
+          case JoinKeyMode::kValue: {
+            if (!key_idx || *key_idx >= row.size()) continue;
+            const Value& v = row[*key_idx];
+            if (v.is_null()) continue;
+            out->vals[g] = v;
+            out->hash[g] = HashJoinValue(v);
+            break;
+          }
+        }
+        out->valid[g] = 1;
+      }
+    });
+  });
+}
+
+inline bool JoinKeysEqual(JoinKeyMode mode, const JoinSide& a, size_t ia,
+                          const JoinSide& b, size_t ib) {
+  switch (mode) {
+    case JoinKeyMode::kInt:
+      return a.ints[ia] == b.ints[ib];
+    case JoinKeyMode::kString:
+      return *a.strs[ia] == *b.strs[ib];
+    case JoinKeyMode::kValue:
+      return a.vals[ia].Compare(b.vals[ib]) == 0;
+  }
+  return false;
+}
+
+/// One build-side partition: an open-addressing table (slot -> entry)
+/// over the partition's rows, with per-key chains in append order.
+struct JoinPartition {
+  std::vector<uint32_t> rows;  ///< global build row ids, append order
+  struct Entry {
+    uint64_t hash = 0;
+    uint32_t rep = 0;   ///< global row id of the key's first occurrence
+    int32_t head = -1;  ///< chain head/tail: indices into `rows`
+    int32_t tail = -1;
+  };
+  std::vector<uint32_t> slots;  ///< entry index + 1; 0 = empty
+  std::vector<Entry> entries;
+  std::vector<int32_t> next;  ///< chain links over `rows` indices
+  uint64_t mask = 0;
+};
+
+/// Builds one partition's table. Capacity is reserved up front from the
+/// partition's row count (power of two, <=50% load), so inserting never
+/// rehashes.
+void BuildJoinPartition(JoinKeyMode mode, const JoinSide& build,
+                        JoinPartition* p) {
+  const size_t m = p->rows.size();
+  size_t slot_count = 16;
+  while (slot_count < m * 2) slot_count <<= 1;
+  p->slots.assign(slot_count, 0);
+  p->mask = slot_count - 1;
+  p->entries.clear();
+  p->entries.reserve(m);
+  p->next.assign(m, -1);
+  for (size_t j = 0; j < m; ++j) {
+    const uint32_t g = p->rows[j];
+    const uint64_t h = build.hash[g];
+    size_t s = h & p->mask;
+    for (;;) {
+      if (p->slots[s] == 0) {
+        JoinPartition::Entry e;
+        e.hash = h;
+        e.rep = g;
+        e.head = e.tail = static_cast<int32_t>(j);
+        p->entries.push_back(e);
+        p->slots[s] = static_cast<uint32_t>(p->entries.size());
+        break;
+      }
+      JoinPartition::Entry& e = p->entries[p->slots[s] - 1];
+      if (e.hash == h && JoinKeysEqual(mode, build, e.rep, build, g)) {
+        p->next[e.tail] = static_cast<int32_t>(j);
+        e.tail = static_cast<int32_t>(j);
+        break;
+      }
+      s = (s + 1) & p->mask;
+    }
+  }
+}
+
+}  // namespace
+
 StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
                                             const Table& left,
                                             const Table& right) const {
   const SelectItem* agg = q.AggregateItem();
   if (!agg) return Status::Unimplemented("join queries must aggregate");
-  if (!q.group_by.empty()) {
-    return Status::Unimplemented("GROUP BY on joins is not supported");
+  if (q.group_by.size() > 1) {
+    return Status::Unimplemented("GROUP BY supports a single column");
   }
-  Schema joined = JoinedSchema(left, right);
+  const Schema joined = JoinedSchema(left, right);
+  const bool parallel = options_.parallel_join;
 
-  // Hash join: bucket the right side by its join key.
-  ColumnExpr left_key(q.join->left_column);
-  ColumnExpr right_key(q.join->right_column);
-  std::map<Value, std::vector<const Row*>> right_index;
-  const auto right_parts = right.Spans();
-  ForEachRowInRange(right_parts, 0, right.TotalRows(), [&](const Row& row) {
-    // Evaluate the right key against the bare right schema (qualified
-    // references fall back to the unqualified column).
-    Value key = right_key.Eval(right.schema, row);
-    if (key.is_null()) return;
-    right_index[key].push_back(&row);
-  });
-
-  ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
-  const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
-  AggAccumulator acc(agg->agg);
-  Row combined;
-  const auto left_parts = left.Spans();
-  ForEachRowInRange(left_parts, 0, left.TotalRows(), [&](const Row& lrow) {
-    Value key = left_key.Eval(left.schema, lrow);
-    if (key.is_null()) return;
-    auto it = right_index.find(key);
-    if (it == right_index.end()) return;
-    for (const Row* rrow : it->second) {
-      combined.clear();
-      combined.reserve(lrow.size() + rrow->size());
-      combined.insert(combined.end(), lrow.begin(), lrow.end());
-      combined.insert(combined.end(), rrow->begin(), rrow->end());
-      if (q.where && !q.where->Eval(joined, combined).Truthy()) continue;
-      acc.Add(needs_value ? agg_col.Eval(joined, combined) : Value());
+  // Appendix-B fast path: when the engine vouches for the rewritten WHERE
+  // (join_skip_dummy_rows), recognize its per-side `isDummy = 0` conjuncts,
+  // hoist them into key-extraction row filters and evaluate only the user
+  // remainder per pair. Unrecognized trees keep the full WHERE.
+  const Expr* where = q.where.get();
+  JoinDummyFilter lfilter, rfilter;
+  if (options_.join_skip_dummy_rows) {
+    const std::string lcol = left.name + "." + Schema::kDummyColumn;
+    const std::string rcol = right.name + "." + Schema::kDummyColumn;
+    const Expr* user = nullptr;
+    if (SplitDummyConjuncts(where, lcol, rcol, &user)) {
+      where = user;
+      lfilter.active = rfilter.active = true;
+      if (auto idx = ResolveColumnName(left.schema, lcol)) {
+        lfilter.resolved = true;
+        lfilter.col = *idx;
+      }
+      if (auto idx = ResolveColumnName(right.schema, rcol)) {
+        rfilter.resolved = true;
+        rfilter.col = *idx;
+      }
     }
-  });
-  return QueryResult::Scalar(acc.Result());
+  }
+
+  const auto lspans = left.Spans();
+  const auto rspans = right.Spans();
+  const size_t n1 = left.TotalRows();
+  const size_t n2 = right.TotalRows();
+
+  // Key extraction (phase 1). Typed modes require both declared types to
+  // agree and every non-empty span to carry the typed projection; anything
+  // else — poisoned columns, unresolved keys, mixed declarations — takes
+  // the scalar Value path, whose cell access and NULL handling mirror
+  // ColumnExpr::Eval exactly.
+  const auto lkey_idx = ResolveColumnName(left.schema, q.join->left_column);
+  const auto rkey_idx = ResolveColumnName(right.schema, q.join->right_column);
+  JoinKeyMode mode = JoinKeyMode::kValue;
+  if (lkey_idx && rkey_idx) {
+    const ValueType lt = left.schema.fields()[*lkey_idx].type;
+    const ValueType rt = right.schema.fields()[*rkey_idx].type;
+    if (lt == rt && (lt == ValueType::kInt || lt == ValueType::kString) &&
+        SpansTyped(lspans, left.schema.size(), *lkey_idx, lt) &&
+        SpansTyped(rspans, right.schema.size(), *rkey_idx, rt)) {
+      mode = lt == ValueType::kInt ? JoinKeyMode::kInt : JoinKeyMode::kString;
+    }
+  }
+  JoinSide L, R;
+  ExtractJoinSide(lspans, n1, lkey_idx, mode, lfilter, parallel, &L);
+  ExtractJoinSide(rspans, n2, rkey_idx, mode, rfilter, parallel, &R);
+
+  // Build (phase 2): scatter by the hash's top bits, then build each
+  // partition's table on the pool. Partition contents are a pure function
+  // of the keys, so the partition count and build parallelism can never
+  // affect an answer — only the probe's chunk-order merge matters, and
+  // that is fixed below.
+  const size_t num_partitions =
+      (parallel && n2 >= kParallelScanThreshold) ? kJoinBuildPartitions : 1;
+  std::vector<JoinPartition> partitions(num_partitions);
+  for (size_t g = 0; g < n2; ++g) {
+    if (!R.valid[g]) continue;
+    const size_t p =
+        num_partitions == 1 ? 0 : (R.hash[g] >> kJoinPartitionShift);
+    partitions[p].rows.push_back(static_cast<uint32_t>(g));
+  }
+  RunJoinChunks(num_partitions, SharedPool()->num_threads(), parallel,
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t p = begin; p < end; ++p) {
+                    BuildJoinPartition(mode, R, &partitions[p]);
+                  }
+                });
+
+  // Probe plumbing shared by the scalar and grouped paths.
+  const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
+  std::optional<size_t> agg_idx;
+  if (needs_value) agg_idx = ResolveColumnName(joined, agg->column);
+  const bool need_combined = where != nullptr || needs_value;
+
+  // Group key (single column): resolved against the joined schema exactly
+  // as ColumnExpr::Eval would — so it must be table-qualified — then
+  // mapped to the owning side. An int-typed key with full columnar
+  // projections runs on FlatGroupMap; everything else (string/double
+  // keys, scalar spans, unresolved names) groups through the ordered map.
+  const bool grouped = !q.group_by.empty();
+  bool gk_left = false;
+  std::optional<size_t> gk_col;
+  bool gk_typed_int = false;
+  std::vector<int64_t> gk_ints;
+  std::vector<uint8_t> gk_nulls;
+  if (grouped) {
+    if (auto jidx = ResolveColumnName(joined, q.group_by[0])) {
+      if (*jidx < left.schema.size()) {
+        gk_left = true;
+        gk_col = *jidx;
+      } else {
+        gk_col = *jidx - left.schema.size();
+      }
+      const Schema& gschema = gk_left ? left.schema : right.schema;
+      const auto& gspans = gk_left ? lspans : rspans;
+      const size_t gtotal = gk_left ? n1 : n2;
+      if (gschema.fields()[*gk_col].type == ValueType::kInt &&
+          SpansTyped(gspans, gschema.size(), *gk_col, ValueType::kInt)) {
+        gk_typed_int = true;
+        gk_ints.resize(gtotal);
+        gk_nulls.assign(gtotal, 1);
+        const size_t max_chunks =
+            gtotal >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
+        RunJoinChunks(gtotal, max_chunks, parallel,
+                      [&](size_t, size_t begin, size_t end) {
+          size_t g = begin;
+          ForEachSpanSegment(gspans, begin, end,
+                             [&](const RowSpan& span, size_t lo, size_t hi) {
+            const ColumnSpan& kc = span.columns[*gk_col];
+            for (size_t i = lo; i < hi; ++i, ++g) {
+              if (!kc.nulls[i]) {
+                gk_nulls[g] = 0;
+                gk_ints[g] = kc.ints[i];
+              }
+            }
+          });
+        });
+      }
+    }
+  }
+
+  // Probe (phase 3). Enumerates matches in the reference order: probe
+  // rows strictly ascending, build rows per key in append order.
+  auto probe_range = [&](size_t begin, size_t end, auto&& on_match) {
+    for (size_t r = begin; r < end; ++r) {
+      if (!L.valid[r]) continue;
+      const uint64_t h = L.hash[r];
+      const JoinPartition& part =
+          partitions[num_partitions == 1 ? 0 : (h >> kJoinPartitionShift)];
+      if (part.entries.empty()) continue;
+      size_t s = h & part.mask;
+      const JoinPartition::Entry* e = nullptr;
+      while (part.slots[s] != 0) {
+        const JoinPartition::Entry& cand = part.entries[part.slots[s] - 1];
+        if (cand.hash == h && JoinKeysEqual(mode, L, r, R, cand.rep)) {
+          e = &cand;
+          break;
+        }
+        s = (s + 1) & part.mask;
+      }
+      if (e == nullptr) continue;
+      for (int32_t j = e->head; j != -1; j = part.next[j]) {
+        on_match(r, part.rows[j]);
+      }
+    }
+  };
+  // Materializes the combined row only when a predicate or the aggregate
+  // reads it; pure-COUNT probes never touch row cells at all.
+  auto eval_pair = [&](size_t r, uint32_t g, Row& combined, auto&& add) {
+    if (need_combined) {
+      const Row& lrow = *L.row_ptrs[r];
+      const Row& rrow = *R.row_ptrs[g];
+      combined.clear();
+      combined.reserve(lrow.size() + rrow.size());
+      combined.insert(combined.end(), lrow.begin(), lrow.end());
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      if (where != nullptr && !where->Eval(joined, combined).Truthy()) return;
+    }
+    Value v;
+    if (needs_value && agg_idx && *agg_idx < combined.size()) {
+      v = combined[*agg_idx];
+    }
+    add(r, g, std::move(v));
+  };
+
+  const size_t probe_chunks =
+      n1 >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
+
+  if (!grouped) {
+    std::vector<AggAccumulator> partials(std::max<size_t>(1, probe_chunks),
+                                         AggAccumulator(agg->agg));
+    RunJoinChunks(n1, probe_chunks, parallel,
+                  [&](size_t chunk, size_t begin, size_t end) {
+                    AggAccumulator& acc = partials[chunk];
+                    Row combined;
+                    probe_range(begin, end, [&](size_t r, uint32_t g) {
+                      eval_pair(r, g, combined,
+                                [&](size_t, uint32_t, Value v) {
+                                  acc.Add(v);
+                                });
+                    });
+                  });
+    AggAccumulator acc(agg->agg);
+    for (const auto& partial : partials) acc.Merge(partial);
+    return QueryResult::Scalar(acc.Result());
+  }
+
+  std::map<Value, AggAccumulator> groups;
+  if (gk_typed_int) {
+    using GroupMap = FlatGroupMap<AggAccumulator>;
+    std::vector<GroupMap> partials(std::max<size_t>(1, probe_chunks),
+                                   GroupMap(AggAccumulator(agg->agg)));
+    RunJoinChunks(n1, probe_chunks, parallel,
+                  [&](size_t chunk, size_t begin, size_t end) {
+                    GroupMap& local = partials[chunk];
+                    Row combined;
+                    probe_range(begin, end, [&](size_t r, uint32_t g) {
+                      eval_pair(r, g, combined,
+                                [&](size_t lr, uint32_t rr, Value v) {
+                                  const size_t sg = gk_left ? lr : rr;
+                                  AggAccumulator& acc =
+                                      gk_nulls[sg] ? local.NullSlot()
+                                                   : local.Upsert(gk_ints[sg]);
+                                  acc.Add(v);
+                                });
+                    });
+                  });
+    // Chunk-order grouped merge — the vectorized scan's discipline: visit
+    // order within a chunk is arbitrary but merges only combine
+    // accumulators of the SAME group, and chunk order fixes each group's
+    // sequence.
+    for (const auto& partial : partials) {
+      if (partial.has_null()) {
+        auto [it, inserted] = groups.try_emplace(Value(), agg->agg);
+        (void)inserted;
+        it->second.Merge(partial.null_slot());
+      }
+      partial.ForEach([&](int64_t key, const AggAccumulator& acc) {
+        auto [it, inserted] = groups.try_emplace(Value(key), agg->agg);
+        (void)inserted;
+        it->second.Merge(acc);
+      });
+    }
+  } else {
+    std::vector<std::map<Value, AggAccumulator>> partials(
+        std::max<size_t>(1, probe_chunks));
+    RunJoinChunks(n1, probe_chunks, parallel,
+                  [&](size_t chunk, size_t begin, size_t end) {
+                    auto& local = partials[chunk];
+                    Row combined;
+                    probe_range(begin, end, [&](size_t r, uint32_t g) {
+                      eval_pair(r, g, combined,
+                                [&](size_t lr, uint32_t rr, Value v) {
+                                  const Row& grow = gk_left
+                                                        ? *L.row_ptrs[lr]
+                                                        : *R.row_ptrs[rr];
+                                  Value key;
+                                  if (gk_col && *gk_col < grow.size()) {
+                                    key = grow[*gk_col];
+                                  }
+                                  auto [it, _] =
+                                      local.try_emplace(key, agg->agg);
+                                  it->second.Add(v);
+                                });
+                    });
+                  });
+    for (auto& partial : partials) {
+      for (auto& [key, acc] : partial) {
+        auto [it, inserted] = groups.try_emplace(key, agg->agg);
+        (void)inserted;
+        it->second.Merge(acc);
+      }
+    }
+  }
+  QueryResult result;
+  result.grouped = true;
+  for (const auto& [k, acc] : groups) result.groups[k] = acc.Result();
+  return result;
 }
 
 }  // namespace dpsync::query

@@ -7,7 +7,14 @@
 ///     aggregation (the edb layer feeds it decrypted rows).
 ///
 /// Aggregates: COUNT(*) / COUNT(col) / SUM / AVG / MIN / MAX, optionally
-/// GROUP BY one column; INNER equi-joins (hash join on the ON column).
+/// GROUP BY one column; INNER equi-joins run as a partitioned hash join
+/// on the ON column (build side partitioned by key hash into
+/// open-addressing tables, probe side walked in strict row order —
+/// optionally in parallel — with per-chunk partials merged in chunk
+/// order, so answers are bit-identical to the serial row-at-a-time
+/// reference). Joins support the same single-column GROUP BY as scans;
+/// the group key must be table-qualified ("T.col") to bind in the joined
+/// schema.
 #pragma once
 
 #include <map>
@@ -115,13 +122,30 @@ Schema JoinedSchema(const Table& left, const Table& right);
 /// the columnar batch path: predicate evaluation fills a selection bitmap
 /// per tile and aggregation folds typed column arrays directly. The
 /// scalar row path remains the reference implementation and answers every
-/// query the batch path cannot take (joins, spans without columnar
-/// projections, non-compilable predicates, string/float group keys) — and
-/// the batch path is constructed to be bit-identical to it (fixed
-/// reduction order; see docs/ARCHITECTURE.md), so flipping this knob never
-/// changes an answer, only wall-clock time.
+/// query the batch path cannot take (spans without columnar projections,
+/// non-compilable predicates, string/float group keys) — and the batch
+/// path is constructed to be bit-identical to it (fixed reduction order;
+/// see docs/ARCHITECTURE.md), so flipping this knob never changes an
+/// answer, only wall-clock time.
+///
+/// `parallel_join` (default on) runs the partitioned hash join's key
+/// extraction, build and probe phases on the shared pool. The probe
+/// decomposition (chunk boundaries and the chunk-order partial merge) is
+/// the same in both modes, so serial and parallel joins are bit-identical
+/// — the knob only moves which thread walks each chunk.
+///
+/// `join_skip_dummy_rows` (default off) lets the join pre-filter each
+/// side's rows on its `isDummy = 0` conjunct during key extraction and
+/// elide those conjuncts from the per-pair WHERE. Callers must only set
+/// it for queries whose WHERE carries the Appendix-B dummy-exclusion
+/// conjuncts for both sides (what RewriteForDummies emits — the edb
+/// engines); the pre-filter is then a pure optimization: it removes
+/// exactly the pairs the conjuncts would have rejected, and avoids the
+/// quadratic blow-up of dummy rows sharing a join key.
 struct ExecutorOptions {
   bool vectorized = true;
+  bool parallel_join = true;
+  bool join_skip_dummy_rows = false;
 };
 
 /// Executes SELECT statements against a catalog.

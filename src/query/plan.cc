@@ -51,6 +51,22 @@ bool ResolvesIn(const Schema& schema, const std::string& name) {
   return schema.FindIndex(name.substr(dot + 1)).has_value();
 }
 
+/// Whether `name` binds in the schema of `left_table JOIN right_table` —
+/// whose fields are all table-qualified ("T.col"), so only an exact
+/// qualified match resolves (ColumnExpr::Eval's bare-name fallback strips
+/// to an unqualified name, which no joined field carries).
+bool ResolvesInJoined(const std::string& left_table, const Schema& left,
+                      const std::string& right_table, const Schema& right,
+                      const std::string& name) {
+  for (const auto& f : left.fields()) {
+    if (left_table + "." + f.name == name) return true;
+  }
+  for (const auto& f : right.fields()) {
+    if (right_table + "." + f.name == name) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 StatusOr<std::shared_ptr<const QueryPlan>> PlanSelect(
@@ -87,25 +103,27 @@ StatusOr<std::shared_ptr<const QueryPlan>> PlanSelect(
   const SelectItem* agg = q.AggregateItem();
   if (q.join) {
     if (!agg) return Status::Unimplemented("join queries must aggregate");
-    if (!q.group_by.empty()) {
-      return Status::Unimplemented("GROUP BY on joins is not supported");
-    }
-  } else {
-    if (!agg) {
-      return Status::Unimplemented(
-          "projection-only queries are not supported; use an aggregate");
-    }
-    if (q.group_by.size() > 1) {
-      return Status::Unimplemented("GROUP BY supports a single column");
-    }
+  } else if (!agg) {
+    return Status::Unimplemented(
+        "projection-only queries are not supported; use an aggregate");
+  }
+  if (q.group_by.size() > 1) {
+    return Status::Unimplemented("GROUP BY supports a single column");
   }
   plan->aggregate = *agg;
   plan->grouped = !q.group_by.empty();
 
-  // Strict binding of the names the executor dereferences.
-  if (!q.group_by.empty() && !ResolvesIn(*schema, q.group_by[0])) {
-    return Status::InvalidArgument("unknown GROUP BY column: " +
-                                   q.group_by[0]);
+  // Strict binding of the names the executor dereferences. A join's group
+  // key evaluates against the joined (table-qualified) schema.
+  if (!q.group_by.empty()) {
+    const bool bound =
+        q.join ? ResolvesInJoined(q.table, *schema, q.join->table,
+                                  *join_schema, q.group_by[0])
+               : ResolvesIn(*schema, q.group_by[0]);
+    if (!bound) {
+      return Status::InvalidArgument("unknown GROUP BY column: " +
+                                     q.group_by[0]);
+    }
   }
   if (!agg->column.empty()) {
     bool bound = ResolvesIn(*schema, agg->column) ||

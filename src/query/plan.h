@@ -89,11 +89,21 @@ struct QueryPlan {
 /// Classifies a plan's execution as read-only vs state-mutating. A linear
 /// single-table scan only reads committed rows, so an engine may serve it
 /// from an epoch snapshot without holding the table's exclusive lock.
-/// ORAM-indexed scans rewrite tree state on every oblivious access, and
-/// joins borrow two tables' uncommitted views under their locks — both
+/// ORAM-indexed scans rewrite tree state on every oblivious access and
 /// stay serialized per table (see docs/CONCURRENCY.md).
 inline bool PlanIsReadOnlyScan(const QueryPlan& plan) {
   return plan.kind == PlanKind::kScan &&
+         plan.access_path == AccessPath::kLinearScan;
+}
+
+/// The join analog of PlanIsReadOnlyScan: a linear (non-ORAM) aggregate
+/// join only reads both sides' committed rows, so an engine may pin TWO
+/// epoch snapshots under a brief ordered capture lock and execute the
+/// whole join with no locks held, overlapping owner appends and other
+/// readers. ORAM-indexed joins keep the exclusive two-table path (each
+/// oblivious access rewrites tree state).
+inline bool PlanIsReadOnlyJoin(const QueryPlan& plan) {
+  return plan.kind == PlanKind::kJoin &&
          plan.access_path == AccessPath::kLinearScan;
 }
 
@@ -151,7 +161,9 @@ struct PlannerOptions {
 ///  2. capability check (joins) and table resolution (NotFound);
 ///  3. shape validation, mirroring the executor's contract so unsupported
 ///     queries fail at Prepare rather than first Execute (single
-///     aggregate, single GROUP BY column, no grouped joins);
+///     aggregate, single GROUP BY column — on scans and joins alike; a
+///     join's group key must be table-qualified to bind in the joined
+///     schema);
 ///  4. strict binding of the columns the executor dereferences by name —
 ///     GROUP BY key, aggregate column, join keys. WHERE-clause columns
 ///     stay lenient (unknown columns evaluate to NULL, matching SQL-ish

@@ -68,7 +68,8 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            size_t oram_capacity,
                                            bool snapshot_scans,
                                            bool materialized_views,
-                                           bool vectorized_execution) {
+                                           bool vectorized_execution,
+                                           bool parallel_joins) {
   if (kind == EngineKind::kObliDb) {
     edb::ObliDbConfig cfg;
     cfg.master_seed = seed;
@@ -78,6 +79,7 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
     cfg.snapshot_scans = snapshot_scans;
     cfg.materialized_views = materialized_views;
     cfg.vectorized_execution = vectorized_execution;
+    cfg.parallel_joins = parallel_joins;
     return std::make_unique<edb::ObliDbServer>(cfg);
   }
   edb::CryptEpsConfig cfg;
@@ -182,7 +184,7 @@ StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   auto server = MakeServer(config.engine, seeder.Next(), storage,
                            config.use_oram_index, config.oram_capacity,
                            config.snapshot_scans, config.materialized_views,
-                           config.vectorized_execution);
+                           config.vectorized_execution, config.parallel_joins);
 
   TablePipeline yellow;
   DPSYNC_RETURN_IF_ERROR(

@@ -94,6 +94,12 @@ struct ExperimentConfig {
   /// (sim_test.MetricsInvariantAcrossBackendsAndShardCounts sweeps it);
   /// only wall-clock changes.
   bool vectorized_execution = true;
+  /// Run hash joins' extraction/build/probe phases on the shared pool
+  /// (ObliDB's parallel_joins knob; Crypt-eps has no join operator).
+  /// Metrics are invariant in it — the probe keeps the serial chunk
+  /// decomposition and chunk-order merge, so answers and the noise
+  /// stream are bit-identical; only wall-clock changes.
+  bool parallel_joins = true;
   /// Segment-log root. Each run writes a unique fresh subdirectory
   /// beneath it (segment files refuse silent reuse across runs). Empty =
   /// a temp root whose per-run subdirectory is removed when the run
@@ -146,13 +152,14 @@ std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed);
 
 /// As above, with explicit physical-storage knobs, (for ObliDB) the
 /// indexed-mode toggle, and the snapshot-scan / materialized-view /
-/// vectorized-execution knobs.
+/// vectorized-execution / parallel-join knobs.
 std::unique_ptr<edb::EdbServer> MakeServer(EngineKind kind, uint64_t seed,
                                            const edb::StorageConfig& storage,
                                            bool use_oram_index = false,
                                            size_t oram_capacity = 1 << 16,
                                            bool snapshot_scans = true,
                                            bool materialized_views = true,
-                                           bool vectorized_execution = true);
+                                           bool vectorized_execution = true,
+                                           bool parallel_joins = true);
 
 }  // namespace dpsync::sim

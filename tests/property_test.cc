@@ -325,5 +325,142 @@ TEST(VectorizedDeterminismTest, RandomChunkFillsBitIdenticalAcrossConfigs) {
   }
 }
 
+// ---------------------------------------------- join determinism property
+
+// The join knobs' whole contract in one randomized property: fill two
+// tables with random float-heavy rows (heavy key collisions, dummies in
+// the stream) and every combination of backend x shard count x
+// snapshot_scans x parallel_joins must agree bit-for-bit with the locked
+// serial reference — answers, grouped maps, AND the deterministic
+// metrics (virtual QET, records_scanned, join_pairs). One cell exceeds
+// 8192 probe rows so the parallel extraction and probe genuinely fan
+// out, where a chunk-order slip would surface as a last-ulp SUM
+// difference; the segment-log cells keep the default pair limit so the
+// oblivious nested loop (COUNT) is swept across configs too.
+TEST(JoinDeterminismTest, RandomJoinsBitIdenticalAcrossConfigs) {
+  namespace fs = std::filesystem;
+  struct Cell {
+    edb::StorageBackendKind backend;
+    int shards;
+    int64_t probe_rows;
+    int64_t build_rows;
+    int64_t join_limit;  ///< 0 forces the hash path; -1 keeps the default
+  };
+  const Cell cells[] = {
+      // > kParallelScanThreshold: the parallel extraction/probe path.
+      {edb::StorageBackendKind::kInMemory, 1, 9000, 300, 0},
+      {edb::StorageBackendKind::kInMemory, 4, 1500, 400, 0},
+      {edb::StorageBackendKind::kSegmentLog, 1, 900, 200, -1},
+      {edb::StorageBackendKind::kSegmentLog, 4, 900, 200, -1},
+  };
+  const std::vector<std::string> sqls = {
+      "SELECT COUNT(*) FROM YellowCab INNER JOIN GreenTaxi ON "
+      "YellowCab.pickTime = GreenTaxi.pickTime",
+      "SELECT SUM(YellowCab.fare) FROM YellowCab INNER JOIN GreenTaxi ON "
+      "YellowCab.pickTime = GreenTaxi.pickTime WHERE "
+      "YellowCab.tripDistance >= 6.0",
+      "SELECT GreenTaxi.pickupID, SUM(YellowCab.fare) FROM YellowCab "
+      "INNER JOIN GreenTaxi ON YellowCab.pickTime = GreenTaxi.pickTime "
+      "GROUP BY GreenTaxi.pickupID",
+  };
+
+  struct Outcome {
+    query::QueryResult result;
+    double virtual_seconds;
+    int64_t records_scanned;
+    int64_t join_pairs;
+  };
+
+  for (size_t ci = 0; ci < std::size(cells); ++ci) {
+    const Cell& cell = cells[ci];
+    auto make_rows = [&](int64_t n, uint64_t salt) {
+      auto rng = testutil::MakeRng(2000 + 10 * ci + salt);
+      std::vector<Record> records;
+      records.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        workload::TripRecord trip;
+        trip.pick_time = rng.UniformInt(0, 50);  // heavy collisions
+        trip.pickup_id = rng.UniformInt(1, 40);
+        trip.dropoff_id = rng.UniformInt(1, 40);
+        trip.trip_distance = rng.UniformDouble() * 12.0;
+        trip.fare = rng.UniformDouble() * 60.0;
+        trip.is_dummy = (i % 11 == 0);  // rewrite must filter these
+        records.push_back(trip.ToRecord());
+      }
+      return records;
+    };
+    const auto probe = make_rows(cell.probe_rows, 1);
+    const auto build = make_rows(cell.build_rows, 2);
+
+    auto run = [&](bool snapshot, bool parallel) -> std::vector<Outcome> {
+      edb::ObliDbConfig cfg;
+      cfg.master_seed = 20260807;
+      cfg.storage.backend = cell.backend;
+      cfg.storage.num_shards = cell.shards;
+      cfg.snapshot_scans = snapshot;
+      cfg.parallel_joins = parallel;
+      if (cell.join_limit >= 0) cfg.oblivious_join_limit = cell.join_limit;
+      fs::path dir;
+      if (cell.backend == edb::StorageBackendKind::kSegmentLog) {
+        dir = fs::temp_directory_path() /
+              ("dpsync-joindet-" + std::to_string(ci) +
+               (snapshot ? "-snap" : "-lock") + (parallel ? "-par" : "-ser"));
+        fs::remove_all(dir);
+        cfg.storage.dir = dir.string();
+      }
+      std::vector<Outcome> outcomes;
+      {
+        edb::ObliDbServer server(cfg);
+        auto yt = server.CreateTable("YellowCab", workload::TripSchema());
+        EXPECT_TRUE(yt.ok());
+        EXPECT_TRUE(yt.value()->Setup(probe).ok());
+        auto gt = server.CreateTable("GreenTaxi", workload::TripSchema());
+        EXPECT_TRUE(gt.ok());
+        EXPECT_TRUE(gt.value()->Setup(build).ok());
+        auto session = server.CreateSession();
+        for (const auto& sql : sqls) {
+          auto prepared = session->Prepare(sql);
+          EXPECT_TRUE(prepared.ok()) << sql;
+          auto r = session->Execute(prepared.value());
+          EXPECT_TRUE(r.ok()) << sql;
+          outcomes.push_back({r->result, r->stats.virtual_seconds,
+                              r->stats.records_scanned,
+                              r->stats.join_pairs});
+        }
+        // The lock-free path must actually engage (or stay out) per knob.
+        EXPECT_EQ(server.stats().snapshot_joins,
+                  snapshot ? static_cast<int64_t>(sqls.size()) : 0);
+      }
+      if (!dir.empty()) fs::remove_all(dir);
+      return outcomes;
+    };
+
+    const auto reference = run(false, false);  // locked serial
+    for (bool snapshot : {false, true}) {
+      for (bool parallel : {false, true}) {
+        if (!snapshot && !parallel) continue;
+        auto got = run(snapshot, parallel);
+        ASSERT_EQ(got.size(), reference.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          const std::string where =
+              "cell " + std::to_string(ci) + " sql " + std::to_string(i) +
+              (snapshot ? " snap" : " lock") + (parallel ? " par" : " ser");
+          EXPECT_EQ(reference[i].result.grouped, got[i].result.grouped)
+              << where;
+          EXPECT_EQ(reference[i].result.scalar, got[i].result.scalar)
+              << where;
+          EXPECT_EQ(reference[i].result.groups, got[i].result.groups)
+              << where;
+          EXPECT_EQ(reference[i].virtual_seconds, got[i].virtual_seconds)
+              << where;
+          EXPECT_EQ(reference[i].records_scanned, got[i].records_scanned)
+              << where;
+          EXPECT_EQ(reference[i].join_pairs, got[i].join_pairs) << where;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dpsync

@@ -31,6 +31,14 @@ DETERMINISTIC = [
     "real_synced",
     "dummy_synced",
     "updates_posted",
+    # Custom join-sweep entries (sweep_joins): these counters are pure
+    # functions of the table sizes and the plan, identical across the
+    # locked / snapshot-serial / snapshot-parallel modes — any change
+    # means join execution changed what it reads, not how fast.
+    "records_scanned",
+    "join_pairs",
+    "snapshot_joins",
+    "iters",
 ]
 DETERMINISTIC_QUERY = ["mean_l1", "max_l1", "mean_qet"]
 # ORAM health: access counts are deterministic; the stash high-water mark
@@ -48,6 +56,7 @@ DETERMINISTIC_PLAN_CACHE = [
     "rebinds",
     "executed",
     "snapshot_scans",
+    "snapshot_joins",
     "view_hits",
     "view_folds",
 ]
