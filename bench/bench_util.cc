@@ -125,7 +125,9 @@ std::string RenderEntry(const sim::ExperimentConfig& config,
      << ",\"snapshot_scans\":" << ss.snapshot_scans
      << ",\"snapshot_joins\":" << ss.snapshot_joins
      << ",\"view_hits\":" << ss.view_hits
-     << ",\"view_folds\":" << ss.view_folds << "}";
+     << ",\"view_folds\":" << ss.view_folds
+     << ",\"remote_scatters\":" << ss.remote_scatters
+     << ",\"remote_partials\":" << ss.remote_partials << "}";
   os << "}";
   return os.str();
 }

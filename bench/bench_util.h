@@ -43,9 +43,10 @@ sim::ExperimentResult MustRun(const sim::ExperimentConfig& config);
 /// every cell runs from its own config seed — so the output is
 /// bit-identical to calling MustRun sequentially, just faster. (Cells on
 /// worker threads run their internal scan fan-outs as one chunk; that is
-/// invisible because query aggregation is exact integer arithmetic —
-/// a future FP-associative aggregate (SUM/AVG over doubles) would need a
-/// chunk-count-stable merge before this identity claim extends to it.)
+/// invisible because scan partials are indexed by the span-aligned chunk
+/// decomposition — query/executor.cc, SpanAlignedScanChunks — so the
+/// merge tree, FP-sensitive SUM/AVG included, never depends on how the
+/// pool schedules the chunks.)
 std::vector<sim::ExperimentResult> MustRunAll(
     const std::vector<sim::ExperimentConfig>& configs);
 

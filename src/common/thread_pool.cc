@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
 
 namespace dpsync {
 
@@ -64,38 +67,59 @@ void ThreadPool::ParallelFor(
     fn(0, 0, n);
     return;
   }
-  // Even split; the first (n % chunks) chunks take one extra element. The
-  // caller thread runs chunk 0 itself so ParallelFor always makes progress
-  // even when every worker is busy.
-  size_t base = n / chunks;
-  size_t extra = n % chunks;
-  // done_mu/done_cv/pending live on the caller's stack: workers must only
-  // touch them under the mutex (decrement AND notify inside the critical
-  // section), or the caller could observe completion and destroy them
-  // while a worker still holds a reference.
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  size_t pending = chunks - 1;
-  size_t begin = base + (0 < extra ? 1 : 0);  // chunk 0 is [0, begin)
-  size_t first_end = begin;
-  for (size_t c = 1; c < chunks; ++c) {
-    size_t len = base + (c < extra ? 1 : 0);
-    size_t end = begin + len;
-    Submit([&, c, begin, end] {
-      fn(c, begin, end);
-      std::lock_guard<std::mutex> lock(done_mu);
-      if (--pending == 0) done_cv.notify_one();
-    });
-    begin = end;
-  }
-  // The caller's own chunk counts as a parallel region too: a nested
-  // ParallelFor inside it must collapse inline rather than queue behind
+  // Even split; the first (n % chunks) chunks take one extra element.
+  // Boundaries are a pure function of (n, chunks): the claim-based
+  // scheduling below decides which THREAD runs a chunk, never where the
+  // chunk starts or ends, so chunk-indexed merges stay deterministic.
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  auto bounds = [base, extra](size_t c) {
+    const size_t begin = c * base + std::min(c, extra);
+    return std::make_pair(begin, begin + base + (c < extra ? 1 : 0));
+  };
+  // Workers and the calling thread all claim chunk indices from one
+  // shared counter, and the caller keeps claiming until the range is
+  // exhausted — so the loop completes even when every worker is pinned
+  // inside long-blocking tasks (e.g. a distributed coordinator's scatter
+  // RPCs parked in recv while a shard server's scan wants the pool).
+  // Submitting chunks and blocking on workers that may never free up was
+  // a starvation deadlock. State is shared_ptr-owned: a helper task that
+  // wakes after the chunks are exhausted claims nothing and just drops
+  // its reference, so the caller can return without waiting for helpers
+  // that never got scheduled.
+  struct State {
+    std::function<void(size_t, size_t, size_t)> fn;
+    size_t chunks = 0;
+    std::atomic<size_t> next{1};  // chunk 0 always belongs to the caller
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t done = 0;  // completed chunks other than chunk 0
+  };
+  auto state = std::make_shared<State>();
+  state->fn = fn;
+  state->chunks = chunks;
+  auto run_claimed = [bounds, state] {
+    for (;;) {
+      const size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->chunks) return;
+      const auto [begin, end] = bounds(c);
+      state->fn(c, begin, end);
+      std::lock_guard<std::mutex> lock(state->done_mu);
+      if (++state->done == state->chunks - 1) state->done_cv.notify_one();
+    }
+  };
+  for (size_t c = 1; c < chunks; ++c) Submit(run_claimed);
+  // The caller's chunks count as a parallel region too: a nested
+  // ParallelFor inside them must collapse inline rather than queue behind
   // the sibling chunks it would otherwise wait on.
   tl_in_parallel_region = true;
-  fn(0, 0, first_end);
+  const auto [begin0, end0] = bounds(0);
+  fn(0, begin0, end0);
+  run_claimed();  // help drain whatever no worker has picked up
   tl_in_parallel_region = false;
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return pending == 0; });
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->done == state->chunks - 1; });
 }
 
 ThreadPool* SharedPool() {

@@ -42,9 +42,13 @@ class ThreadPool {
   /// a worker) or stall behind whole sibling chunks (from chunk 0). The
   /// effective chunk count therefore varies with num_threads and with the
   /// calling context; callers needing results that are bit-identical
-  /// across partitionings must keep their per-chunk merges exact
-  /// (integer/COUNT accumulation — what the query layer does today), not
-  /// FP-associative.
+  /// across partitionings must either keep their per-chunk merges exact
+  /// (integer/COUNT accumulation), or index their partials by a
+  /// decomposition they compute themselves so the merge tree is
+  /// independent of how this method schedules the work — what the query
+  /// layer's span-aligned scans do (query/executor.cc,
+  /// SpanAlignedScanChunks), which is how FP-sensitive SUM/AVG stay
+  /// deterministic.
   void ParallelFor(size_t n, size_t max_chunks,
                    const std::function<void(size_t, size_t, size_t)>& fn);
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/parallel.h"
+
 namespace dpsync {
 
 DpSyncEngine::DpSyncEngine(std::unique_ptr<SyncStrategy> strategy,
@@ -71,6 +73,13 @@ Status DpSyncEngine::TickBatch(std::vector<Record> arrivals) {
     DPSYNC_RETURN_IF_ERROR(Execute(decision));
   }
   return Status::Ok();
+}
+
+Status DpSyncEngine::TickAll(
+    std::vector<std::pair<DpSyncEngine*, std::vector<Record>>> work) {
+  return ParallelShardStatus(work.size(), [&](size_t i) {
+    return work[i].first->TickBatch(std::move(work[i].second));
+  });
 }
 
 }  // namespace dpsync

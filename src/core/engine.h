@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -54,6 +56,15 @@ class DpSyncEngine {
   /// number of arriving records. The DP guarantee stays event-level — each
   /// individual record is protected with the configured epsilon.
   Status TickBatch(std::vector<Record> arrivals);
+
+  /// Multi-table owner fan-out: advances every engine one time unit on the
+  /// shared pool, one task per engine. Engines own disjoint caches, RNGs
+  /// and backends, so the parallel ticks are bit-identical to running the
+  /// same TickBatch calls sequentially (per-engine counters, patterns and
+  /// noise streams never interact). Reduction is the deterministic "first
+  /// failing engine in index order wins" rule from common/parallel.h.
+  static Status TickAll(
+      std::vector<std::pair<DpSyncEngine*, std::vector<Record>>> work);
 
   /// Current time unit (number of Tick calls so far).
   int64_t now() const { return t_; }

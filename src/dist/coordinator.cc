@@ -1,0 +1,598 @@
+#include "dist/coordinator.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/parallel.h"
+#include "dp/laplace.h"
+#include "query/executor.h"
+
+namespace dpsync::dist {
+
+namespace {
+
+uint64_t ResolveSeed(const DistributedConfig& config) {
+  return config.engine == DistEngineKind::kCryptEps
+             ? config.crypteps.master_seed
+             : config.oblidb.master_seed;
+}
+
+double SecondsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Decodes the WireStatus reply of a mutating RPC back into its Status.
+Status StatusFromReply(const Bytes& reply) {
+  auto ws = net::WireStatus::Decode(reply);
+  if (!ws.ok()) return ws.status();
+  return ws.value().ToStatus();
+}
+
+Status AnnotateRank(size_t rank, const Status& s) {
+  if (s.ok()) return s;
+  return Status(s.code(),
+                "shard server " + std::to_string(rank) + ": " + s.message());
+}
+
+query::ScanPartial ToScanPartial(const net::WirePartial& w) {
+  const auto func = static_cast<query::AggFunc>(w.func);
+  auto unpack = [func](const net::WireAggState& s) {
+    return query::AggAccumulator::FromState(
+        func, {s.count, s.sum, s.min, s.max, s.seen});
+  };
+  query::ScanPartial p;
+  p.func = func;
+  p.grouped = w.grouped;
+  p.total = query::AggAccumulator(func);
+  // Rebuild the per-shard cells and refold them in order: AppendSpan
+  // replays exactly the Merge() sequence the single-process scan runs
+  // over the same spans, so the aggregate state is reconstructed bit for
+  // bit rather than trusted from a pre-merged wire field.
+  for (const auto& ws : w.spans) {
+    query::SpanPartial cell{unpack(ws.total), {}};
+    for (const auto& [key, state] : ws.groups) {
+      cell.groups.emplace(key, unpack(state));
+    }
+    p.AppendSpan(std::move(cell));
+  }
+  p.records_scanned = w.records_scanned;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- DistTable
+
+/// The coordinator-side owner handle: holds the table's ONE global cipher
+/// (nonce stream) and the global ShardRouter, encrypts + routes every
+/// record, and ships per-server ciphertext batches. No record bytes live
+/// here — the shard servers are the storage.
+class DistributedEdbServer::DistTable : public edb::EdbTable {
+ public:
+  DistTable(DistributedEdbServer* owner, std::string name,
+            query::Schema schema, Bytes key)
+      : owner_(owner),
+        name_(std::move(name)),
+        schema_(std::move(schema)),
+        cipher_(std::move(key)),
+        router_(owner_->storage_.num_shards) {}
+
+  Status Setup(const std::vector<Record>& gamma0) override {
+    return Ship(gamma0, /*setup_batch=*/true);
+  }
+  Status Update(const std::vector<Record>& gamma) override {
+    return Ship(gamma, /*setup_batch=*/false);
+  }
+
+  int64_t outsourced_count() const override {
+    return count_.load(std::memory_order_acquire);
+  }
+  int64_t outsourced_bytes() const override {
+    return outsourced_count() *
+           static_cast<int64_t>(crypto::RecordCipher::kCiphertextSize);
+  }
+  const std::string& table_name() const override { return name_; }
+  uint64_t commit_epoch() const override {
+    return commit_epoch_.load(std::memory_order_acquire);
+  }
+
+  const query::Schema& schema() const { return schema_; }
+
+ private:
+  /// Encrypt + route the whole batch under the table mutex (one nonce
+  /// stream, same serialization as the single-process append path), then
+  /// scatter the per-server batches. A setup batch goes to EVERY server —
+  /// including empty ones — so each shard store runs its Setup state
+  /// transition and materializes its full topology; steady-state updates
+  /// ship only to the servers whose shards the batch touched. Failure
+  /// semantics: first failing rank wins; servers that already ingested
+  /// keep their records (no distributed rollback — deferred with
+  /// replication, see docs/DISTRIBUTED.md).
+  Status Ship(const std::vector<Record>& gamma, bool setup_batch) {
+    std::lock_guard<std::mutex> lk(table_mutex());
+    if (setup_batch) {
+      if (setup_done_) return Status::FailedPrecondition("Setup already run");
+      setup_done_ = true;  // sticky, like EncryptedTableStore::Setup
+    } else if (!setup_done_) {
+      return Status::FailedPrecondition("Update before Setup");
+    }
+    const size_t servers = owner_->peers_.size();
+    std::vector<net::WireIngest> batches(servers);
+    for (const Record& r : gamma) {
+      auto ct = cipher_.Encrypt(r.payload);
+      if (!ct.ok()) return ct.status();
+      const int global_shard = router_.Route(r.payload);
+      const auto& [rank, local_shard] = owner_->shard_owner_[global_shard];
+      batches[static_cast<size_t>(rank)].entries.push_back(
+          {local_shard, std::move(ct.value())});
+    }
+    // One high-water mark for the whole batch: every server's store
+    // tracks the GLOBAL stream position, not its own consumption.
+    const uint64_t high_water = cipher_.nonce_high_water();
+    std::vector<Bytes> requests(servers);
+    for (size_t k = 0; k < servers; ++k) {
+      if (!setup_batch && batches[k].entries.empty()) continue;
+      batches[k].table = name_;
+      batches[k].setup_batch = setup_batch;
+      batches[k].nonce_high_water = high_water;
+      auto encoded = batches[k].Encode();
+      if (!encoded.ok()) return encoded.status();
+      requests[k] = std::move(encoded.value());
+    }
+    auto statuses = ParallelShardStatuses(servers, [&](size_t k) -> Status {
+      if (requests[k].empty()) return Status::Ok();  // untouched server
+      auto reply = owner_->peers_[k].channel->Call(requests[k]);
+      if (!reply.ok()) return AnnotateRank(k, reply.status());
+      return AnnotateRank(k, StatusFromReply(reply.value()));
+    });
+    for (const auto& st : statuses) DPSYNC_RETURN_IF_ERROR(st);
+    count_.fetch_add(static_cast<int64_t>(gamma.size()),
+                     std::memory_order_acq_rel);
+    if (!gamma.empty()) {
+      // Every server auto-flushed its batch (flush_every_update is a
+      // distributed-mode requirement), so the records are committed and
+      // query-visible on return — the same commit point the
+      // single-process store publishes.
+      commit_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    return Status::Ok();
+  }
+
+  DistributedEdbServer* owner_;
+  std::string name_;
+  query::Schema schema_;
+  crypto::RecordCipher cipher_;
+  ShardRouter router_;  ///< over the GLOBAL shard count
+  bool setup_done_ = false;
+  std::atomic<int64_t> count_{0};
+  std::atomic<uint64_t> commit_epoch_{0};
+};
+
+// ----------------------------------------------------- DistributedEdbServer
+
+const edb::AdmissionConfig& DistributedEdbServer::PickAdmission(
+    const DistributedConfig& config) {
+  return config.engine == DistEngineKind::kCryptEps
+             ? config.crypteps.admission
+             : config.oblidb.admission;
+}
+
+DistributedEdbServer::DistributedEdbServer(const DistributedConfig& config)
+    : edb::EdbServer(PickAdmission(config)),
+      config_(config),
+      keys_(crypto::KeyManager::FromSeed(ResolveSeed(config))),
+      master_seed_(ResolveSeed(config)),
+      cost_(config.engine == DistEngineKind::kCryptEps
+                ? edb::CryptEpsCostModel()
+                : edb::ObliDbCostModel()),
+      noise_rng_(master_seed_ ^ 0xfeedface) {
+  const bool crypteps = config.engine == DistEngineKind::kCryptEps;
+  storage_ = crypteps ? config.crypteps.storage : config.oblidb.storage;
+  use_oram_index_ = !crypteps && config.oblidb.use_oram_index;
+  snapshot_scans_ = crypteps ? config.crypteps.snapshot_scans
+                             : config.oblidb.snapshot_scans;
+
+  const int total_shards = storage_.num_shards;
+  const int servers = config.num_servers;
+  if (servers < 1) {
+    init_status_ = Status::InvalidArgument(
+        "distributed deployment needs at least one shard server");
+    return;
+  }
+  if (total_shards < servers) {
+    init_status_ = Status::InvalidArgument(
+        "num_servers (" + std::to_string(servers) +
+        ") exceeds the global shard count (" + std::to_string(total_shards) +
+        "): every server must own at least one shard");
+    return;
+  }
+  if (!storage_.flush_every_update) {
+    // The coordinator's commit point is "every server auto-flushed the
+    // batch"; manual commit points would need a distributed flush
+    // protocol this PR defers.
+    init_status_ = Status::InvalidArgument(
+        "distributed mode requires StorageConfig::flush_every_update");
+    return;
+  }
+
+  // Per-TREE ORAM capacity is the invariant: the single-process topology
+  // gives every shard ceil(capacity / S) blocks, so each server gets that
+  // much per local shard and the tree heights (hence oram_buckets) match
+  // the single-process engine exactly.
+  const size_t per_tree_capacity =
+      (config.oblidb.oram_capacity + static_cast<size_t>(total_shards) - 1) /
+      static_cast<size_t>(total_shards);
+
+  shard_owner_.resize(static_cast<size_t>(total_shards));
+  peers_.reserve(static_cast<size_t>(servers));
+  for (int k = 0; k < servers; ++k) {
+    const int lo = static_cast<int>(static_cast<int64_t>(total_shards) * k /
+                                    servers);
+    const int hi = static_cast<int>(static_cast<int64_t>(total_shards) *
+                                    (k + 1) / servers);
+    for (int g = lo; g < hi; ++g) {
+      shard_owner_[static_cast<size_t>(g)] = {k,
+                                              static_cast<uint32_t>(g - lo)};
+    }
+    ShardServerConfig sc;
+    sc.engine = config.engine;
+    sc.master_seed = master_seed_;
+    sc.rank = k;
+    sc.storage = storage_;
+    sc.storage.num_shards = hi - lo;
+    if (!storage_.dir.empty()) {
+      sc.storage.dir = storage_.dir + "/rank" + std::to_string(k);
+    }
+    sc.use_oram_index = use_oram_index_;
+    sc.oram_capacity = per_tree_capacity * static_cast<size_t>(hi - lo);
+    sc.snapshot_scans = snapshot_scans_;
+
+    Peer peer;
+    peer.lo = lo;
+    peer.hi = hi;
+    peer.server = std::make_unique<EdbShardServer>(sc);
+
+    int channel_fd = -1;
+    int server_fd = -1;
+    if (config.use_tcp) {
+      auto listener = net::ListenLoopback();
+      if (!listener.ok()) {
+        init_status_ = listener.status();
+        return;
+      }
+      auto connected = net::ConnectLoopback(listener.value().port);
+      if (!connected.ok()) {
+        net::CloseFd(listener.value().fd);
+        init_status_ = connected.status();
+        return;
+      }
+      auto accepted =
+          net::AcceptOne(listener.value().fd, config.rpc_timeout_seconds);
+      net::CloseFd(listener.value().fd);
+      if (!accepted.ok()) {
+        net::CloseFd(connected.value());
+        init_status_ = accepted.status();
+        return;
+      }
+      channel_fd = connected.value();
+      server_fd = accepted.value();
+    } else {
+      auto pair = net::SocketPair();
+      if (!pair.ok()) {
+        init_status_ = pair.status();
+        return;
+      }
+      channel_fd = pair.value().a;
+      server_fd = pair.value().b;
+    }
+    Status serving = peer.server->Serve(server_fd);
+    if (!serving.ok()) {
+      net::CloseFd(channel_fd);
+      init_status_ = serving;
+      return;
+    }
+    peer.channel =
+        std::make_unique<net::Channel>(channel_fd, config.rpc_timeout_seconds);
+    peers_.push_back(std::move(peer));
+  }
+}
+
+DistributedEdbServer::~DistributedEdbServer() {
+  // In-flight async queries call back into our virtual SPI; drain them
+  // while the object is intact, then tear the transport down.
+  DrainSessions();
+  for (auto& peer : peers_) {
+    if (peer.channel) peer.channel->Close();
+    if (peer.server) peer.server->Shutdown();
+  }
+}
+
+std::string DistributedEdbServer::name() const {
+  return config_.engine == DistEngineKind::kCryptEps
+             ? "Distributed+CryptEpsilon"
+             : "Distributed+ObliDB";
+}
+
+edb::LeakageProfile DistributedEdbServer::leakage() const {
+  // The deployment inherits the underlying scheme's leakage class: the
+  // wire carries only ciphertexts, routing decisions are a pure function
+  // of record identity (the same FNV hash the single-process store
+  // applies), and per-server scan volumes equal per-shard-range sizes the
+  // server already observes.
+  edb::LeakageProfile p;
+  p.query_class = config_.engine == DistEngineKind::kCryptEps
+                      ? edb::LeakageClass::kLDP
+                      : edb::LeakageClass::kL0;
+  p.update_leaks_only_pattern = true;
+  p.encrypts_records_atomically = true;
+  p.supports_insertion = true;
+  p.scheme_name = name();
+  return p;
+}
+
+int64_t DistributedEdbServer::total_outsourced_bytes() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  int64_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->outsourced_bytes();
+  return total;
+}
+
+int64_t DistributedEdbServer::total_outsourced_records() const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  int64_t total = 0;
+  for (const auto& [_, t] : tables_) total += t->outsourced_count();
+  return total;
+}
+
+double DistributedEdbServer::consumed_query_budget() const {
+  std::lock_guard<std::mutex> lk(budget_mu_);
+  return consumed_budget_;
+}
+
+int64_t DistributedEdbServer::rpc_calls() const {
+  int64_t total = 0;
+  for (const auto& peer : peers_) total += peer.channel->rpc_calls();
+  return total;
+}
+
+int64_t DistributedEdbServer::bytes_shipped() const {
+  int64_t total = 0;
+  for (const auto& peer : peers_) total += peer.channel->bytes_shipped();
+  return total;
+}
+
+Status DistributedEdbServer::KillServer(int rank) {
+  if (rank < 0 || rank >= num_servers()) {
+    return Status::OutOfRange("no shard server with rank " +
+                              std::to_string(rank));
+  }
+  peers_[static_cast<size_t>(rank)].server->Kill();
+  return Status::Ok();
+}
+
+DistributedEdbServer::DistTable* DistributedEdbServer::FindTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const query::Schema* DistributedEdbServer::FindSchema(
+    const std::string& table) const {
+  DistTable* t = FindTable(table);
+  return t ? &t->schema() : nullptr;
+}
+
+query::PlannerOptions DistributedEdbServer::planner_options() const {
+  query::PlannerOptions options;
+  options.engine_name = name();
+  // Joins would need either co-partitioned tables or record shipping
+  // between servers; both are deferred, so joins are rejected at Prepare
+  // time like Crypt-eps does.
+  options.supports_join = false;
+  options.oram_indexed = use_oram_index_;
+  return options;
+}
+
+StatusOr<edb::EdbTable*> DistributedEdbServer::CreateTableImpl(
+    const std::string& name, const query::Schema& schema) {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  if (!schema.HasDummyFlag()) {
+    return Status::InvalidArgument(
+        "schema must carry an isDummy attribute for dummy-aware rewriting");
+  }
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  if (tables_.count(name)) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  net::WireCreateTable req;
+  req.table = name;
+  req.fields = schema.fields();
+  auto encoded = req.Encode();
+  if (!encoded.ok()) return encoded.status();
+  // Broadcast before registering locally: a server that failed to create
+  // the table would fail every later RPC for it anyway, so surface the
+  // error here (servers that already created it keep the empty table —
+  // harmless, and retrying with another name is always possible).
+  std::vector<Bytes> replies;
+  DPSYNC_RETURN_IF_ERROR(Scatter(encoded.value(), &replies));
+  for (size_t k = 0; k < replies.size(); ++k) {
+    DPSYNC_RETURN_IF_ERROR(AnnotateRank(k, StatusFromReply(replies[k])));
+  }
+  auto table = std::make_unique<DistTable>(
+      this, name, schema, keys_.DeriveKey("table-aead:" + name));
+  edb::EdbTable* handle = table.get();
+  tables_[name] = std::move(table);
+  return handle;
+}
+
+void DistributedEdbServer::OnPlanReady(
+    const std::shared_ptr<const query::QueryPlan>& plan) {
+  if (!init_status_.ok() || plan->kind != query::PlanKind::kScan) return;
+  net::WirePlan req;
+  req.kind = net::MsgKind::kPrepare;
+  req.fingerprint = plan->fingerprint;
+  req.canonical_text = plan->canonical_text;
+  auto encoded = req.Encode();
+  if (!encoded.ok()) return;
+  // Best-effort cache warming: a failed (or refused) Prepare just means
+  // the first Execute re-plans shard-side.
+  for (auto& peer : peers_) (void)peer.channel->Call(encoded.value());
+}
+
+Status DistributedEdbServer::Scatter(const Bytes& request,
+                                     std::vector<Bytes>* replies) {
+  const size_t servers = peers_.size();
+  replies->assign(servers, Bytes{});
+  auto statuses = ParallelShardStatuses(servers, [&](size_t k) -> Status {
+    auto reply = peers_[k].channel->Call(request);
+    if (!reply.ok()) return AnnotateRank(k, reply.status());
+    (*replies)[k] = std::move(reply.value());
+    return Status::Ok();
+  });
+  // First failing rank wins — deterministic regardless of which RPC
+  // actually failed first in wall-clock time.
+  for (const auto& st : statuses) DPSYNC_RETURN_IF_ERROR(st);
+  return Status::Ok();
+}
+
+StatusOr<edb::QueryResponse> DistributedEdbServer::ExecutePlan(
+    const query::QueryPlan& plan) {
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  if (plan.kind != query::PlanKind::kScan) {
+    return Status::Internal(name() +
+                            " received a join plan the planner should have "
+                            "rejected at Prepare");
+  }
+  DistTable* table = FindTable(plan.table);
+  if (!table) {
+    return Status::Internal("plan references lost table " + plan.table);
+  }
+
+  // Crypt-eps mode: reserve the per-query budget BEFORE any work, under
+  // the same ledger discipline as the single-process engine (atomic
+  // reserve, rollback on failure), so concurrent queries can never
+  // jointly overdraw the analyst budget.
+  const bool crypteps = config_.engine == DistEngineKind::kCryptEps;
+  if (crypteps) {
+    std::lock_guard<std::mutex> lk(budget_mu_);
+    if (config_.crypteps.total_budget_limit > 0 &&
+        consumed_budget_ + config_.crypteps.query_epsilon >
+            config_.crypteps.total_budget_limit + 1e-9) {
+      return Status::PermissionDenied("analyst query budget exhausted");
+    }
+    consumed_budget_ += config_.crypteps.query_epsilon;
+  }
+  auto rollback_budget = [&] {
+    if (!crypteps) return;
+    std::lock_guard<std::mutex> lk(budget_mu_);
+    consumed_budget_ -= config_.crypteps.query_epsilon;  // nothing released
+  };
+
+  auto start = std::chrono::steady_clock::now();
+
+  net::WirePlan req;
+  req.kind = net::MsgKind::kExecute;
+  req.fingerprint = plan.fingerprint;
+  req.canonical_text = plan.canonical_text;
+  auto encoded = req.Encode();
+  if (!encoded.ok()) {
+    rollback_budget();
+    return encoded.status();
+  }
+  std::vector<Bytes> replies;
+  Status scattered = Scatter(encoded.value(), &replies);
+  if (!scattered.ok()) {
+    rollback_budget();
+    return scattered;
+  }
+
+  // Gather: decode and merge partials in strict rank order. Server k owns
+  // global shards [S*k/K, S*(k+1)/K) and ships one aggregate cell per
+  // non-empty local shard, so concatenating the rank-ordered cell lists
+  // recovers the global shard order. The single-process scan reduces over
+  // the span-aligned tree (query::SpanAlignedScanChunks: chunk partials
+  // fold within their shard, shard cells fold in shard order) — MergeFrom
+  // replays that fold cell by cell, so the finalized answer is
+  // bit-identical to the one-process engine even for FP-sensitive
+  // aggregates (SUM/AVG over doubles).
+  query::ScanPartial merged;
+  int64_t oram_paths = 0;
+  int64_t oram_buckets = 0;
+  for (size_t k = 0; k < replies.size(); ++k) {
+    auto kind = net::PeekKind(replies[k]);
+    if (!kind.ok()) {
+      rollback_budget();
+      return AnnotateRank(k, kind.status());
+    }
+    if (kind.value() == net::MsgKind::kStatusReply) {
+      Status remote = StatusFromReply(replies[k]);
+      if (remote.ok()) {
+        remote = Status::Internal(
+            "sent an OK status where an aggregate partial was expected");
+      }
+      rollback_budget();
+      return AnnotateRank(k, remote);
+    }
+    auto wire = net::WirePartial::Decode(replies[k]);
+    if (!wire.ok()) {
+      rollback_budget();
+      return AnnotateRank(k, wire.status());
+    }
+    oram_paths += wire.value().oram_paths;
+    oram_buckets += wire.value().oram_buckets;
+    query::ScanPartial partial = ToScanPartial(wire.value());
+    if (k == 0) {
+      merged = std::move(partial);
+    } else {
+      Status ms = merged.MergeFrom(partial);
+      if (!ms.ok()) {
+        rollback_budget();
+        return AnnotateRank(k, ms);
+      }
+    }
+  }
+
+  query::QueryResult result = merged.Finalize();
+  if (crypteps) {
+    // Release with Laplace noise from the per-query budget, under the
+    // ledger lock so the sequential noise stream stays deterministic —
+    // and bit-identical to the single-process engine's (the exact answer
+    // and the draw sequence are both identical).
+    std::lock_guard<std::mutex> lk(budget_mu_);
+    dp::LaplaceMechanism release(config_.crypteps.query_epsilon);
+    if (result.grouped) {
+      for (auto& [key, value] : result.groups) {
+        value = release.Perturb(value, &noise_rng_);
+        if (value < 0) value = 0;  // post-processing: counts are nonnegative
+      }
+    } else {
+      result.scalar = release.Perturb(result.scalar, &noise_rng_);
+      if (result.scalar < 0) result.scalar = 0;
+    }
+  }
+
+  CountRemoteScatter(static_cast<int64_t>(replies.size()));
+  if (snapshot_scans_ && query::PlanIsReadOnlyScan(plan)) {
+    // The shard servers served this scan from pinned snapshots; count it
+    // once at the coordinator, matching the single-process counter.
+    CountSnapshotScan();
+  }
+
+  edb::QueryResponse resp;
+  resp.result = std::move(result);
+  resp.stats.records_scanned = merged.records_scanned;
+  resp.stats.virtual_seconds = edb::ScanCost(cost_, merged.records_scanned,
+                                             !plan.rewritten.group_by.empty());
+  if (oram_buckets > 0) {
+    resp.stats.oram_paths = oram_paths;
+    resp.stats.oram_buckets = oram_buckets;
+    resp.stats.oram_virtual_seconds = edb::OramBucketsCost(cost_, oram_buckets);
+  }
+  resp.stats.measured_seconds = SecondsSince(start);
+  return resp;
+}
+
+}  // namespace dpsync::dist

@@ -1,0 +1,151 @@
+/// \file coordinator.h
+/// The distributed scatter-gather coordinator: an edb::EdbServer (it
+/// inherits the whole Query API v2 — sessions, plan cache, admission,
+/// rebinds) whose tables live on K shard servers, each owning a
+/// contiguous range of the table's global storage shards.
+///
+/// Owner path: the coordinator is the trusted owner proxy. It holds each
+/// table's AEAD cipher (ONE global nonce stream) and the global FNV-1a
+/// ShardRouter; Setup/Update encrypt and route every record locally, then
+/// ship per-server batches of (local shard, ciphertext) — plaintext rows
+/// never cross the wire.
+///
+/// Query path: ExecutePlan ships the plan's canonical text to every
+/// server in parallel (common/parallel.h fan-out), gathers per-server
+/// aggregate partials, and merges them in strict server-rank order.
+/// Because server k owns global shards [S*k/K, S*(k+1)/K) and the
+/// single-process scan visits rows shard-major with chunk-order partial
+/// merges, the rank-order merge replays the exact global Add()/Merge()
+/// sequence — answers, grouped maps, records_scanned, the virtual QET
+/// and (in Crypt-eps mode) the Laplace noise stream are bit-identical to
+/// the single-process engines (dist_test proves this per backend x shard
+/// count).
+///
+/// Failure semantics: every RPC is bounded by rpc_timeout_seconds; a
+/// dead or hung server yields a typed Unavailable (first failing rank
+/// wins, deterministically) — no hang, no partial answer. Replicated
+/// logs / failover are explicitly deferred (docs/DISTRIBUTED.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/key_manager.h"
+#include "dist/shard_server.h"
+#include "edb/cost_model.h"
+#include "edb/crypte_engine.h"
+#include "edb/encrypted_database.h"
+#include "net/socket.h"
+
+namespace dpsync::dist {
+
+/// Coordinator configuration. The engine-specific sub-configs carry the
+/// GLOBAL topology (storage.num_shards is the table-wide shard count that
+/// the servers split; oram_capacity the table-wide ORAM budget).
+struct DistributedConfig {
+  DistEngineKind engine = DistEngineKind::kObliDb;
+  /// Number of shard servers. Must be >= 1 and <= the global shard count.
+  int num_servers = 1;
+  /// ObliDB-mode knobs (used when engine == kObliDb).
+  edb::ObliDbConfig oblidb;
+  /// Crypt-eps-mode knobs (used when engine == kCryptEps).
+  edb::CryptEpsConfig crypteps;
+  /// Transport: AF_UNIX socketpairs by default (CTest-safe: no ports, no
+  /// accept races); real TCP on 127.0.0.1 ephemeral ports when true.
+  bool use_tcp = false;
+  /// Per-RPC reply deadline; a server that dies or hangs fails the query
+  /// with Unavailable within this bound.
+  double rpc_timeout_seconds = 10.0;
+};
+
+/// Scatter-gather coordinator over in-process shard servers.
+class DistributedEdbServer : public edb::EdbServer {
+ public:
+  explicit DistributedEdbServer(const DistributedConfig& config);
+  ~DistributedEdbServer() override;
+
+  edb::LeakageProfile leakage() const override;
+  std::string name() const override;
+  int64_t total_outsourced_bytes() const override;
+  int64_t total_outsourced_records() const override;
+
+  // Engine SPI (see encrypted_database.h).
+  StatusOr<edb::QueryResponse> ExecutePlan(
+      const query::QueryPlan& plan) override;
+  const query::Schema* FindSchema(const std::string& table) const override;
+  query::PlannerOptions planner_options() const override;
+
+  /// Deferred construction failure (bad topology, transport setup); every
+  /// CreateTable/ExecutePlan reports it.
+  Status init_status() const { return init_status_; }
+
+  int num_servers() const { return static_cast<int>(peers_.size()); }
+
+  /// Cumulative analyst budget consumed (Crypt-eps mode; 0 otherwise).
+  double consumed_query_budget() const;
+
+  /// Failure injection for tests: tears down server `rank`'s serve loop,
+  /// so the next query fails with Unavailable within the RPC deadline.
+  Status KillServer(int rank);
+
+  /// Deterministic transport counters summed over every channel.
+  int64_t rpc_calls() const;
+  int64_t bytes_shipped() const;
+
+ protected:
+  StatusOr<edb::EdbTable*> CreateTableImpl(
+      const std::string& name, const query::Schema& schema) override;
+  /// Best-effort plan shipment: warms every server's plan cache with the
+  /// canonical text so the first Execute skips the shard-side re-plan.
+  void OnPlanReady(
+      const std::shared_ptr<const query::QueryPlan>& plan) override;
+
+ private:
+  class DistTable;
+
+  /// One shard server plus its connection and global shard range [lo, hi).
+  struct Peer {
+    std::unique_ptr<EdbShardServer> server;
+    std::unique_ptr<net::Channel> channel;
+    int lo = 0;
+    int hi = 0;
+  };
+
+  static const edb::AdmissionConfig& PickAdmission(
+      const DistributedConfig& config);
+
+  DistTable* FindTable(const std::string& name) const;
+  /// Scatters `request` to every peer in parallel and returns the raw
+  /// replies; the caller decodes. First failing rank wins.
+  Status Scatter(const Bytes& request, std::vector<Bytes>* replies);
+
+  DistributedConfig config_;
+  Status init_status_;
+  crypto::KeyManager keys_;
+  // Resolved knobs (mode-independent view of the active sub-config).
+  uint64_t master_seed_;
+  edb::StorageConfig storage_;  ///< GLOBAL topology
+  bool use_oram_index_ = false;
+  bool snapshot_scans_ = true;
+  edb::CostModel cost_;
+  /// global shard -> (rank, local shard) routing table.
+  std::vector<std::pair<int, uint32_t>> shard_owner_;
+  std::vector<Peer> peers_;
+
+  /// Crypt-eps budget ledger + noise stream (exactly the single-process
+  /// discipline: reserve under the lock before the scan, draw under the
+  /// same lock after it — see crypte_engine.cc).
+  mutable std::mutex budget_mu_;
+  Rng noise_rng_;
+  double consumed_budget_ = 0.0;
+
+  mutable std::mutex catalog_mu_;
+  std::map<std::string, std::unique_ptr<DistTable>> tables_;
+};
+
+}  // namespace dpsync::dist

@@ -1,0 +1,292 @@
+#include "dist/shard_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/plan.h"
+
+namespace dpsync::dist {
+
+namespace {
+
+/// Every reply is a payload; errors travel as WireStatus frames. Encoding
+/// a WireStatus cannot fail for the message sizes we produce, but the
+/// codec is fallible by contract — degrade to an empty payload, which the
+/// coordinator rejects as malformed (better than asserting in a server).
+Bytes EncodeStatusReply(const Status& s) {
+  auto encoded = net::WireStatus::FromStatus(s).Encode();
+  return encoded.ok() ? encoded.value() : Bytes{};
+}
+
+}  // namespace
+
+EdbShardServer::EdbShardServer(const ShardServerConfig& config)
+    : config_(config),
+      keys_(crypto::KeyManager::FromSeed(config.master_seed)) {
+  table_config_.master_seed = config.master_seed;
+  table_config_.use_oram_index = config.use_oram_index;
+  table_config_.oram_capacity = config.oram_capacity;
+  table_config_.snapshot_scans = config.snapshot_scans;
+  // The coordinator merges raw partials, so view short-circuits could
+  // never be consulted here; keep the per-table state minimal.
+  table_config_.materialized_views = false;
+  table_config_.storage = config.storage;
+}
+
+EdbShardServer::~EdbShardServer() { Shutdown(); }
+
+Status EdbShardServer::Serve(int fd) {
+  std::lock_guard<std::mutex> lk(serve_mu_);
+  if (fd_ >= 0 || thread_.joinable()) {
+    net::CloseFd(fd);
+    return Status::FailedPrecondition("shard server is already serving");
+  }
+  fd_ = fd;
+  thread_ = std::thread([this, fd] { ServeLoop(fd); });
+  return Status::Ok();
+}
+
+void EdbShardServer::Shutdown() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lk(serve_mu_);
+    if (fd_ >= 0) {
+      // Wake the serve loop's blocking read; the loop closes the fd when
+      // it exits, so only shut the connection down here.
+      ::shutdown(fd_, SHUT_RDWR);
+      fd_ = -1;
+    }
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+void EdbShardServer::ServeLoop(int fd) {
+  // Blocking reads: the coordinator owns all timeouts. A dead coordinator
+  // closes the socket, which lands here as an Unavailable read error.
+  net::FdReadBuffer reader(fd, /*timeout_seconds=*/0);
+  net::FdWriteBuffer writer(fd);
+  for (;;) {
+    auto request = net::ReadFrame(reader);
+    if (!request.ok()) break;  // peer closed, Shutdown(), or torn frame
+    Bytes reply = HandleFrame(request.value());
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!net::WriteFrame(writer, reply).ok()) break;
+  }
+  net::CloseFd(fd);
+}
+
+Bytes EdbShardServer::HandleFrame(const Bytes& payload) {
+  auto kind = net::PeekKind(payload);
+  if (!kind.ok()) return EncodeStatusReply(kind.status());
+  switch (kind.value()) {
+    case net::MsgKind::kCreateTable: {
+      auto req = net::WireCreateTable::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      return EncodeStatusReply(HandleCreateTable(req.value()));
+    }
+    case net::MsgKind::kPrepare: {
+      auto req = net::WirePlan::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      prepares_.fetch_add(1, std::memory_order_relaxed);
+      auto plan = PlanFor(req.value().fingerprint,
+                          req.value().canonical_text);
+      return EncodeStatusReply(plan.ok() ? Status::Ok() : plan.status());
+    }
+    case net::MsgKind::kExecute: {
+      auto req = net::WirePlan::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      auto partial = HandleExecute(req.value());
+      if (!partial.ok()) return EncodeStatusReply(partial.status());
+      auto encoded = partial.value().Encode();
+      if (!encoded.ok()) return EncodeStatusReply(encoded.status());
+      return encoded.value();
+    }
+    case net::MsgKind::kIngest: {
+      auto req = net::WireIngest::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      return EncodeStatusReply(HandleIngest(req.value()));
+    }
+    case net::MsgKind::kFlush: {
+      auto req = net::WireTableRef::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      return EncodeStatusReply(HandleFlush(req.value()));
+    }
+    case net::MsgKind::kStats: {
+      auto encoded = HandleStats().Encode();
+      if (!encoded.ok()) return EncodeStatusReply(encoded.status());
+      return encoded.value();
+    }
+    default:
+      return EncodeStatusReply(Status::InvalidArgument(
+          "shard server received a reply-kind or unknown message"));
+  }
+}
+
+Status EdbShardServer::HandleCreateTable(const net::WireCreateTable& req) {
+  query::Schema schema(req.fields);
+  if (!schema.HasDummyFlag()) {
+    return Status::InvalidArgument(
+        "schema must carry an isDummy attribute for dummy-aware rewriting");
+  }
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  if (tables_.count(req.table)) {
+    return Status::InvalidArgument("table already exists: " + req.table);
+  }
+  tables_[req.table] = std::make_unique<edb::ObliDbTable>(
+      req.table, schema, keys_.DeriveKey("table-aead:" + req.table),
+      table_config_);
+  return Status::Ok();
+}
+
+edb::ObliDbTable* EdbShardServer::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(catalog_mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<std::shared_ptr<const query::QueryPlan>> EdbShardServer::PlanFor(
+    uint64_t fingerprint, const std::string& canonical_text) {
+  {
+    std::lock_guard<std::mutex> lk(plans_mu_);
+    auto it = plans_.find(fingerprint);
+    if (it != plans_.end() &&
+        it->second->canonical_text == canonical_text) {
+      return it->second;
+    }
+  }
+  // Re-plan from the canonical text against OUR catalog: the shipped text
+  // is parse-stable by construction, and planning locally (instead of
+  // trusting a shipped plan object) keeps the schema binding honest.
+  auto parsed = query::ParseSelect(canonical_text);
+  if (!parsed.ok()) return parsed.status();
+  query::PlannerOptions options;
+  options.supports_join = false;  // per-server joins are deferred
+  options.engine_name = "shard server " + std::to_string(config_.rank);
+  options.oram_indexed = config_.use_oram_index;
+  auto plan = query::PlanSelect(
+      parsed.value(),
+      [this](const std::string& table) -> const query::Schema* {
+        edb::ObliDbTable* t = FindTable(table);
+        return t ? &t->store().schema() : nullptr;
+      },
+      options);
+  if (!plan.ok()) return plan.status();
+  if (plan.value()->fingerprint != fingerprint) {
+    return Status::InvalidArgument(
+        "shipped fingerprint does not match the canonical text");
+  }
+  std::lock_guard<std::mutex> lk(plans_mu_);
+  plans_[fingerprint] = plan.value();
+  return plan.value();
+}
+
+StatusOr<net::WirePartial> EdbShardServer::HandleExecute(
+    const net::WirePlan& req) {
+  executes_.fetch_add(1, std::memory_order_relaxed);
+  auto plan_or = PlanFor(req.fingerprint, req.canonical_text);
+  if (!plan_or.ok()) return plan_or.status();
+  const query::QueryPlan& plan = *plan_or.value();
+  edb::ObliDbTable* table = FindTable(plan.table);
+  if (!table) {
+    return Status::Internal("plan references lost table " + plan.table);
+  }
+
+  // Mirror the single-process dispatch: read-only linear scans pin an
+  // epoch snapshot and aggregate lock-free; indexed (or knob-off) scans
+  // hold the table lock across the whole scan + aggregation because they
+  // borrow uncommitted enclave state (and rewrite ORAM trees).
+  auto aggregate = [&](const edb::SnapshotView& view)
+      -> StatusOr<query::ScanPartial> {
+    query::Table plain;
+    plain.name = table->table_name();
+    plain.schema = table->store().schema();
+    plain.borrowed_spans = view.spans;
+    return query::ExecuteScanPartial(plan.rewritten, plain);
+  };
+
+  StatusOr<query::ScanPartial> partial =
+      Status::Internal("scan partial was never computed");
+  edb::ObliDbTable::OramScanWork oram_work;
+  if (config_.snapshot_scans && query::PlanIsReadOnlyScan(plan)) {
+    auto view = table->SnapshotScan();  // locks internally, scan lock-free
+    if (!view.ok()) return view.status();
+    partial = aggregate(view.value());
+  } else {
+    std::lock_guard<std::mutex> lk(table->table_mutex());
+    auto view = table->EnclaveScan();
+    if (!view.ok()) return view.status();
+    partial = aggregate(view.value());
+    oram_work = table->last_scan_work();
+  }
+  if (!partial.ok()) return partial.status();
+
+  const query::ScanPartial& p = partial.value();
+  net::WirePartial out;
+  out.func = static_cast<uint8_t>(p.func);
+  out.grouped = p.grouped;
+  auto pack = [](const query::AggAccumulator& acc) {
+    auto s = acc.state();
+    net::WireAggState w;
+    w.count = s.count;
+    w.sum = s.sum;
+    w.min = s.min;
+    w.max = s.max;
+    w.seen = s.seen;
+    return w;
+  };
+  // One wire cell per non-empty local shard, in local shard order — the
+  // granularity the coordinator needs to fold in global shard order
+  // (never this server's pre-merged aggregate; FP merges don't reassociate).
+  out.spans.reserve(p.spans.size());
+  for (const auto& cell : p.spans) {
+    net::WireSpanPartial ws;
+    ws.total = pack(cell.total);
+    ws.groups.reserve(cell.groups.size());
+    for (const auto& [key, acc] : cell.groups) {
+      ws.groups.emplace_back(key, pack(acc));
+    }
+    out.spans.push_back(std::move(ws));
+  }
+  out.records_scanned = p.records_scanned;
+  out.oram_paths = oram_work.paths;
+  out.oram_buckets = oram_work.buckets;
+  return out;
+}
+
+Status EdbShardServer::HandleIngest(const net::WireIngest& req) {
+  edb::ObliDbTable* table = FindTable(req.table);
+  if (!table) {
+    return Status::NotFound("ingest for unknown table: " + req.table);
+  }
+  std::vector<edb::EncryptedTableStore::CipherEntry> entries;
+  entries.reserve(req.entries.size());
+  for (const auto& e : req.entries) {
+    entries.push_back({e.shard, e.ciphertext});
+  }
+  return table->IngestCiphertexts(entries, req.nonce_high_water,
+                                  req.setup_batch);
+}
+
+Status EdbShardServer::HandleFlush(const net::WireTableRef& req) {
+  edb::ObliDbTable* table = FindTable(req.table);
+  if (!table) {
+    return Status::NotFound("flush for unknown table: " + req.table);
+  }
+  return table->Flush();
+}
+
+net::WireServerStats EdbShardServer::HandleStats() const {
+  net::WireServerStats s;
+  s.prepares = prepares_.load(std::memory_order_relaxed);
+  s.queries_executed = executes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dpsync::dist

@@ -1,0 +1,138 @@
+/// \file shard_server.h
+/// One distributed shard server: owns a contiguous range of a table's
+/// global storage shards (local shard 0..num_shards-1 maps to global
+/// shards [lo, hi) — the coordinator routes) and serves the framed RPC
+/// protocol of net/messages.h over one connection: CreateTable, Prepare,
+/// Execute (returning a mergeable aggregate partial), Ingest
+/// (coordinator-encrypted ciphertexts — plaintext never reaches this
+/// process for storage), Flush and Stats.
+///
+/// Tables are hosted as edb::ObliDbTable so both engine modes share one
+/// implementation: linear mode is exactly the EncryptedTableStore the
+/// Crypt-eps engine uses, and indexed mode mirrors ciphertexts into the
+/// per-shard Path ORAMs. Decryption happens only enclave-side (the
+/// table's mirrors), with the table key derived from the shared master
+/// seed — identical to the coordinator's derivation, so ciphertexts
+/// sealed there open here.
+///
+/// Threading: Serve() runs a dedicated std::thread per connection (a
+/// deliberate deviation from the shared-pool rule — the loop blocks on
+/// the socket, and parking a pool worker on a blocking read could
+/// deadlock pool-fanned execution; see docs/DISTRIBUTED.md). Execution
+/// inside a handler still fans out on the shared pool exactly like the
+/// single-process engines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "edb/oblidb_engine.h"
+#include "net/messages.h"
+
+namespace dpsync::dist {
+
+/// Which engine semantics the distributed deployment reproduces. The
+/// shard servers execute the same exact aggregation either way (Crypt-eps
+/// is the linear store with no ORAM); the difference lives at the
+/// coordinator (cost model, Laplace release, planner traits).
+enum class DistEngineKind { kObliDb, kCryptEps };
+
+/// Per-server configuration, built by the coordinator.
+struct ShardServerConfig {
+  DistEngineKind engine = DistEngineKind::kObliDb;
+  /// Shared master seed: table keys derive as "table-aead:<name>" on both
+  /// sides, so coordinator-sealed ciphertexts open in this enclave.
+  uint64_t master_seed = 1;
+  /// This server's rank in the coordinator's peer list (error messages).
+  int rank = 0;
+  /// LOCAL storage topology: num_shards is this server's shard count
+  /// (hi - lo of its global range), dir its private directory.
+  edb::StorageConfig storage;
+  /// ObliDB indexed mode: mirror into per-shard Path ORAMs.
+  bool use_oram_index = false;
+  /// LOCAL ORAM capacity, pre-scaled by the coordinator so each per-shard
+  /// tree has exactly the height the single-process topology would give
+  /// it (capacity-per-tree is the invariant, not total capacity).
+  size_t oram_capacity = 1 << 16;
+  /// Serve read-only linear scans from an epoch snapshot (lock-free
+  /// aggregation), matching the single-process dispatch.
+  bool snapshot_scans = true;
+};
+
+/// A shard server plus its serve loop.
+class EdbShardServer {
+ public:
+  explicit EdbShardServer(const ShardServerConfig& config);
+  ~EdbShardServer();
+
+  EdbShardServer(const EdbShardServer&) = delete;
+  EdbShardServer& operator=(const EdbShardServer&) = delete;
+
+  /// Takes ownership of `fd` and starts the serve thread: read one frame,
+  /// handle it, write one reply frame, repeat until the peer closes or
+  /// Shutdown()/Kill() is called. Call at most once.
+  Status Serve(int fd);
+
+  /// Stops the serve loop (shutdown(fd) wakes its blocking read) and
+  /// joins the thread. Idempotent.
+  void Shutdown();
+
+  /// Failure injection for tests: identical teardown to Shutdown(), but
+  /// named for intent — after Kill() the coordinator's next Call on this
+  /// connection fails with Unavailable (peer closed / RPC timeout).
+  void Kill() { Shutdown(); }
+
+  /// Frames handled so far (including error replies).
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Dispatches one decoded request payload to its handler; always
+  /// returns an encoded reply payload (errors become WireStatus frames).
+  Bytes HandleFrame(const Bytes& payload);
+
+  Status HandleCreateTable(const net::WireCreateTable& req);
+  StatusOr<net::WirePartial> HandleExecute(const net::WirePlan& req);
+  Status HandleIngest(const net::WireIngest& req);
+  Status HandleFlush(const net::WireTableRef& req);
+  net::WireServerStats HandleStats() const;
+
+  /// Cached plan for `fingerprint`, re-planned from the canonical text
+  /// against this server's own catalog on a miss (Prepare warms the
+  /// cache; Execute never depends on it).
+  StatusOr<std::shared_ptr<const query::QueryPlan>> PlanFor(
+      uint64_t fingerprint, const std::string& canonical_text);
+
+  edb::ObliDbTable* FindTable(const std::string& name) const;
+
+  void ServeLoop(int fd);
+
+  ShardServerConfig config_;
+  crypto::KeyManager keys_;
+  /// The per-table engine config every hosted table shares (LOCAL
+  /// topology; materialized views off — the coordinator merges raw
+  /// partials, so view short-circuits would be unreachable anyway).
+  edb::ObliDbConfig table_config_;
+
+  mutable std::mutex catalog_mu_;
+  std::map<std::string, std::unique_ptr<edb::ObliDbTable>> tables_;
+
+  std::mutex plans_mu_;
+  std::map<uint64_t, std::shared_ptr<const query::QueryPlan>> plans_;
+
+  std::mutex serve_mu_;  ///< guards fd_/thread_ against Shutdown races
+  int fd_ = -1;
+  std::thread thread_;
+  std::atomic<int64_t> requests_served_{0};
+  std::atomic<int64_t> prepares_{0};
+  std::atomic<int64_t> executes_{0};
+};
+
+}  // namespace dpsync::dist

@@ -292,6 +292,8 @@ ServerStats EdbServer::stats() const {
   s.snapshot_joins = snapshot_joins_.load(std::memory_order_relaxed);
   s.view_hits = view_hits_.load(std::memory_order_relaxed);
   s.view_folds = view_folds_.load(std::memory_order_relaxed);
+  s.remote_scatters = remote_scatters_.load(std::memory_order_relaxed);
+  s.remote_partials = remote_partials_.load(std::memory_order_relaxed);
   auto admission = admission_.stats();
   s.queries_rejected = admission.rejected_queue_full;
   s.deadlines_exceeded = admission.deadlines_exceeded;

@@ -132,6 +132,13 @@ struct ServerStats {
   /// (view, row-set) fold — warm folds at registration, O(delta) folds at
   /// Flush commit time, and full rebuilds after Reopen all count.
   int64_t view_folds = 0;
+  /// Distributed coordinator only: executions that scattered subplans to
+  /// remote shard servers (one per scatter-gather ExecutePlan), and the
+  /// per-server partial results those scatters merged. Always zero on the
+  /// single-process engines. remote_partials == remote_scatters x
+  /// num_servers when every server answered.
+  int64_t remote_scatters = 0;
+  int64_t remote_partials = 0;
 };
 
 /// Per-execution options.
@@ -365,6 +372,14 @@ class EdbServer {
     snapshot_joins_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Distributed coordinators call this once per scatter-gather
+  /// execution, passing how many per-server partials the gather merged
+  /// (ServerStats::remote_scatters / remote_partials).
+  void CountRemoteScatter(int64_t partials) {
+    remote_scatters_.fetch_add(1, std::memory_order_relaxed);
+    remote_partials_.fetch_add(partials, std::memory_order_relaxed);
+  }
+
  private:
   friend class QuerySession;
 
@@ -401,6 +416,8 @@ class EdbServer {
   std::atomic<int64_t> snapshot_joins_{0};
   std::atomic<int64_t> view_hits_{0};
   std::atomic<int64_t> view_folds_{0};
+  std::atomic<int64_t> remote_scatters_{0};
+  std::atomic<int64_t> remote_partials_{0};
 };
 
 }  // namespace dpsync::edb

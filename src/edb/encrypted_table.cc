@@ -109,6 +109,44 @@ Status EncryptedTableStore::Update(const std::vector<Record>& gamma) {
   return AppendEncrypted(gamma, /*setup_batch=*/false);
 }
 
+Status EncryptedTableStore::IngestCiphertexts(
+    const std::vector<CipherEntry>& entries, uint64_t nonce_high_water,
+    bool setup_batch) {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  DPSYNC_RETURN_IF_ERROR(init_status_);
+  if (setup_batch) {
+    if (setup_done_) return Status::FailedPrecondition("Setup already run");
+    setup_done_ = true;
+  } else {
+    if (!setup_done_) return Status::FailedPrecondition("Update before Setup");
+    ++update_calls_;
+  }
+  for (const CipherEntry& e : entries) {
+    if (e.shard >= shards_.size()) {
+      return Status::OutOfRange("ingest entry routed to shard " +
+                                std::to_string(e.shard) + " of " +
+                                std::to_string(shards_.size()));
+    }
+    if (e.ciphertext.size() != crypto::RecordCipher::kCiphertextSize) {
+      return Status::InvalidArgument("ingest ciphertext has wrong size");
+    }
+    DPSYNC_RETURN_IF_ERROR(shards_[e.shard]->Append(e.ciphertext));
+    dirty_[e.shard] = 1;
+    journal_.emplace_back(e.shard,
+                          static_cast<uint32_t>(shards_[e.shard]->Count() - 1));
+  }
+  // Track the global nonce stream before flushing so the persisted mark is
+  // never behind the ciphertexts it covers. Never rewind: a stale batch
+  // mark must not pull the counter back under already-stored nonces.
+  if (nonce_high_water > cipher_.nonce_high_water()) {
+    DPSYNC_RETURN_IF_ERROR(cipher_.RestoreNonceHighWater(nonce_high_water));
+  }
+  if (storage_.flush_every_update) {
+    return setup_batch ? FlushAllShards() : FlushDirtyShards();
+  }
+  return Status::Ok();
+}
+
 int64_t EncryptedTableStore::outsourced_bytes() const {
   int64_t total = 0;
   for (const auto& shard : shards_) total += shard->SizeBytes();

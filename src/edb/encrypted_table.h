@@ -60,6 +60,31 @@ class EncryptedTableStore : public EdbTable {
   int64_t outsourced_bytes() const override;
   const std::string& table_name() const override { return name_; }
 
+  /// One pre-encrypted, pre-routed record for IngestCiphertexts: the
+  /// distributed coordinator already applied the table cipher and the
+  /// global ShardRouter, so a shard server only places the ciphertext.
+  struct CipherEntry {
+    uint32_t shard = 0;  ///< local shard index, < num_shards()
+    Bytes ciphertext;    ///< RecordCipher output (nonce || ct || tag)
+  };
+
+  /// Appends coordinator-encrypted ciphertexts at their pre-routed shard
+  /// positions — the server half of the distributed ingest path, where
+  /// plaintext never reaches this store. `nonce_high_water` is the global
+  /// cipher's counter after the batch; it is restored into the local
+  /// cipher (never rewound) BEFORE the auto-flush so the persisted mark
+  /// tracks the global stream. Follows the Setup/Update state machine via
+  /// `setup_batch` and auto-flushes exactly like AppendEncrypted.
+  Status IngestCiphertexts(const std::vector<CipherEntry>& entries,
+                           uint64_t nonce_high_water, bool setup_batch);
+
+  /// Decrypts one stored-format ciphertext with the table key (the
+  /// enclave side of a distributed shard server feeds its ORAM mirror
+  /// through this).
+  StatusOr<Bytes> DecryptCiphertext(const Bytes& ct) const {
+    return cipher_.Decrypt(ct);
+  }
+
   // --- durability --------------------------------------------------------
   /// Commits every shard and persists the cipher's nonce high-water mark.
   /// Called automatically after Setup/Update unless

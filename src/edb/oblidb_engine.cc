@@ -90,6 +90,33 @@ Status ObliDbTable::Update(const std::vector<Record>& gamma) {
   return CatchUpMirror(gamma);
 }
 
+Status ObliDbTable::IngestCiphertexts(
+    const std::vector<EncryptedTableStore::CipherEntry>& entries,
+    uint64_t nonce_high_water, bool setup_batch) {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  DPSYNC_RETURN_IF_ERROR(
+      store_.IngestCiphertexts(entries, nonce_high_water, setup_batch));
+  if (!mirror_) return Status::Ok();
+  // The mirror needs plaintext identities; decrypt the batch enclave-side
+  // (the coordinator never shipped plaintext) in the exact append order
+  // the store just journaled.
+  std::vector<Record> batch;
+  batch.reserve(entries.size());
+  for (const auto& e : entries) {
+    auto payload = store_.DecryptCiphertext(e.ciphertext);
+    if (!payload.ok()) return payload.status();
+    Record r;
+    r.payload = std::move(payload.value());
+    batch.push_back(std::move(r));
+  }
+  return CatchUpMirror(batch);
+}
+
+Status ObliDbTable::Flush() {
+  std::lock_guard<std::mutex> lk(table_mutex());
+  return store_.Flush();
+}
+
 Status ObliDbTable::RegisterView(
     std::shared_ptr<const query::QueryPlan> plan) {
   std::lock_guard<std::mutex> lk(table_mutex());

@@ -118,6 +118,19 @@ class ObliDbTable : public EdbTable {
   /// scan never observes the index out of sync with the store).
   Status Setup(const std::vector<Record>& gamma0) override;
   Status Update(const std::vector<Record>& gamma) override;
+
+  /// Distributed ingest: coordinator-encrypted, pre-routed ciphertexts
+  /// (see EncryptedTableStore::IngestCiphertexts). In indexed mode the
+  /// batch is decrypted enclave-side to feed the ORAM mirror — the same
+  /// catch-up the owner paths run, just from ciphertexts instead of
+  /// plaintext records. Serializes on table_mutex() like Setup/Update.
+  Status IngestCiphertexts(
+      const std::vector<EncryptedTableStore::CipherEntry>& entries,
+      uint64_t nonce_high_water, bool setup_batch);
+
+  /// Commits every shard (remote Flush RPC). Locks table_mutex().
+  Status Flush();
+
   int64_t outsourced_count() const override {
     return store_.outsourced_count();
   }

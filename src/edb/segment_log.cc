@@ -14,6 +14,7 @@
 #endif
 
 #include "common/bytes.h"
+#include "net/wire.h"
 
 namespace dpsync::edb {
 
@@ -40,6 +41,37 @@ struct File {
 
 }  // namespace
 
+void SegmentHeader::EncodeTo(uint8_t* out) const {
+  std::memset(out, 0, kSize);
+  std::memcpy(out, SegmentLogBackend::kMagic, 8);
+  net::PutFixed32(out + 8, version);
+  net::PutFixed32(out + 12, record_size);
+  net::PutFixed64(out + 16, schema_hash);
+  net::PutFixed64(out + 24, committed_count);
+  net::PutFixed64(out + 32, nonce_high_water);
+  net::PutFixed32(out + 40, shard_index);
+  net::PutFixed32(out + 44, shard_count);
+}
+
+StatusOr<SegmentHeader> SegmentHeader::DecodeFrom(const uint8_t* in,
+                                                  const std::string& path) {
+  if (std::memcmp(in, SegmentLogBackend::kMagic, 8) != 0) {
+    return Status::Internal("bad segment magic: " + path);
+  }
+  SegmentHeader h;
+  h.version = net::GetFixed32(in + 8);
+  if (h.version != SegmentLogBackend::kFormatVersion) {
+    return Status::Internal("unsupported segment version: " + path);
+  }
+  h.record_size = net::GetFixed32(in + 12);
+  h.schema_hash = net::GetFixed64(in + 16);
+  h.committed_count = net::GetFixed64(in + 24);
+  h.nonce_high_water = net::GetFixed64(in + 32);
+  h.shard_index = net::GetFixed32(in + 40);
+  h.shard_count = net::GetFixed32(in + 44);
+  return h;
+}
+
 SegmentLogBackend::SegmentLogBackend(std::string path, size_t record_size,
                                      uint64_t schema_hash,
                                      uint32_t shard_index,
@@ -63,15 +95,16 @@ void SegmentLogBackend::CloseFile() {
 
 Status SegmentLogBackend::WriteHeader(uint64_t committed_count,
                                       uint64_t nonce_high_water) {
-  uint8_t header[kHeaderSize] = {0};
-  std::memcpy(header, kMagic, 8);
-  StoreLE32(header + 8, kFormatVersion);
-  StoreLE32(header + 12, static_cast<uint32_t>(record_size_));
-  StoreLE64(header + 16, schema_hash_);
-  StoreLE64(header + 24, committed_count);
-  StoreLE64(header + 32, nonce_high_water);
-  StoreLE32(header + 40, shard_index_);
-  StoreLE32(header + 44, shard_count_);
+  SegmentHeader h;
+  h.version = kFormatVersion;
+  h.record_size = static_cast<uint32_t>(record_size_);
+  h.schema_hash = schema_hash_;
+  h.committed_count = committed_count;
+  h.nonce_high_water = nonce_high_water;
+  h.shard_index = shard_index_;
+  h.shard_count = shard_count_;
+  uint8_t header[kHeaderSize];
+  h.EncodeTo(header);
   if (std::fseek(file_, 0, SEEK_SET) != 0) return IoError("seek", path_);
   if (std::fwrite(header, 1, kHeaderSize, file_) != kHeaderSize) {
     return IoError("header write", path_);
@@ -188,16 +221,13 @@ StatusOr<StorageBackend::ReopenInfo> SegmentLogBackend::Reopen() {
     if (std::fread(header, 1, kHeaderSize, file.f) != kHeaderSize) {
       return IoError("header read", path_);
     }
-    if (std::memcmp(header, kMagic, 8) != 0) {
-      return Status::Internal("bad segment magic: " + path_);
-    }
-    if (LoadLE32(header + 8) != kFormatVersion) {
-      return Status::Internal("unsupported segment version: " + path_);
-    }
-    if (LoadLE32(header + 12) != record_size_) {
+    auto decoded = SegmentHeader::DecodeFrom(header, path_);
+    if (!decoded.ok()) return decoded.status();
+    const SegmentHeader& h = decoded.value();
+    if (h.record_size != record_size_) {
       return Status::Internal("segment record size mismatch: " + path_);
     }
-    if (LoadLE64(header + 16) != schema_hash_) {
+    if (h.schema_hash != schema_hash_) {
       return Status::Internal(
           "segment schema hash mismatch (file belongs to another table "
           "layout): " +
@@ -206,17 +236,16 @@ StatusOr<StorageBackend::ReopenInfo> SegmentLogBackend::Reopen() {
     // Topology check: a shard-count mismatch means this configuration
     // would silently never read some committed shard files (or interleave
     // two topologies in one directory). Refuse rather than lose data.
-    if (LoadLE32(header + 40) != shard_index_ ||
-        LoadLE32(header + 44) != shard_count_) {
+    if (h.shard_index != shard_index_ || h.shard_count != shard_count_) {
       return Status::FailedPrecondition(
           "segment shard topology mismatch (file is shard " +
-          std::to_string(LoadLE32(header + 40)) + "/" +
-          std::to_string(LoadLE32(header + 44)) + ", store expects " +
+          std::to_string(h.shard_index) + "/" +
+          std::to_string(h.shard_count) + ", store expects " +
           std::to_string(shard_index_) + "/" + std::to_string(shard_count_) +
           "): " + path_);
     }
-    uint64_t committed = LoadLE64(header + 24);
-    nonce_high_water = LoadLE64(header + 32);
+    uint64_t committed = h.committed_count;
+    nonce_high_water = h.nonce_high_water;
 
     uint64_t committed_bytes = committed * record_size_;
     if (file_size - kHeaderSize < committed_bytes) {

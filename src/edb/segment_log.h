@@ -44,10 +44,38 @@
 
 namespace dpsync::edb {
 
+/// The decoded form of the 64-byte segment header above. Encode/Decode go
+/// through the shared little-endian helpers from net/wire.h — never raw
+/// struct memory — so segment files are byte-portable across hosts
+/// (prerequisite for shipping whole segments between shard servers).
+/// DecodeFrom validates magic and version; the field-vs-store comparisons
+/// (record size, schema hash, topology) stay with the caller, which knows
+/// what this file is supposed to be.
+struct SegmentHeader {
+  static constexpr size_t kSize = 64;
+
+  uint32_t version = 0;
+  uint32_t record_size = 0;
+  uint64_t schema_hash = 0;
+  uint64_t committed_count = 0;
+  uint64_t nonce_high_water = 0;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 0;
+
+  /// Writes magic + every field at its documented offset into
+  /// `out[0, kSize)`; the reserved region is zeroed.
+  void EncodeTo(uint8_t* out) const;
+
+  /// Parses `in[0, kSize)`. Internal error on bad magic or an
+  /// unsupported version.
+  static StatusOr<SegmentHeader> DecodeFrom(const uint8_t* in,
+                                            const std::string& path);
+};
+
 /// Append-only fixed-record segment file for one shard.
 class SegmentLogBackend : public StorageBackend {
  public:
-  static constexpr size_t kHeaderSize = 64;
+  static constexpr size_t kHeaderSize = SegmentHeader::kSize;
   static constexpr uint32_t kFormatVersion = 1;
   static constexpr char kMagic[9] = "DPSYNCSG";  // 8 bytes on the wire
 

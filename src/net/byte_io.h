@@ -1,0 +1,174 @@
+/// \file byte_io.h
+/// Buffered byte streams for the wire layer (RaftKeeper/ClickHouse style):
+/// a `WriteBuffer` accumulates bytes in a working buffer and hands full
+/// buffers to a virtual `FlushImpl`, a `ReadBuffer` serves bytes out of a
+/// working buffer refilled by a virtual `RefillImpl`. Concrete
+/// implementations cover the two transports the distributed layer needs —
+/// in-memory byte vectors (message assembly/parsing) and file descriptors
+/// (socketpair / localhost TCP, with poll()-based read timeouts).
+///
+/// Error discipline: every operation returns a typed Status. Hitting end
+/// of stream mid-read is an error (`Unavailable` for sockets — the peer
+/// died — and `InvalidArgument` for memory buffers — the message is
+/// truncated); the frame layer in wire.h relies on this to fail loudly on
+/// torn input instead of fabricating zero bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace dpsync::net {
+
+/// Working-buffer size for the streaming implementations. One encrypted
+/// record batch entry is ~100 bytes, so this amortizes syscalls well
+/// without making per-channel memory noticeable.
+constexpr size_t kDefaultBufferBytes = 16 * 1024;
+
+/// Buffered byte sink. Write() fills the working buffer and calls
+/// FlushImpl whenever it runs full; Flush() pushes out the partial tail.
+/// Not thread-safe — one writer per buffer (channels serialize on their
+/// own mutex).
+class WriteBuffer {
+ public:
+  explicit WriteBuffer(size_t buffer_bytes = kDefaultBufferBytes);
+  virtual ~WriteBuffer() = default;
+
+  WriteBuffer(const WriteBuffer&) = delete;
+  WriteBuffer& operator=(const WriteBuffer&) = delete;
+
+  Status Write(const uint8_t* data, size_t len);
+  Status Write(const Bytes& data) { return Write(data.data(), data.size()); }
+  Status WriteByte(uint8_t b) { return Write(&b, 1); }
+
+  /// Pushes every buffered byte through FlushImpl. Frame writers call
+  /// this once per frame so a request is on the wire when Call() starts
+  /// waiting for the response.
+  Status Flush();
+
+ protected:
+  /// Delivers `len` bytes to the underlying sink (fd, vector, ...).
+  virtual Status FlushImpl(const uint8_t* data, size_t len) = 0;
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+/// Buffered byte source. ReadExact() drains the working buffer and calls
+/// RefillImpl when it runs dry; a refill returning zero bytes is end of
+/// stream and fails the read with the implementation's typed status.
+class ReadBuffer {
+ public:
+  explicit ReadBuffer(size_t buffer_bytes = kDefaultBufferBytes);
+  virtual ~ReadBuffer() = default;
+
+  ReadBuffer(const ReadBuffer&) = delete;
+  ReadBuffer& operator=(const ReadBuffer&) = delete;
+
+  /// Reads exactly `len` bytes or fails: short input is EndOfStream(),
+  /// transport errors pass through from RefillImpl.
+  Status ReadExact(uint8_t* out, size_t len);
+  StatusOr<uint8_t> ReadByte();
+
+  /// True when every delivered byte has been consumed AND the source has
+  /// reported end of stream. Message decoders use it to reject trailing
+  /// garbage.
+  bool AtEnd();
+
+ protected:
+  /// Produces up to `capacity` bytes into `out`. Returns the byte count
+  /// (> 0), 0 at end of stream, or a transport error.
+  virtual StatusOr<size_t> RefillImpl(uint8_t* out, size_t capacity) = 0;
+
+  /// The typed error for "stream ended mid-object".
+  virtual Status EndOfStream() const {
+    return Status::Unavailable("unexpected end of stream");
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+  size_t end_ = 0;
+  bool eof_ = false;
+};
+
+/// WriteBuffer appending to an owned byte vector (message assembly).
+class VectorWriteBuffer : public WriteBuffer {
+ public:
+  /// Appends to `*out` (borrowed; must outlive the buffer).
+  explicit VectorWriteBuffer(Bytes* out) : out_(out) {}
+
+ protected:
+  Status FlushImpl(const uint8_t* data, size_t len) override {
+    out_->insert(out_->end(), data, data + len);
+    return Status::Ok();
+  }
+
+ private:
+  Bytes* out_;
+};
+
+/// ReadBuffer over a borrowed byte span (message parsing). Running out of
+/// bytes mid-object reports InvalidArgument("truncated ..."), the typed
+/// failure wire_test asserts for torn frames.
+class MemoryReadBuffer : public ReadBuffer {
+ public:
+  MemoryReadBuffer(const uint8_t* data, size_t len)
+      : data_(data), len_(len) {}
+  explicit MemoryReadBuffer(const Bytes& data)
+      : MemoryReadBuffer(data.data(), data.size()) {}
+
+ protected:
+  StatusOr<size_t> RefillImpl(uint8_t* out, size_t capacity) override;
+  Status EndOfStream() const override {
+    return Status::InvalidArgument("truncated message");
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t consumed_ = 0;
+};
+
+/// WriteBuffer over a stream socket / pipe fd (borrowed, not closed).
+/// Writes loop over partial sends; a peer that vanished (EPIPE /
+/// ECONNRESET) surfaces as Unavailable — the coordinator's typed
+/// server-death signal.
+class FdWriteBuffer : public WriteBuffer {
+ public:
+  explicit FdWriteBuffer(int fd) : fd_(fd) {}
+
+ protected:
+  Status FlushImpl(const uint8_t* data, size_t len) override;
+
+ private:
+  int fd_;
+};
+
+/// ReadBuffer over a stream socket / pipe fd (borrowed, not closed).
+/// Each refill poll()s for readability first: exceeding
+/// `timeout_seconds` fails the read with Unavailable ("timed out"), so a
+/// hung peer can never hang the coordinator. `timeout_seconds <= 0`
+/// blocks indefinitely (the shard server's serve loop, which is woken by
+/// shutdown(2) on its fd). EOF — the peer closed or died — is
+/// Unavailable too.
+class FdReadBuffer : public ReadBuffer {
+ public:
+  FdReadBuffer(int fd, double timeout_seconds)
+      : fd_(fd), timeout_seconds_(timeout_seconds) {}
+
+ protected:
+  StatusOr<size_t> RefillImpl(uint8_t* out, size_t capacity) override;
+  Status EndOfStream() const override {
+    return Status::Unavailable("peer closed the connection");
+  }
+
+ private:
+  int fd_;
+  double timeout_seconds_;
+};
+
+}  // namespace dpsync::net

@@ -1,0 +1,223 @@
+/// \file messages.h
+/// Typed wire messages for the distributed plan-shipping protocol. Every
+/// message encodes to a frame payload of `[u8 MsgKind][body]`; bodies are
+/// built from the primitives in wire.h. Decoders validate the kind tag,
+/// every length bound, and that the payload is fully consumed — trailing
+/// garbage is a typed error, never silently ignored.
+///
+/// Layering: this header depends only on common + query (schema fields,
+/// values, aggregate tags). The aggregate partial state and the stats
+/// blocks are standalone field mirrors; conversions to the edb types live
+/// in src/dist/ so net never depends on edb.
+///
+/// Confidentiality invariant: record payloads cross the wire ONLY as
+/// AEAD ciphertexts inside WireIngest — there is no message that carries
+/// a plaintext row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "net/wire.h"
+#include "query/ast.h"
+#include "query/schema.h"
+#include "query/value.h"
+
+namespace dpsync::net {
+
+/// One-byte message kind tag leading every frame payload.
+enum class MsgKind : uint8_t {
+  // Requests (coordinator -> shard server).
+  kCreateTable = 1,
+  kPrepare = 2,
+  kExecute = 3,
+  kIngest = 4,
+  kFlush = 5,
+  kStats = 6,
+  // Replies (shard server -> coordinator).
+  kStatusReply = 16,
+  kPartialReply = 17,
+  kStatsReply = 18,
+};
+
+/// Reads the kind tag of an encoded payload without consuming it.
+StatusOr<MsgKind> PeekKind(const Bytes& payload);
+
+// ---- Scalar value codec -------------------------------------------------
+
+/// [u8 ValueType tag][payload]: kNull empty, kInt varint(zigzag), kDouble
+/// fixed64 bit pattern, kString length-prefixed.
+Status WriteValue(WriteBuffer& out, const query::Value& v);
+StatusOr<query::Value> ReadValue(ReadBuffer& in);
+
+// ---- Messages -----------------------------------------------------------
+
+/// Typed Status carried over the wire; the reply to every mutating RPC
+/// and the error reply to any RPC. Round-trips code + message exactly so
+/// a shard-side FailedPrecondition stays a FailedPrecondition at the
+/// coordinator.
+struct WireStatus {
+  uint8_t code = 0;
+  std::string message;
+
+  static WireStatus FromStatus(const Status& s);
+  Status ToStatus() const;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireStatus> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireStatus> Decode(const Bytes& payload);
+};
+
+/// A shipped query plan: the canonical text (re-planned shard-side with
+/// the shard's own schema lookup) plus the coordinator's fingerprint,
+/// which keys the shard's plan cache and lets Execute skip re-planning
+/// after a Prepare. Used for both kPrepare and kExecute.
+struct WirePlan {
+  MsgKind kind = MsgKind::kExecute;  // kPrepare or kExecute
+  uint64_t fingerprint = 0;
+  std::string canonical_text;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WirePlan> ReadFrom(ReadBuffer& in, MsgKind kind);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WirePlan> Decode(const Bytes& payload);
+};
+
+/// Schema shipment for CreateTable: table name plus (name, type) fields.
+struct WireCreateTable {
+  std::string table;
+  std::vector<query::Field> fields;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireCreateTable> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireCreateTable> Decode(const Bytes& payload);
+};
+
+/// One pre-routed encrypted record: the owner-side coordinator already
+/// applied the global FNV-1a ShardRouter, so the shard server only maps
+/// `shard` (local index within the server's range) to its storage shard.
+struct WireCipherRecord {
+  uint32_t shard = 0;
+  Bytes ciphertext;  // RecordCipher output: nonce || ct || tag
+};
+
+/// Encrypted ingest batch. `nonce_high_water` is the coordinator cipher's
+/// nonce counter AFTER encrypting this batch; the shard store persists it
+/// so reopen-time freshness checks keep working against the global
+/// stream.
+struct WireIngest {
+  std::string table;
+  bool setup_batch = false;
+  uint64_t nonce_high_water = 0;
+  std::vector<WireCipherRecord> entries;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireIngest> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireIngest> Decode(const Bytes& payload);
+};
+
+/// Flush request (and the body of kFlush / kStats requests that only name
+/// a table; kStats ignores the name and reports server-wide counters).
+struct WireTableRef {
+  MsgKind kind = MsgKind::kFlush;  // kFlush or kStats
+  std::string table;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireTableRef> ReadFrom(ReadBuffer& in, MsgKind kind);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireTableRef> Decode(const Bytes& payload);
+};
+
+/// Serialized AggAccumulator internals. Doubles travel as exact bit
+/// patterns, so Merge() over deserialized state equals Merge() over the
+/// in-process accumulators byte for byte.
+struct WireAggState {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  bool seen = false;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireAggState> ReadFrom(ReadBuffer& in);
+};
+
+/// One storage shard's aggregate cell: ungrouped total or grouped map
+/// (entries in ascending key order — std::map order — so the
+/// coordinator's fold is deterministic).
+struct WireSpanPartial {
+  WireAggState total;
+  std::vector<std::pair<query::Value, WireAggState>> groups;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireSpanPartial> ReadFrom(ReadBuffer& in);
+};
+
+/// A shard server's partial aggregate for one Execute: one cell per
+/// non-empty local shard, in local shard order (a contiguous slice of
+/// the global shard order). FP aggregation is non-associative, so cells
+/// ship individually rather than pre-merged per server: the coordinator
+/// concatenates rank-ordered cell lists and folds them in global shard
+/// order, replaying the single-process scan's exact merge tree. The
+/// per-shard execution counters the coordinator folds into QueryStats
+/// ride along server-aggregated (they are exact integers).
+struct WirePartial {
+  uint8_t func = 0;  // query::AggFunc
+  bool grouped = false;
+  std::vector<WireSpanPartial> spans;
+  int64_t records_scanned = 0;
+  int64_t oram_paths = 0;
+  int64_t oram_buckets = 0;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WirePartial> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WirePartial> Decode(const Bytes& payload);
+};
+
+/// Field mirror of edb::QueryStats (kept standalone; see layering note).
+struct WireQueryStats {
+  double virtual_seconds = 0.0;
+  double measured_seconds = 0.0;
+  int64_t records_scanned = 0;
+  int64_t join_pairs = 0;
+  int64_t revealed_volume = -1;
+  int64_t oram_paths = 0;
+  int64_t oram_buckets = 0;
+  double oram_virtual_seconds = 0.0;
+  bool plan_cache_hit = false;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireQueryStats> ReadFrom(ReadBuffer& in);
+};
+
+/// Field mirror of edb::ServerStats; the kStatsReply body.
+struct WireServerStats {
+  int64_t prepares = 0;
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_rebinds = 0;
+  int64_t queries_executed = 0;
+  int64_t queries_rejected = 0;
+  int64_t deadlines_exceeded = 0;
+  int64_t peak_in_flight = 0;
+  int64_t snapshot_scans = 0;
+  int64_t snapshot_joins = 0;
+  int64_t view_hits = 0;
+  int64_t view_folds = 0;
+  int64_t remote_scatters = 0;
+  int64_t remote_partials = 0;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireServerStats> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireServerStats> Decode(const Bytes& payload);
+};
+
+}  // namespace dpsync::net

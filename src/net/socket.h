@@ -1,0 +1,88 @@
+/// \file socket.h
+/// Minimal socket plumbing for the distributed layer plus the `Channel`
+/// RPC primitive: one frame out, one frame back, serialized by a mutex so
+/// concurrent coordinator threads never interleave frames on a
+/// connection.
+///
+/// Two transports, same fd semantics afterwards:
+///  - SocketPair(): AF_UNIX stream pair, the CTest-safe default (no
+///    ports, no listen/accept races, works in network-less sandboxes).
+///  - ListenLoopback()/ConnectLoopback(): real TCP on 127.0.0.1 with an
+///    ephemeral port, behind a config flag for deployments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/byte_io.h"
+
+namespace dpsync::net {
+
+/// A connected AF_UNIX stream pair (fds[0] <-> fds[1]).
+struct FdPair {
+  int a = -1;
+  int b = -1;
+};
+
+StatusOr<FdPair> SocketPair();
+
+/// Listening TCP socket bound to 127.0.0.1 on an ephemeral port.
+struct Listener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+
+StatusOr<Listener> ListenLoopback();
+
+/// Accepts one connection; `timeout_seconds <= 0` blocks indefinitely.
+StatusOr<int> AcceptOne(int listen_fd, double timeout_seconds);
+
+StatusOr<int> ConnectLoopback(uint16_t port);
+
+/// Close that tolerates already-closed fds (idempotent teardown paths).
+void CloseFd(int fd);
+
+/// Client side of one coordinator<->shard-server connection. Owns the fd.
+/// Call() is the whole RPC surface: write one request frame, read one
+/// reply frame. Thread-safe; calls on one channel serialize (scatter
+/// parallelism comes from having one channel per shard server, not from
+/// pipelining within a connection).
+class Channel {
+ public:
+  /// `timeout_seconds` bounds each reply wait; a shard server that dies
+  /// or hangs yields Unavailable within that deadline.
+  Channel(int fd, double timeout_seconds);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  StatusOr<Bytes> Call(const Bytes& request);
+
+  /// Shuts the connection down (wakes the peer's blocking read) and
+  /// closes the fd. Subsequent Calls fail with Unavailable. Idempotent.
+  void Close();
+
+  /// Deterministic transport counters for the bench layer: completed
+  /// Call() round trips and total frame bytes shipped both directions
+  /// (header + payload; fixed-width fields make this a pure function of
+  /// the workload).
+  int64_t rpc_calls() const { return rpc_calls_.load(std::memory_order_relaxed); }
+  int64_t bytes_shipped() const {
+    return bytes_shipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  int fd_;
+  bool closed_ = false;
+  FdWriteBuffer writer_;
+  FdReadBuffer reader_;
+  std::atomic<int64_t> rpc_calls_{0};
+  std::atomic<int64_t> bytes_shipped_{0};
+};
+
+}  // namespace dpsync::net

@@ -53,6 +53,57 @@ void ForEachRowInRange(const std::vector<RowSpan>& spans, size_t begin,
                      });
 }
 
+/// One span-aligned scan chunk: rows [begin, end) of spans[span].
+struct ScanChunk {
+  size_t span = 0;
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// The canonical scan decomposition: each non-empty span splits
+/// independently into even row ranges (pool-width chunks once the span
+/// crosses the parallel threshold), and a chunk never straddles a span
+/// boundary. Scan reductions fold chunk partials left within their span
+/// and span partials left in span order, so the merge tree is a pure
+/// function of the ordered span row counts — NOT of how ParallelFor
+/// schedules the chunks (partials are indexed per chunk, so a nested
+/// collapse changes nothing) and NOT of how spans are grouped into
+/// processes. A shard server folding its local spans' chunks and a
+/// coordinator folding per-span cells in global shard order
+/// (dist/coordinator.cc) replay exactly this tree, which is what makes
+/// distributed answers bit-identical for FP-sensitive aggregates
+/// (SUM/AVG over doubles).
+std::vector<ScanChunk> SpanAlignedScanChunks(const std::vector<RowSpan>& spans) {
+  std::vector<ScanChunk> chunks;
+  for (size_t s = 0; s < spans.size(); ++s) {
+    const size_t n = spans[s].size;
+    if (n == 0) continue;
+    const size_t count =
+        n >= kParallelScanThreshold
+            ? std::min(SharedPool()->num_threads(), n)
+            : 1;
+    const size_t base = n / count;
+    const size_t extra = n % count;
+    size_t begin = 0;
+    for (size_t c = 0; c < count; ++c) {
+      const size_t end = begin + base + (c < extra ? 1 : 0);
+      chunks.push_back({s, begin, end});
+      begin = end;
+    }
+  }
+  return chunks;
+}
+
+/// Runs `fn(i)` for every chunk index on the shared pool. Scheduling is
+/// free to batch indices per worker; determinism comes from per-chunk
+/// partial indexing, never from the schedule.
+template <typename Fn>
+void RunScanChunks(size_t n, Fn&& fn) {
+  SharedPool()->ParallelFor(n, n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
 }  // namespace
 
 void AggAccumulator::Add(const Value& v) {
@@ -167,73 +218,29 @@ StatusOr<QueryResult> Executor::ExecuteScan(const SelectQuery& q,
   if (q.group_by.size() > 1) {
     return Status::Unimplemented("GROUP BY supports a single column");
   }
-  ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
-  const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
 
   if (options_.vectorized) {
     // Columnar batch path: bit-identical to the scalar loop below by
-    // construction (same pool chunking, strict row-order folds, same
-    // chunk-order merge), so falling through on ineligibility is purely a
-    // performance decision.
+    // construction (same span-aligned chunking, strict row-order folds,
+    // same two-level span/chunk merge), so falling through on
+    // ineligibility is purely a performance decision.
     if (auto vec = TryVectorizedScan(q, table, *agg)) {
       return std::move(*vec);
     }
   }
 
-  // The L-0 oblivious scan: touch every row of every partition. Large
-  // tables fan out across the shared pool in fixed chunks; per-chunk
-  // partials merge in chunk order, so the answer is deterministic for a
-  // given partitioning. Expression evaluation is pure/const, which is what
-  // makes the row loop safe to run from pool threads — and spans never
-  // read outside their captured bounds, which is what makes the same loop
-  // safe over an epoch snapshot while the owner keeps appending.
-  const auto parts = table.Spans();
-  const size_t total = table.TotalRows();
-  const size_t max_chunks =
-      total >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
-
-  if (q.group_by.empty()) {
-    std::vector<AggAccumulator> partials(std::max<size_t>(1, max_chunks),
-                                         AggAccumulator(agg->agg));
-    SharedPool()->ParallelFor(
-        total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
-          AggAccumulator& acc = partials[chunk];
-          ForEachRowInRange(parts, begin, end, [&](const Row& row) {
-            if (q.where && !q.where->Eval(table.schema, row).Truthy()) return;
-            acc.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
-          });
-        });
-    AggAccumulator acc(agg->agg);
-    for (const auto& partial : partials) acc.Merge(partial);
-    return QueryResult::Scalar(acc.Result());
-  }
-
-  ColumnExpr key_col(q.group_by[0]);
-  std::vector<std::map<Value, AggAccumulator>> partials(
-      std::max<size_t>(1, max_chunks));
-  SharedPool()->ParallelFor(
-      total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
-        auto& groups = partials[chunk];
-        ForEachRowInRange(parts, begin, end, [&](const Row& row) {
-          if (q.where && !q.where->Eval(table.schema, row).Truthy()) return;
-          Value key = key_col.Eval(table.schema, row);
-          auto [it, _] = groups.try_emplace(key, agg->agg);
-          it->second.Add(needs_value ? agg_col.Eval(table.schema, row)
-                                     : Value());
-        });
-      });
-  std::map<Value, AggAccumulator> groups;
-  for (auto& partial : partials) {
-    for (auto& [key, acc] : partial) {
-      auto [it, inserted] = groups.try_emplace(key, agg->agg);
-      (void)inserted;
-      it->second.Merge(acc);
-    }
-  }
-  QueryResult result;
-  result.grouped = true;
-  for (const auto& [k, acc] : groups) result.groups[k] = acc.Result();
-  return result;
+  // The L-0 oblivious scan: touch every row of every partition. The
+  // scalar loop, its span-aligned chunk decomposition and the two-level
+  // merge all live in ExecuteScanPartial — finalizing its partial here is
+  // what guarantees the local answer and a coordinator's fold over
+  // shipped per-span cells come from one implementation. Expression
+  // evaluation is pure/const, which is what makes the row loop safe to
+  // run from pool threads — and spans never read outside their captured
+  // bounds, which is what makes the same loop safe over an epoch
+  // snapshot while the owner keeps appending.
+  auto partial = ExecuteScanPartial(q, table);
+  if (!partial.ok()) return partial.status();
+  return partial.value().Finalize();
 }
 
 std::optional<QueryResult> Executor::TryVectorizedScan(
@@ -299,95 +306,110 @@ std::optional<QueryResult> Executor::TryVectorizedScan(
     }
   }
 
-  const size_t max_chunks =
-      total >= kParallelScanThreshold ? SharedPool()->num_threads() : 1;
+  const auto chunks = SpanAlignedScanChunks(parts);
 
   if (!grouped) {
-    std::vector<AggAccumulator> partials(std::max<size_t>(1, max_chunks),
+    std::vector<AggAccumulator> partials(chunks.size(),
                                          AggAccumulator(agg.agg));
-    SharedPool()->ParallelFor(
-        total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
-          AggAccumulator& acc = partials[chunk];
-          std::vector<std::vector<uint8_t>> scratch;
-          std::vector<uint8_t> sel;
-          ForEachSpanSegment(
-              parts, begin, end,
-              [&](const RowSpan& span, size_t lo, size_t hi) {
-                for (size_t t = lo; t < hi; t += kVectorTileRows) {
-                  const size_t n = std::min(kVectorTileRows, hi - t);
-                  const uint8_t* selp = nullptr;
-                  if (pred) {
-                    sel.resize(n);
-                    pred->Eval(span.columns, t, n, sel.data(), &scratch);
-                    selp = sel.data();
-                  }
-                  if (count_only) {
-                    acc.FoldCount(n, selp);
-                  } else {
-                    acc.FoldColumn(span.columns[agg_idx], t, n, selp);
-                  }
-                }
-              });
-        });
+    RunScanChunks(chunks.size(), [&](size_t idx) {
+      const ScanChunk& c = chunks[idx];
+      const RowSpan& span = parts[c.span];
+      AggAccumulator& acc = partials[idx];
+      std::vector<std::vector<uint8_t>> scratch;
+      std::vector<uint8_t> sel;
+      for (size_t t = c.begin; t < c.end; t += kVectorTileRows) {
+        const size_t n = std::min(kVectorTileRows, c.end - t);
+        const uint8_t* selp = nullptr;
+        if (pred) {
+          sel.resize(n);
+          pred->Eval(span.columns, t, n, sel.data(), &scratch);
+          selp = sel.data();
+        }
+        if (count_only) {
+          acc.FoldCount(n, selp);
+        } else {
+          acc.FoldColumn(span.columns[agg_idx], t, n, selp);
+        }
+      }
+    });
+    // Two-level merge — the scan reduction tree (SpanAlignedScanChunks):
+    // chunk partials fold left into a fresh per-span accumulator, span
+    // accumulators fold left in span order.
     AggAccumulator acc(agg.agg);
-    for (const auto& partial : partials) acc.Merge(partial);
+    for (size_t i = 0; i < chunks.size();) {
+      AggAccumulator span_acc(agg.agg);
+      const size_t span = chunks[i].span;
+      for (; i < chunks.size() && chunks[i].span == span; ++i) {
+        span_acc.Merge(partials[i]);
+      }
+      acc.Merge(span_acc);
+    }
     return QueryResult::Scalar(acc.Result());
   }
 
   using GroupMap = FlatGroupMap<AggAccumulator>;
-  std::vector<GroupMap> partials(std::max<size_t>(1, max_chunks),
+  std::vector<GroupMap> partials(chunks.size(),
                                  GroupMap(AggAccumulator(agg.agg)));
-  SharedPool()->ParallelFor(
-      total, max_chunks, [&](size_t chunk, size_t begin, size_t end) {
-        GroupMap& groups = partials[chunk];
-        std::vector<std::vector<uint8_t>> scratch;
-        std::vector<uint8_t> sel;
-        ForEachSpanSegment(
-            parts, begin, end, [&](const RowSpan& span, size_t lo, size_t hi) {
-              const ColumnSpan& kc = span.columns[key_idx];
-              const ColumnSpan* mc =
-                  count_only ? nullptr : &span.columns[agg_idx];
-              for (size_t t = lo; t < hi; t += kVectorTileRows) {
-                const size_t n = std::min(kVectorTileRows, hi - t);
-                const uint8_t* selp = nullptr;
-                if (pred) {
-                  sel.resize(n);
-                  pred->Eval(span.columns, t, n, sel.data(), &scratch);
-                  selp = sel.data();
-                }
-                for (size_t i = 0; i < n; ++i) {
-                  if (selp != nullptr && !selp[i]) continue;
-                  const size_t r = t + i;
-                  AggAccumulator& acc = kc.nulls[r] ? groups.NullSlot()
-                                                    : groups.Upsert(kc.ints[r]);
-                  if (mc == nullptr || mc->nulls[r]) {
-                    acc.AddNull();
-                  } else {
-                    acc.AddMeasure(mc->type == ValueType::kInt
-                                       ? static_cast<double>(mc->ints[r])
-                                       : mc->doubles[r]);
-                  }
-                }
-              }
-            });
-      });
-  // Merge the per-chunk hash tables in deterministic chunk order. Within a
-  // chunk the visit order over groups is arbitrary, which is fine: merges
-  // only combine accumulators of the SAME group, and per group the chunk
-  // order fixes the sequence — the same sequence the scalar path's
-  // ordered-map merge produces.
-  std::map<Value, AggAccumulator> groups;
-  for (const auto& partial : partials) {
-    if (partial.has_null()) {
-      auto [it, inserted] = groups.try_emplace(Value(), agg.agg);
-      (void)inserted;
-      it->second.Merge(partial.null_slot());
+  RunScanChunks(chunks.size(), [&](size_t idx) {
+    const ScanChunk& c = chunks[idx];
+    const RowSpan& span = parts[c.span];
+    GroupMap& groups = partials[idx];
+    std::vector<std::vector<uint8_t>> scratch;
+    std::vector<uint8_t> sel;
+    const ColumnSpan& kc = span.columns[key_idx];
+    const ColumnSpan* mc = count_only ? nullptr : &span.columns[agg_idx];
+    for (size_t t = c.begin; t < c.end; t += kVectorTileRows) {
+      const size_t n = std::min(kVectorTileRows, c.end - t);
+      const uint8_t* selp = nullptr;
+      if (pred) {
+        sel.resize(n);
+        pred->Eval(span.columns, t, n, sel.data(), &scratch);
+        selp = sel.data();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (selp != nullptr && !selp[i]) continue;
+        const size_t r = t + i;
+        AggAccumulator& acc =
+            kc.nulls[r] ? groups.NullSlot() : groups.Upsert(kc.ints[r]);
+        if (mc == nullptr || mc->nulls[r]) {
+          acc.AddNull();
+        } else {
+          acc.AddMeasure(mc->type == ValueType::kInt
+                             ? static_cast<double>(mc->ints[r])
+                             : mc->doubles[r]);
+        }
+      }
     }
-    partial.ForEach([&](int64_t key, const AggAccumulator& acc) {
-      auto [it, inserted] = groups.try_emplace(Value(key), agg.agg);
+  });
+  // Merge the per-chunk hash tables through the two-level tree: chunk
+  // tables fold into a fresh per-span ordered map in chunk order, span
+  // maps fold into the global map in span order. Within a chunk the
+  // visit order over groups is arbitrary, which is fine: merges only
+  // combine accumulators of the SAME group, and per group the
+  // chunk-then-span order fixes the sequence — the same sequence the
+  // scalar path's ordered-map merge produces.
+  std::map<Value, AggAccumulator> groups;
+  for (size_t i = 0; i < chunks.size();) {
+    std::map<Value, AggAccumulator> span_groups;
+    const size_t span = chunks[i].span;
+    for (; i < chunks.size() && chunks[i].span == span; ++i) {
+      const GroupMap& partial = partials[i];
+      if (partial.has_null()) {
+        auto [it, inserted] = span_groups.try_emplace(Value(), agg.agg);
+        (void)inserted;
+        it->second.Merge(partial.null_slot());
+      }
+      partial.ForEach([&](int64_t key, const AggAccumulator& acc) {
+        auto [it, inserted] = span_groups.try_emplace(Value(key), agg.agg);
+        (void)inserted;
+        it->second.Merge(acc);
+      });
+    }
+    for (const auto& [key, acc] : span_groups) {
+      auto [it, inserted] = groups.try_emplace(key, agg.agg);
       (void)inserted;
       it->second.Merge(acc);
-    });
+    }
   }
   QueryResult result;
   result.grouped = true;
@@ -987,6 +1009,122 @@ StatusOr<QueryResult> Executor::ExecuteJoin(const SelectQuery& q,
   result.grouped = true;
   for (const auto& [k, acc] : groups) result.groups[k] = acc.Result();
   return result;
+}
+
+void ScanPartial::AppendSpan(SpanPartial cell) {
+  total.Merge(cell.total);
+  for (const auto& [key, acc] : cell.groups) {
+    auto [it, inserted] = groups.try_emplace(key, func);
+    (void)inserted;
+    it->second.Merge(acc);
+  }
+  spans.push_back(std::move(cell));
+}
+
+Status ScanPartial::MergeFrom(const ScanPartial& other) {
+  if (other.func != func || other.grouped != grouped) {
+    return Status::InvalidArgument(
+        "cannot merge partials of different query shapes");
+  }
+  // Replay `other` one span cell at a time rather than folding its
+  // pre-merged aggregate: FP addition is non-associative, and only the
+  // per-span granularity reproduces the single-process span-order fold.
+  for (const auto& cell : other.spans) AppendSpan(cell);
+  records_scanned += other.records_scanned;
+  return Status::Ok();
+}
+
+QueryResult ScanPartial::Finalize() const {
+  if (!grouped) return QueryResult::Scalar(total.Result());
+  QueryResult result;
+  result.grouped = true;
+  for (const auto& [k, acc] : groups) result.groups[k] = acc.Result();
+  return result;
+}
+
+StatusOr<ScanPartial> ExecuteScanPartial(const SelectQuery& q,
+                                         const Table& table) {
+  const SelectItem* agg = q.AggregateItem();
+  if (!agg) {
+    return Status::Unimplemented(
+        "projection-only queries are not supported; use an aggregate");
+  }
+  if (q.join) {
+    return Status::Unimplemented("partial execution does not support joins");
+  }
+  if (q.group_by.size() > 1) {
+    return Status::Unimplemented("GROUP BY supports a single column");
+  }
+  ColumnExpr agg_col(agg->column.empty() ? "" : agg->column);
+  const bool needs_value = agg->agg != AggFunc::kCount || !agg->column.empty();
+
+  // The scalar reference loop over the canonical span-aligned chunk
+  // decomposition (SpanAlignedScanChunks), stopping short of Result():
+  // the per-span accumulator cells are the product. ExecuteScan finalizes
+  // exactly this partial and the vectorized path reproduces the same
+  // tree, so a cell computed here merges correctly against answers from
+  // either path — locally or across the wire.
+  const auto parts = table.Spans();
+  const size_t total_rows = table.TotalRows();
+  const auto chunks = SpanAlignedScanChunks(parts);
+
+  ScanPartial out;
+  out.func = agg->agg;
+  out.grouped = !q.group_by.empty();
+  out.total = AggAccumulator(agg->agg);
+  out.records_scanned = static_cast<int64_t>(total_rows);
+
+  if (q.group_by.empty()) {
+    std::vector<AggAccumulator> partials(chunks.size(),
+                                         AggAccumulator(agg->agg));
+    RunScanChunks(chunks.size(), [&](size_t idx) {
+      const ScanChunk& c = chunks[idx];
+      const RowSpan& span = parts[c.span];
+      AggAccumulator& acc = partials[idx];
+      for (size_t r = c.begin; r < c.end; ++r) {
+        const Row& row = span.data[r];
+        if (q.where && !q.where->Eval(table.schema, row).Truthy()) continue;
+        acc.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
+      }
+    });
+    for (size_t i = 0; i < chunks.size();) {
+      SpanPartial cell{AggAccumulator(agg->agg), {}};
+      const size_t span = chunks[i].span;
+      for (; i < chunks.size() && chunks[i].span == span; ++i) {
+        cell.total.Merge(partials[i]);
+      }
+      out.AppendSpan(std::move(cell));
+    }
+    return out;
+  }
+
+  ColumnExpr key_col(q.group_by[0]);
+  std::vector<std::map<Value, AggAccumulator>> partials(chunks.size());
+  RunScanChunks(chunks.size(), [&](size_t idx) {
+    const ScanChunk& c = chunks[idx];
+    const RowSpan& span = parts[c.span];
+    auto& groups = partials[idx];
+    for (size_t r = c.begin; r < c.end; ++r) {
+      const Row& row = span.data[r];
+      if (q.where && !q.where->Eval(table.schema, row).Truthy()) continue;
+      Value key = key_col.Eval(table.schema, row);
+      auto [it, _] = groups.try_emplace(key, agg->agg);
+      it->second.Add(needs_value ? agg_col.Eval(table.schema, row) : Value());
+    }
+  });
+  for (size_t i = 0; i < chunks.size();) {
+    SpanPartial cell{AggAccumulator(agg->agg), {}};
+    const size_t span = chunks[i].span;
+    for (; i < chunks.size() && chunks[i].span == span; ++i) {
+      for (auto& [key, acc] : partials[i]) {
+        auto [it, inserted] = cell.groups.try_emplace(key, agg->agg);
+        (void)inserted;
+        it->second.Merge(acc);
+      }
+    }
+    out.AppendSpan(std::move(cell));
+  }
+  return out;
 }
 
 }  // namespace dpsync::query

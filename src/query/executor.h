@@ -222,6 +222,30 @@ class AggAccumulator {
   void FoldCount(size_t n, const uint8_t* sel);
 
   int64_t count() const { return count_; }
+  AggFunc func() const { return func_; }
+
+  /// The accumulator's full internal state, exposed for serialization
+  /// (the distributed layer ships partials between processes). A state
+  /// captured on one host and restored with FromState() on another
+  /// continues Merge()/Result() bit-identically — doubles travel as
+  /// exact bit patterns on the wire.
+  struct State {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    bool seen = false;
+  };
+  State state() const { return {count_, sum_, min_, max_, seen_}; }
+  static AggAccumulator FromState(AggFunc func, const State& s) {
+    AggAccumulator acc(func);
+    acc.count_ = s.count;
+    acc.sum_ = s.sum;
+    acc.min_ = s.min;
+    acc.max_ = s.max;
+    acc.seen_ = s.seen;
+    return acc;
+  }
 
  private:
   AggFunc func_;
@@ -231,5 +255,62 @@ class AggAccumulator {
   double max_ = 0.0;
   bool seen_ = false;
 };
+
+/// One span's (one storage shard's) contribution to a scan: the fold of
+/// that span's sub-chunk accumulators in chunk order, starting from a
+/// fresh accumulator. Span partials are the unit of the scan reduction
+/// tree (see ScanPartial below): they never blend rows across a span
+/// boundary, which is what lets a remote process recompute exactly this
+/// cell from its local copy of the span.
+struct SpanPartial {
+  AggAccumulator total{AggFunc::kCount};
+  std::map<Value, AggAccumulator> groups;
+};
+
+/// A mergeable partial aggregate over a prefix-contiguous run of a
+/// table's spans — what a shard server returns for its local shard range
+/// and what the coordinator merges in strict server-rank order.
+///
+/// The determinism contract: every scan path (scalar, vectorized, local
+/// or distributed) reduces over the SAME tree — sub-chunks fold left
+/// within their span, span partials fold left in span order — which is a
+/// pure function of the ordered span row counts, never of how spans are
+/// grouped into processes or scheduled onto threads. Because FP addition
+/// is non-associative, the per-span cells travel alongside the folded
+/// aggregate: MergeFrom replays `other`'s cells one span at a time, so a
+/// coordinator folding per-server partials in rank order reproduces the
+/// single-process fold bit for bit (SUM/AVG over doubles included).
+struct ScanPartial {
+  AggFunc func = AggFunc::kCount;
+  bool grouped = false;
+  /// Per-span cells in span (global shard) order; empty spans contribute
+  /// no cell. `total`/`groups` are the left fold of these cells.
+  std::vector<SpanPartial> spans;
+  AggAccumulator total{AggFunc::kCount};
+  std::map<Value, AggAccumulator> groups;
+  int64_t records_scanned = 0;
+
+  /// Appends one span's cell and folds it into the aggregate state.
+  void AppendSpan(SpanPartial cell);
+
+  /// Folds `other` into this partial, one span cell at a time. `other`'s
+  /// spans must come later in the global span order than everything
+  /// already merged (rank order guarantees this).
+  Status MergeFrom(const ScanPartial& other);
+
+  /// The final answer, identical to ExecuteScan over the union of rows.
+  QueryResult Finalize() const;
+};
+
+/// Runs the scalar aggregation loop of ExecuteScan over `table` but stops
+/// before finalizing: the returned partial carries raw accumulator state
+/// suitable for cross-process merging. Supports the same shapes as
+/// ExecuteScan minus joins (single aggregate, optional single-column
+/// GROUP BY). ExecuteScan itself finalizes this partial, so the
+/// span-aligned decomposition and its merge tree are shared by
+/// construction and Finalize() on a single table's partial equals
+/// ExecuteScan exactly.
+StatusOr<ScanPartial> ExecuteScanPartial(const SelectQuery& q,
+                                         const Table& table);
 
 }  // namespace dpsync::query

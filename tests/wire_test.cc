@@ -1,0 +1,451 @@
+// Tests for the wire layer (src/net/): CRC32 check value, varint edge
+// cases (including the 10-byte maximum and zigzag negatives), exact
+// double bit patterns, frame round-trips, and — the part the distributed
+// layer's safety rests on — that truncated, bit-flipped, or oversized
+// frames fail with a typed Status instead of parsing garbage. Every
+// message in net/messages.h round-trips, and trailing garbage after a
+// message body is rejected.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/byte_io.h"
+#include "net/messages.h"
+#include "net/wire.h"
+#include "query/schema.h"
+#include "test_util.h"
+
+namespace dpsync::net {
+namespace {
+
+Bytes ToBytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+// ----------------------------------------------------------------- CRC32
+
+TEST(Crc32Test, StandardCheckValue) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check.data()), check.size()),
+            0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyAndSensitivity) {
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  Bytes a = ToBytes("frame payload");
+  Bytes b = a;
+  b[3] ^= 0x01;
+  EXPECT_NE(Crc32(a), Crc32(b));
+}
+
+// --------------------------------------------------------------- varints
+
+TEST(VarintTest, UnsignedEdgeValuesRoundTrip) {
+  const std::vector<uint64_t> values = {
+      0,       1,
+      127,     128,  // 1-byte / 2-byte boundary
+      16383,   16384,
+      (1ull << 32) - 1,
+      (1ull << 63),
+      std::numeric_limits<uint64_t>::max()};  // 10-byte encoding
+  Bytes encoded;
+  {
+    VectorWriteBuffer out(&encoded);
+    for (uint64_t v : values) ASSERT_OK(WriteVarUInt(out, v));
+    ASSERT_OK(out.Flush());
+  }
+  MemoryReadBuffer in(encoded);
+  for (uint64_t v : values) {
+    auto got = ReadVarUInt(in);
+    ASSERT_OK(got);
+    EXPECT_EQ(got.value(), v);
+  }
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(VarintTest, MaxValueUsesTenBytes) {
+  Bytes encoded;
+  VectorWriteBuffer out(&encoded);
+  ASSERT_OK(WriteVarUInt(out, std::numeric_limits<uint64_t>::max()));
+  ASSERT_OK(out.Flush());
+  EXPECT_EQ(encoded.size(), static_cast<size_t>(kMaxVarintBytes));
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // Eleven continuation bytes: no valid uint64 varint is this long.
+  Bytes encoded(11, 0x80);
+  MemoryReadBuffer in(encoded);
+  EXPECT_NOT_OK(ReadVarUInt(in));
+}
+
+TEST(VarintTest, SignedZigzagEdgeValuesRoundTrip) {
+  const std::vector<int64_t> values = {
+      0,  -1, 1,  -2, 63, -64,  // zigzag keeps small magnitudes short
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max()};
+  Bytes encoded;
+  {
+    VectorWriteBuffer out(&encoded);
+    for (int64_t v : values) ASSERT_OK(WriteVarInt(out, v));
+    ASSERT_OK(out.Flush());
+  }
+  MemoryReadBuffer in(encoded);
+  for (int64_t v : values) {
+    auto got = ReadVarInt(in);
+    ASSERT_OK(got);
+    EXPECT_EQ(got.value(), v);
+  }
+}
+
+TEST(VarintTest, SmallNegativeStaysShort) {
+  Bytes encoded;
+  VectorWriteBuffer out(&encoded);
+  ASSERT_OK(WriteVarInt(out, -1));  // zigzag -> 1 -> one byte
+  ASSERT_OK(out.Flush());
+  EXPECT_EQ(encoded.size(), 1u);
+}
+
+// --------------------------------------------- fixed-width + double bits
+
+TEST(FixedWidthTest, ExplicitLittleEndianLayout) {
+  uint8_t buf[8];
+  PutFixed32(buf, 0x04030201u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(GetFixed32(buf), 0x04030201u);
+
+  PutFixed64(buf, 0x0807060504030201ull);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0x08);
+  EXPECT_EQ(GetFixed64(buf), 0x0807060504030201ull);
+}
+
+TEST(FixedWidthTest, DoubleTravelsAsExactBitPattern) {
+  const std::vector<double> values = {0.0,
+                                      -0.0,
+                                      1.0,
+                                      -2.5,
+                                      0.1,  // not exactly representable
+                                      std::numeric_limits<double>::infinity(),
+                                      std::numeric_limits<double>::denorm_min(),
+                                      std::numeric_limits<double>::max()};
+  Bytes encoded;
+  {
+    VectorWriteBuffer out(&encoded);
+    for (double v : values) ASSERT_OK(WriteDouble(out, v));
+    ASSERT_OK(out.Flush());
+  }
+  MemoryReadBuffer in(encoded);
+  for (double v : values) {
+    auto got = ReadDouble(in);
+    ASSERT_OK(got);
+    uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &v, sizeof(v));
+    std::memcpy(&got_bits, &got.value(), sizeof(double));
+    EXPECT_EQ(got_bits, want_bits);
+  }
+}
+
+// ---------------------------------------------------------------- frames
+
+Bytes EncodeFrame(const Bytes& payload) {
+  Bytes wire;
+  VectorWriteBuffer out(&wire);
+  EXPECT_OK(WriteFrame(out, payload));
+  EXPECT_OK(out.Flush());
+  return wire;
+}
+
+TEST(FrameTest, RoundTrip) {
+  Bytes payload = ToBytes("the payload");
+  Bytes wire = EncodeFrame(payload);
+  EXPECT_EQ(wire.size(), payload.size() + 8);  // len + crc prefix
+  MemoryReadBuffer in(wire);
+  auto got = ReadFrame(in);
+  ASSERT_OK(got);
+  EXPECT_EQ(got.value(), payload);
+}
+
+TEST(FrameTest, TruncatedFrameIsTypedError) {
+  Bytes wire = EncodeFrame(ToBytes("the payload"));
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{7}, wire.size() - 1}) {
+    Bytes torn(wire.begin(), wire.begin() + static_cast<long>(keep));
+    MemoryReadBuffer in(torn);
+    auto got = ReadFrame(in);
+    ASSERT_FALSE(got.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FrameTest, EveryBitFlipFailsCrc) {
+  Bytes wire = EncodeFrame(ToBytes("x"));
+  // Flip each payload/crc byte in turn; flipping the length field either
+  // fails the bound check or truncates — every corruption is typed.
+  for (size_t i = 4; i < wire.size(); ++i) {
+    Bytes bad = wire;
+    bad[i] ^= 0x40;
+    MemoryReadBuffer in(bad);
+    auto got = ReadFrame(in);
+    ASSERT_FALSE(got.ok()) << "flipped byte " << i;
+    EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FrameTest, OversizedLengthRejectedWithoutAllocating) {
+  Bytes wire(8, 0);
+  PutFixed32(wire.data(), kMaxFrameBytes + 1);
+  MemoryReadBuffer in(wire);
+  auto got = ReadFrame(in);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------------- messages
+
+TEST(MessageTest, StatusRoundTripsCodeAndMessage) {
+  for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                    StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+                    StatusCode::kPermissionDenied, StatusCode::kUnavailable}) {
+    Status original(code, code == StatusCode::kOk ? "" : "what went wrong");
+    auto encoded = WireStatus::FromStatus(original).Encode();
+    ASSERT_OK(encoded);
+    EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kStatusReply);
+    auto decoded = WireStatus::Decode(encoded.value());
+    ASSERT_OK(decoded);
+    Status back = decoded.value().ToStatus();
+    EXPECT_EQ(back.code(), original.code());
+    EXPECT_EQ(back.message(), original.message());
+  }
+}
+
+TEST(MessageTest, PlanRoundTripsBothKinds) {
+  for (auto kind : {MsgKind::kPrepare, MsgKind::kExecute}) {
+    WirePlan plan;
+    plan.kind = kind;
+    plan.fingerprint = 0xdeadbeefcafef00dull;
+    plan.canonical_text = "SELECT COUNT(*) FROM YellowCab";
+    auto encoded = plan.Encode();
+    ASSERT_OK(encoded);
+    EXPECT_EQ(PeekKind(encoded.value()).value(), kind);
+    auto decoded = WirePlan::Decode(encoded.value());
+    ASSERT_OK(decoded);
+    EXPECT_EQ(decoded.value().kind, kind);
+    EXPECT_EQ(decoded.value().fingerprint, plan.fingerprint);
+    EXPECT_EQ(decoded.value().canonical_text, plan.canonical_text);
+  }
+}
+
+TEST(MessageTest, CreateTableRoundTripsSchemaFields) {
+  WireCreateTable req;
+  req.table = "YellowCab";
+  req.fields = {{"pickTime", query::ValueType::kInt},
+                {"fare", query::ValueType::kDouble},
+                {"isDummy", query::ValueType::kInt}};
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  auto decoded = WireCreateTable::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().table, req.table);
+  ASSERT_EQ(decoded.value().fields.size(), req.fields.size());
+  for (size_t i = 0; i < req.fields.size(); ++i) {
+    EXPECT_EQ(decoded.value().fields[i].name, req.fields[i].name);
+    EXPECT_EQ(decoded.value().fields[i].type, req.fields[i].type);
+  }
+}
+
+TEST(MessageTest, IngestRoundTripsCiphertextsExactly) {
+  WireIngest req;
+  req.table = "YellowCab";
+  req.setup_batch = true;
+  req.nonce_high_water = 1234567;
+  for (uint32_t i = 0; i < 5; ++i) {
+    WireCipherRecord r;
+    r.shard = i % 3;
+    r.ciphertext = Bytes(92, static_cast<uint8_t>(0xA0 + i));
+    req.entries.push_back(std::move(r));
+  }
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  auto decoded = WireIngest::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().table, req.table);
+  EXPECT_EQ(decoded.value().setup_batch, true);
+  EXPECT_EQ(decoded.value().nonce_high_water, req.nonce_high_water);
+  ASSERT_EQ(decoded.value().entries.size(), req.entries.size());
+  for (size_t i = 0; i < req.entries.size(); ++i) {
+    EXPECT_EQ(decoded.value().entries[i].shard, req.entries[i].shard);
+    EXPECT_EQ(decoded.value().entries[i].ciphertext, req.entries[i].ciphertext);
+  }
+}
+
+TEST(MessageTest, TableRefRoundTripsBothKinds) {
+  for (auto kind : {MsgKind::kFlush, MsgKind::kStats}) {
+    WireTableRef req;
+    req.kind = kind;
+    req.table = "GreenTaxi";
+    auto encoded = req.Encode();
+    ASSERT_OK(encoded);
+    EXPECT_EQ(PeekKind(encoded.value()).value(), kind);
+    auto decoded = WireTableRef::Decode(encoded.value());
+    ASSERT_OK(decoded);
+    EXPECT_EQ(decoded.value().table, req.table);
+  }
+}
+
+TEST(MessageTest, PartialRoundTripsGroupedSpanCellsBitExactly) {
+  // Two per-shard cells: the wire must preserve the cell boundaries (the
+  // coordinator's fold order depends on them), every group key, and every
+  // double's exact bit pattern.
+  WirePartial partial;
+  partial.func = 3;
+  partial.grouped = true;
+  WireSpanPartial cell0;
+  cell0.total = {42, 108.25, -7.5, 1e300, true};
+  cell0.groups.emplace_back(query::Value(int64_t{-5}),
+                            WireAggState{1, 0.1, 0.1, 0.1, true});
+  cell0.groups.emplace_back(query::Value(2.5),
+                            WireAggState{2, -0.0, -1.0, 1.0, true});
+  WireSpanPartial cell1;
+  cell1.total = {7, 0.3, 0.1, 0.2, true};
+  cell1.groups.emplace_back(query::Value(std::string("zone")),
+                            WireAggState{0, 0.0, 0.0, 0.0, false});
+  partial.spans = {cell0, cell1};
+  partial.records_scanned = 12345;
+  partial.oram_paths = 17;
+  partial.oram_buckets = 170;
+
+  auto encoded = partial.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kPartialReply);
+  auto decoded = WirePartial::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  const WirePartial& got = decoded.value();
+  EXPECT_EQ(got.func, partial.func);
+  EXPECT_TRUE(got.grouped);
+  ASSERT_EQ(got.spans.size(), 2u);
+  EXPECT_EQ(got.spans[0].total.count, 42);
+  EXPECT_EQ(got.spans[0].total.sum, 108.25);
+  EXPECT_EQ(got.spans[0].total.min, -7.5);
+  EXPECT_EQ(got.spans[0].total.max, 1e300);
+  EXPECT_TRUE(got.spans[0].total.seen);
+  ASSERT_EQ(got.spans[0].groups.size(), 2u);
+  ASSERT_EQ(got.spans[1].groups.size(), 1u);
+  EXPECT_TRUE(got.spans[0].groups[0].first == cell0.groups[0].first);
+  EXPECT_TRUE(got.spans[0].groups[1].first == cell0.groups[1].first);
+  EXPECT_TRUE(got.spans[1].groups[0].first == cell1.groups[0].first);
+  EXPECT_EQ(got.spans[0].groups[1].second.count, 2);
+  // -0.0 == 0.0 under operator==; compare the bit pattern instead.
+  uint64_t bits;
+  std::memcpy(&bits, &got.spans[0].groups[1].second.sum, sizeof(bits));
+  EXPECT_EQ(bits, 0x8000000000000000ull);
+  EXPECT_FALSE(got.spans[1].groups[0].second.seen);
+  EXPECT_EQ(got.spans[1].total.count, 7);
+  EXPECT_EQ(got.records_scanned, 12345);
+  EXPECT_EQ(got.oram_paths, 17);
+  EXPECT_EQ(got.oram_buckets, 170);
+}
+
+TEST(MessageTest, ServerStatsRoundTrip) {
+  WireServerStats stats;
+  stats.prepares = 1;
+  stats.plan_cache_hits = 2;
+  stats.plan_cache_misses = 3;
+  stats.plan_rebinds = 4;
+  stats.queries_executed = 5;
+  stats.queries_rejected = 6;
+  stats.deadlines_exceeded = 7;
+  stats.peak_in_flight = 8;
+  stats.snapshot_scans = 9;
+  stats.snapshot_joins = 10;
+  stats.view_hits = 11;
+  stats.view_folds = 12;
+  stats.remote_scatters = 13;
+  stats.remote_partials = 14;
+  auto encoded = stats.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kStatsReply);
+  auto decoded = WireServerStats::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().prepares, 1);
+  EXPECT_EQ(decoded.value().peak_in_flight, 8);
+  EXPECT_EQ(decoded.value().view_folds, 12);
+  EXPECT_EQ(decoded.value().remote_scatters, 13);
+  EXPECT_EQ(decoded.value().remote_partials, 14);
+}
+
+TEST(MessageTest, QueryStatsRoundTrip) {
+  WireQueryStats stats;
+  stats.virtual_seconds = 1.25;
+  stats.measured_seconds = 0.5;
+  stats.records_scanned = 999;
+  stats.join_pairs = 4;
+  stats.revealed_volume = -1;
+  stats.oram_paths = 3;
+  stats.oram_buckets = 30;
+  stats.oram_virtual_seconds = 0.125;
+  stats.plan_cache_hit = true;
+  Bytes encoded;
+  {
+    VectorWriteBuffer out(&encoded);
+    ASSERT_OK(stats.AppendTo(out));
+    ASSERT_OK(out.Flush());
+  }
+  MemoryReadBuffer in(encoded);
+  auto decoded = WireQueryStats::ReadFrom(in);
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().virtual_seconds, 1.25);
+  EXPECT_EQ(decoded.value().records_scanned, 999);
+  EXPECT_EQ(decoded.value().revealed_volume, -1);
+  EXPECT_TRUE(decoded.value().plan_cache_hit);
+}
+
+// ------------------------------------------------ malformed payloads
+
+TEST(MessageTest, TrailingGarbageRejected) {
+  WirePlan plan;
+  plan.kind = MsgKind::kExecute;
+  plan.fingerprint = 7;
+  plan.canonical_text = "SELECT COUNT(*) FROM T";
+  auto encoded = plan.Encode();
+  ASSERT_OK(encoded);
+  Bytes padded = encoded.value();
+  padded.push_back(0x00);
+  EXPECT_NOT_OK(WirePlan::Decode(padded));
+}
+
+TEST(MessageTest, TruncatedBodyRejectedAtEveryLength) {
+  WireIngest req;
+  req.table = "T";
+  req.entries.push_back({1, Bytes(16, 0xEE)});
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  for (size_t keep = 0; keep < encoded.value().size(); ++keep) {
+    Bytes torn(encoded.value().begin(),
+               encoded.value().begin() + static_cast<long>(keep));
+    EXPECT_NOT_OK(WireIngest::Decode(torn)) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(MessageTest, WrongKindTagRejected) {
+  WireTableRef req;
+  req.kind = MsgKind::kFlush;
+  req.table = "T";
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_NOT_OK(WirePlan::Decode(encoded.value()));
+  EXPECT_NOT_OK(WireStatus::Decode(encoded.value()));
+}
+
+TEST(MessageTest, PeekKindOnEmptyPayloadFails) {
+  EXPECT_NOT_OK(PeekKind(Bytes{}));
+}
+
+}  // namespace
+}  // namespace dpsync::net

@@ -26,6 +26,10 @@ import sys
 # any change means behavior changed, not the machine.
 DETERMINISTIC = [
     "mean_logical_gap",
+    # Distributed sweep (sweep_distributed): transport counters are pure
+    # functions of the workload and topology.
+    "rpc_calls",
+    "bytes_shipped",
     "final_total_mb",
     "final_dummy_mb",
     "real_synced",
@@ -59,12 +63,19 @@ DETERMINISTIC_PLAN_CACHE = [
     "snapshot_joins",
     "view_hits",
     "view_folds",
+    # Distributed coordinator: scatters and gathered partials are a pure
+    # function of the query count x server count; rpc_calls/bytes_shipped
+    # (top-level, sweep_distributed) are deterministic for the same
+    # reason — the wire format and batch routing are seeded functions of
+    # the workload.
+    "remote_scatters",
+    "remote_partials",
 ]
 
 # Wall-clock metrics: machine-dependent, warn only above the tolerance.
 # qps / rows_per_sec (the concurrency and vectorized sweeps) are derived
 # from wall clock, so they live here and never gate.
-TIMING = ["wall_seconds", "qps", "rows_per_sec"]
+TIMING = ["wall_seconds", "qps", "rows_per_sec", "rpc_us_per_call"]
 TIMING_QUERY = ["mean_qet_measured"]
 
 # Virtual-cost metrics: deterministic model outputs whose *growth* beyond
