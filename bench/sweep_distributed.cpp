@@ -1,20 +1,29 @@
 /// \file sweep_distributed.cpp
 /// Distributed scatter-gather sweep: deployment {local, 1-server,
-/// 4-server} x query {SUM, filtered SUM, group-count} x table size
-/// n {1k, 16k, 64k}, all on the same 4-shard ObliDB topology. Every
-/// distributed cell is HARD-CHECKED in-binary against the local engine:
-/// the answer (bit pattern, including grouped maps), records_scanned and
-/// the virtual QET must be identical — servers ship one aggregate cell
-/// per storage shard and the coordinator folds the rank-ordered cells in
-/// global shard order, replaying the single-process scan's span-aligned
-/// merge tree, so any divergence is a bug, not noise. The fares here are
-/// non-dyadic doubles, so SUM/AVG genuinely exercise FP merge order.
+/// 4-server, 4-server replicated} x query {SUM, filtered SUM,
+/// group-count} x table size n {1k, 16k, 64k}, all on the same 4-shard
+/// ObliDB topology. Every distributed cell is HARD-CHECKED in-binary
+/// against the local engine: the answer (bit pattern, including grouped
+/// maps), records_scanned and the virtual QET must be identical —
+/// servers ship one aggregate cell per storage shard and the coordinator
+/// folds the rank-ordered cells in global shard order, replaying the
+/// single-process scan's span-aligned merge tree, so any divergence is a
+/// bug, not noise. The fares here are non-dyadic doubles, so SUM/AVG
+/// genuinely exercise FP merge order.
+///
+/// The dist-x4-replicated deployment additionally kills one leader
+/// MID-SWEEP (at a fixed rep of the first query) and requires the
+/// coordinator to promote that rank's follower and keep every later
+/// answer bit-identical — the post-cutover identity is the same hard
+/// check, and the failover is visible in the `failovers` counter.
 ///
 /// Output: "sweep_distributed,<deployment>,<query>,n<records>,..." CSV
 /// lines, a summary table, and BENCH_sweep_distributed.json entries
-/// (wired into the CI bench-artifacts job). records_scanned, rpc_calls
-/// and bytes_shipped are deterministic and gated by tools/bench_diff.py;
-/// wall_seconds / qps / rpc_us_per_call are timing and warn-only.
+/// (wired into the CI bench-artifacts job). records_scanned, rpc_calls,
+/// bytes_shipped, failovers, replica_lag_batches and bytes_replicated
+/// are deterministic and gated by tools/bench_diff.py; wall_seconds /
+/// qps / rpc_us_per_call / failover_wall_seconds are timing and
+/// warn-only.
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -89,16 +98,20 @@ constexpr QueryCase kQueries[] = {
 };
 
 /// One deployment: the local 4-shard engine or a coordinator splitting
-/// the same 4 shards over 1 or 4 servers.
+/// the same 4 shards over 1 or 4 servers, optionally with one warm
+/// follower per rank and a mid-sweep leader kill.
 struct Deployment {
   const char* label;
   int num_servers;  ///< 0 = single-process engine
+  int replicas = 0;
+  bool kill_mid_sweep = false;
 };
 
 constexpr Deployment kDeployments[] = {
     {"local", 0},
     {"dist-x1", 1},
     {"dist-x4", 4},
+    {"dist-x4-replicated", 4, 1, true},
 };
 
 struct Server {
@@ -121,6 +134,7 @@ Server MakeServer(const Deployment& d, int64_t n) {
     dist::DistributedConfig cfg;
     cfg.engine = dist::DistEngineKind::kObliDb;
     cfg.num_servers = d.num_servers;
+    cfg.replication_factor = d.replicas;
     cfg.oblidb.storage.num_shards = kGlobalShards;
     auto server = std::make_unique<dist::DistributedEdbServer>(cfg);
     if (!server->init_status().ok()) Die("init", server->init_status());
@@ -182,9 +196,30 @@ int main() {
         auto start = std::chrono::steady_clock::now();
         edb::QueryResponse last;
         double virtual_seconds = 0;
+        double failover_wall = 0;
         for (int rep = 0; rep < kReps; ++rep) {
+          // The mid-sweep kill cell: halfway through the FIRST query's
+          // reps, rank 1's leader dies. The very next Execute must cut
+          // over to the follower; its wall clock (including the probe +
+          // promote round trips) is the failover latency, and every rep
+          // from here on exercises the post-cutover path. The rep index
+          // is fixed, so the counters below stay deterministic.
+          if (d.kill_mid_sweep && qi == 0 && rep == kReps / 2) {
+            if (auto k = s.dist->KillServer(1); !k.ok()) Die("KillServer", k);
+          }
+          const bool timed_failover =
+              d.kill_mid_sweep && qi == 0 && rep == kReps / 2;
+          auto rep_start = std::chrono::steady_clock::now();
           auto resp = session->Execute(prepared.value());
           if (!resp.ok()) Die("Execute", resp.status());
+          if (timed_failover) {
+            failover_wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - rep_start)
+                                .count();
+            // Post-cutover bit-identity, hard-checked at the cutover rep
+            // itself (the per-cell check below re-verifies the last rep).
+            CheckIdentical(resp.value(), reference[qi]);
+          }
           virtual_seconds += resp->stats.virtual_seconds;
           last = std::move(resp.value());
         }
@@ -214,6 +249,13 @@ int main() {
                       TablePrinter::Fmt(qps, 1), std::to_string(rpc_calls),
                       TablePrinter::Fmt(bytes_shipped / 1024.0, 1),
                       TablePrinter::Fmt(rpc_us_per_call, 1)});
+        if (failover_wall > 0) {
+          // Timing-only (warn-only in bench_diff): the one Execute that
+          // absorbed the probe + promote + retry round trips.
+          std::cout << "# failover latency (kill -> first post-cutover "
+                       "answer): "
+                    << failover_wall << " s\n";
+        }
 
         auto stats = s.server->stats();
         // Scatter accounting must close: one scatter per execution, one
@@ -226,6 +268,15 @@ int main() {
           std::cerr << "sweep_distributed: scatter counters off ("
                     << stats.remote_scatters << "/" << stats.remote_partials
                     << " for " << d.label << ")" << std::endl;
+          return 1;
+        }
+        // The kill cell must have produced exactly one cutover (and the
+        // unkilled deployments none) — a second failover would mean the
+        // promoted follower died too.
+        if (stats.failovers != (d.kill_mid_sweep ? 1 : 0)) {
+          std::cerr << "sweep_distributed: expected "
+                    << (d.kill_mid_sweep ? 1 : 0) << " failover(s), saw "
+                    << stats.failovers << " for " << d.label << std::endl;
           return 1;
         }
 
@@ -245,6 +296,12 @@ int main() {
              << ",\"rpc_calls\":" << rpc_calls
              << ",\"bytes_shipped\":" << bytes_shipped
              << ",\"rpc_us_per_call\":" << rpc_us_per_call
+             << ",\"failovers\":" << stats.failovers
+             << ",\"replica_lag_batches\":"
+             << (s.dist ? s.dist->replica_lag_batches() : 0)
+             << ",\"bytes_replicated\":"
+             << (s.dist ? s.dist->bytes_replicated() : 0)
+             << ",\"failover_wall_seconds\":" << failover_wall
              << ",\"vectorized\":" << (VectorizedMode() ? "true" : "false")
              << ",\"plan_cache\":{\"prepares\":" << stats.prepares
              << ",\"hits\":" << stats.plan_cache_hits
@@ -265,6 +322,8 @@ int main() {
                "divergence). rpc_calls is reps x servers per cell, bytes\n"
                "shipped grows with the group-by reply size, and the virtual "
                "QET is\ninvariant in the deployment — plan shipping moves "
-               "wall clock only.\n";
+               "wall clock only.\nThe dist-x4-replicated cells survive a "
+               "mid-sweep leader kill: exactly one\nfailover, and every "
+               "post-cutover answer stays bit-identical.\n";
   return 0;
 }

@@ -21,17 +21,27 @@
 /// the single-process engines (dist_test proves this per backend x shard
 /// count).
 ///
-/// Failure semantics: every RPC is bounded by rpc_timeout_seconds; a
-/// dead or hung server yields a typed Unavailable (first failing rank
-/// wins, deterministically) — no hang, no partial answer. Replicated
-/// logs / failover are explicitly deferred (docs/DISTRIBUTED.md).
+/// Failure semantics: every RPC is bounded by rpc_timeout_seconds. With
+/// replication_factor == 0 a dead or hung server yields a typed
+/// Unavailable (first failing rank wins, deterministically) — no hang,
+/// no partial answer. With replication_factor >= 1 each rank is a
+/// replica GROUP: the coordinator relays every acked ingest batch to the
+/// rank's followers as WireReplicate (committed ciphertext spans + nonce
+/// HWM — segment shipping, never plaintext), and a transport failure on
+/// the leader triggers an epoch-tagged cutover (probe kReplicaState,
+/// verify the candidate holds every acked batch, promote via kPromote,
+/// retry once). Because a follower applies the identical per-shard
+/// append sequence, post-cutover answers stay bit-identical to the
+/// single-process engines. See docs/DISTRIBUTED.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -61,6 +71,10 @@ struct DistributedConfig {
   /// Per-RPC reply deadline; a server that dies or hangs fails the query
   /// with Unavailable within this bound.
   double rpc_timeout_seconds = 10.0;
+  /// Followers per rank (0 = unreplicated, the pre-replication behavior).
+  /// Each rank becomes a group of 1 leader + replication_factor warm
+  /// followers; a leader death promotes a caught-up follower.
+  int replication_factor = 0;
 };
 
 /// Scatter-gather coordinator over in-process shard servers.
@@ -89,9 +103,41 @@ class DistributedEdbServer : public edb::EdbServer {
   /// Cumulative analyst budget consumed (Crypt-eps mode; 0 otherwise).
   double consumed_query_budget() const;
 
-  /// Failure injection for tests: tears down server `rank`'s serve loop,
-  /// so the next query fails with Unavailable within the RPC deadline.
+  /// Failure injection for tests: tears down the serve loop of rank
+  /// `rank`'s CURRENT leader. Unreplicated, the next query fails with
+  /// Unavailable within the RPC deadline; replicated, it triggers a
+  /// failover to a caught-up follower instead.
   Status KillServer(int rank);
+
+  /// Kills follower `member` (1..replication_factor) of rank `rank` and
+  /// marks it dead, so neither relays nor cutovers consider it again.
+  Status KillFollower(int rank, int member);
+
+  /// Installs a channel-side fault schedule on the coordinator->member
+  /// connection (member 0 = initial leader). Test-only seam.
+  Status InjectChannelFaults(int rank, int member, net::FaultPlan plan);
+
+  /// Installs a serve-side fault schedule on one member's serve loop
+  /// (kill-before-handle / kill-after-handle). Test-only seam.
+  Status InjectServeFaults(int rank, int member, net::FaultPlan plan);
+
+  /// Direct member access for tests probing replica state.
+  EdbShardServer* ShardServerForTest(int rank, int member);
+
+  /// Brings every live follower current: probes its per-table position
+  /// and, where it lags the acked sequence, relays the leader's committed
+  /// spans (kCatchUp -> WireReplicate with base-row verification).
+  Status CatchUpReplicas();
+
+  /// Replication counters (deterministic given a seeded fault plan):
+  /// relays that failed to reach a follower, and replicate/catch-up
+  /// payload bytes that did.
+  int64_t replica_lag_batches() const {
+    return replica_lag_batches_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_replicated() const {
+    return bytes_replicated_.load(std::memory_order_relaxed);
+  }
 
   /// Deterministic transport counters summed over every channel.
   int64_t rpc_calls() const;
@@ -108,20 +154,57 @@ class DistributedEdbServer : public edb::EdbServer {
  private:
   class DistTable;
 
-  /// One shard server plus its connection and global shard range [lo, hi).
-  struct Peer {
+  /// One member of a rank's replica group: a shard server plus the
+  /// coordinator's connection to it. Members are never deallocated while
+  /// the coordinator lives (dead ones are only flagged), so raw pointers
+  /// handed to tests stay valid across failovers.
+  struct Member {
     std::unique_ptr<EdbShardServer> server;
     std::unique_ptr<net::Channel> channel;
+    bool dead = false;  ///< guarded by the group mutex
+  };
+
+  /// One rank: a replica group owning global shard range [lo, hi).
+  /// members[0] is the initial leader; `leader` tracks the current one.
+  /// The group mutex (heap-held so Peer stays movable) orders failover
+  /// against concurrent callers; `generation` bumps per cutover so racing
+  /// threads that observed the same dead leader fail over exactly once.
+  struct Peer {
     int lo = 0;
     int hi = 0;
+    std::unique_ptr<std::mutex> mu;
+    std::vector<Member> members;
+    size_t leader = 0;        ///< guarded by *mu
+    uint64_t generation = 0;  ///< guarded by *mu
   };
 
   static const edb::AdmissionConfig& PickAdmission(
       const DistributedConfig& config);
 
   DistTable* FindTable(const std::string& name) const;
-  /// Scatters `request` to every peer in parallel and returns the raw
-  /// replies; the caller decodes. First failing rank wins.
+  /// Bounds-checked member lookup (nullptr when out of range).
+  Member* MemberAt(int rank, int member);
+  /// One RPC to rank `k`'s current leader. A transport failure triggers
+  /// EnsureFailover and exactly one retry against the promoted leader;
+  /// typed remote errors pass through untouched. Errors come back
+  /// annotated with the rank.
+  StatusOr<Bytes> CallRank(size_t k, const Bytes& request);
+  /// Cutover state machine for rank `k`: marks the leader observed at
+  /// `observed_generation` dead, probes each live follower, and promotes
+  /// the first one whose applied positions match every table's acked
+  /// sequence. Returns typed Unavailable when no candidate qualifies
+  /// (double failure / stale followers).
+  Status EnsureFailover(size_t k, uint64_t observed_generation);
+  /// Probe + promote one candidate (caller holds the group mutex).
+  Status TryPromote(Member& candidate,
+                    const std::vector<std::pair<std::string, uint64_t>>&
+                        expected_seqs);
+  /// Relays one acked ingest batch to rank `k`'s live followers
+  /// (best-effort: a failed relay counts replica_lag_batches, catch-up
+  /// repairs it later).
+  void RelayToFollowers(size_t k, const Bytes& replicate_request);
+  /// Scatters `request` to every rank's leader in parallel and returns
+  /// the raw replies; the caller decodes. First failing rank wins.
   Status Scatter(const Bytes& request, std::vector<Bytes>* replies);
 
   DistributedConfig config_;
@@ -146,6 +229,9 @@ class DistributedEdbServer : public edb::EdbServer {
 
   mutable std::mutex catalog_mu_;
   std::map<std::string, std::unique_ptr<DistTable>> tables_;
+
+  std::atomic<int64_t> replica_lag_batches_{0};
+  std::atomic<int64_t> bytes_replicated_{0};
 };
 
 }  // namespace dpsync::dist

@@ -37,6 +37,7 @@ EdbShardServer::EdbShardServer(const ShardServerConfig& config)
   // never be consulted here; keep the per-table state minimal.
   table_config_.materialized_views = false;
   table_config_.storage = config.storage;
+  follower_ = config.follower;
 }
 
 EdbShardServer::~EdbShardServer() { Shutdown(); }
@@ -67,6 +68,22 @@ void EdbShardServer::Shutdown() {
   if (to_join.joinable()) to_join.join();
 }
 
+void EdbShardServer::InjectServeFaults(net::FaultPlan plan) {
+  std::lock_guard<std::mutex> lk(fault_mu_);
+  serve_faults_ = std::move(plan);
+}
+
+bool EdbShardServer::is_follower() const {
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  return follower_;
+}
+
+uint64_t EdbShardServer::applied_seq(const std::string& table) const {
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  auto it = applied_seq_.find(table);
+  return it == applied_seq_.end() ? 0 : it->second;
+}
+
 void EdbShardServer::ServeLoop(int fd) {
   // Blocking reads: the coordinator owns all timeouts. A dead coordinator
   // closes the socket, which lands here as an Unavailable read error.
@@ -75,8 +92,18 @@ void EdbShardServer::ServeLoop(int fd) {
   for (;;) {
     auto request = net::ReadFrame(reader);
     if (!request.ok()) break;  // peer closed, Shutdown(), or torn frame
+    net::FaultRule rule;
+    {
+      std::lock_guard<std::mutex> lk(fault_mu_);
+      const uint8_t kind = request.value().empty() ? 0 : request.value()[0];
+      rule = serve_faults_.TakeMatching(kind);
+    }
+    // The two commit-relative death points: die with the request unread
+    // (never committed) vs die after handling it but before the ack.
+    if (rule.action == net::FaultAction::kKillBeforeHandle) break;
     Bytes reply = HandleFrame(request.value());
     requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (rule.action == net::FaultAction::kKillAfterHandle) break;
     if (!net::WriteFrame(writer, reply).ok()) break;
   }
   net::CloseFd(fd);
@@ -112,6 +139,32 @@ Bytes EdbShardServer::HandleFrame(const Bytes& payload) {
       auto req = net::WireIngest::Decode(payload);
       if (!req.ok()) return EncodeStatusReply(req.status());
       return EncodeStatusReply(HandleIngest(req.value()));
+    }
+    case net::MsgKind::kReplicate: {
+      auto req = net::WireReplicate::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      return EncodeStatusReply(HandleReplicate(req.value()));
+    }
+    case net::MsgKind::kCatchUp: {
+      auto req = net::WireCatchUp::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      auto reply = HandleCatchUp(req.value());
+      if (!reply.ok()) return EncodeStatusReply(reply.status());
+      auto encoded = reply.value().Encode();
+      if (!encoded.ok()) return EncodeStatusReply(encoded.status());
+      return encoded.value();
+    }
+    case net::MsgKind::kReplicaState: {
+      auto req = net::WireReplicaStateRequest::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      auto encoded = HandleReplicaState().Encode();
+      if (!encoded.ok()) return EncodeStatusReply(encoded.status());
+      return encoded.value();
+    }
+    case net::MsgKind::kPromote: {
+      auto req = net::WirePromote::Decode(payload);
+      if (!req.ok()) return EncodeStatusReply(req.status());
+      return EncodeStatusReply(HandlePromote(req.value()));
     }
     case net::MsgKind::kFlush: {
       auto req = net::WireTableRef::Decode(payload);
@@ -260,18 +313,162 @@ StatusOr<net::WirePartial> EdbShardServer::HandleExecute(
   return out;
 }
 
+Status EdbShardServer::ApplyBatch(
+    const std::string& name, edb::ObliDbTable* table, uint64_t batch_seq,
+    const std::vector<uint64_t>* base_rows,
+    const std::vector<net::WireCipherRecord>& wire_entries,
+    uint64_t nonce_high_water, bool setup_batch) {
+  uint64_t& applied = applied_seq_[name];
+  if (batch_seq != 0 && batch_seq <= applied) {
+    // A post-failover retry of a batch this server already applied:
+    // idempotent no-op (exactly-once lands here, not in the transport).
+    return Status::Ok();
+  }
+  if (base_rows != nullptr) {
+    // Catch-up span: it must start exactly at our committed rows, the
+    // same tail-plausibility stance Reopen takes — a span that would
+    // leave a hole or double-append is rejected, never patched over.
+    std::vector<uint64_t> have = table->store().CommittedShardRows();
+    if (base_rows->size() != have.size()) {
+      return Status::FailedPrecondition(
+          "catch-up span names " + std::to_string(base_rows->size()) +
+          " shards, table " + name + " has " + std::to_string(have.size()));
+    }
+    for (size_t s = 0; s < have.size(); ++s) {
+      if ((*base_rows)[s] != have[s]) {
+        return Status::FailedPrecondition(
+            "catch-up span starts at row " +
+            std::to_string((*base_rows)[s]) + " of shard " +
+            std::to_string(s) + ", replica holds " +
+            std::to_string(have[s]) + " rows (table " + name + ")");
+      }
+    }
+  } else if (batch_seq != 0 && batch_seq != applied + 1) {
+    return Status::FailedPrecondition(
+        "replication gap: batch " + std::to_string(batch_seq) +
+        " after applied " + std::to_string(applied) + " (table " + name +
+        ")");
+  }
+  std::vector<edb::EncryptedTableStore::CipherEntry> entries;
+  entries.reserve(wire_entries.size());
+  for (const auto& e : wire_entries) {
+    entries.push_back({e.shard, e.ciphertext});
+  }
+  if (!entries.empty() || setup_batch) {
+    DPSYNC_RETURN_IF_ERROR(
+        table->IngestCiphertexts(entries, nonce_high_water, setup_batch));
+  }
+  if (batch_seq != 0) applied = batch_seq;
+  return Status::Ok();
+}
+
 Status EdbShardServer::HandleIngest(const net::WireIngest& req) {
   edb::ObliDbTable* table = FindTable(req.table);
   if (!table) {
     return Status::NotFound("ingest for unknown table: " + req.table);
   }
-  std::vector<edb::EncryptedTableStore::CipherEntry> entries;
-  entries.reserve(req.entries.size());
-  for (const auto& e : req.entries) {
-    entries.push_back({e.shard, e.ciphertext});
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  if (follower_) {
+    return Status::FailedPrecondition(
+        "shard server " + std::to_string(config_.rank) +
+        " is a read-only follower");
   }
-  return table->IngestCiphertexts(entries, req.nonce_high_water,
-                                  req.setup_batch);
+  return ApplyBatch(req.table, table, req.batch_seq, /*base_rows=*/nullptr,
+                    req.entries, req.nonce_high_water, req.setup_batch);
+}
+
+Status EdbShardServer::HandleReplicate(const net::WireReplicate& req) {
+  edb::ObliDbTable* table = FindTable(req.table);
+  if (!table) {
+    return Status::NotFound("replicate for unknown table: " + req.table);
+  }
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  return ApplyBatch(req.table, table, req.batch_seq,
+                    req.base_rows.empty() ? nullptr : &req.base_rows,
+                    req.entries, req.nonce_high_water, req.setup_batch);
+}
+
+StatusOr<net::WireCatchUpReply> EdbShardServer::HandleCatchUp(
+    const net::WireCatchUp& req) {
+  edb::ObliDbTable* table = FindTable(req.table);
+  if (!table) {
+    return Status::NotFound("catch-up for unknown table: " + req.table);
+  }
+  // repl_mu_ keeps the exported spans consistent with the applied_seq
+  // they are stamped with (sequenced appends hold the same lock).
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  std::vector<edb::EncryptedTableStore::CipherEntry> entries;
+  DPSYNC_RETURN_IF_ERROR(
+      table->store().ExportCommittedSpans(req.from_rows, &entries));
+  net::WireCatchUpReply out;
+  auto it = applied_seq_.find(req.table);
+  out.applied_seq = it == applied_seq_.end() ? 0 : it->second;
+  out.nonce_high_water = table->store().nonce_high_water();
+  out.base_rows = req.from_rows;
+  out.entries.reserve(entries.size());
+  for (auto& e : entries) {
+    out.entries.push_back({e.shard, std::move(e.ciphertext)});
+  }
+  return out;
+}
+
+net::WireReplicaState EdbShardServer::HandleReplicaState() {
+  std::vector<std::pair<std::string, edb::ObliDbTable*>> tables;
+  {
+    std::lock_guard<std::mutex> lk(catalog_mu_);
+    for (const auto& [name, t] : tables_) tables.emplace_back(name, t.get());
+  }
+  net::WireReplicaState out;
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  out.follower = follower_;
+  out.tables.reserve(tables.size());
+  for (const auto& [name, t] : tables) {
+    net::WireTableReplicaState ts;
+    ts.table = name;
+    auto it = applied_seq_.find(name);
+    ts.applied_seq = it == applied_seq_.end() ? 0 : it->second;
+    ts.commit_epoch = t->store().commit_epoch();
+    ts.nonce_high_water = t->store().nonce_high_water();
+    ts.shard_rows = t->store().CommittedShardRows();
+    out.tables.push_back(std::move(ts));
+  }
+  return out;
+}
+
+Status EdbShardServer::HandlePromote(const net::WirePromote& req) {
+  std::vector<std::pair<const net::WirePromoteTable*, edb::ObliDbTable*>>
+      resolved;
+  resolved.reserve(req.tables.size());
+  for (const auto& t : req.tables) {
+    edb::ObliDbTable* table = FindTable(t.table);
+    if (!table) {
+      return Status::NotFound("promote names unknown table: " + t.table);
+    }
+    resolved.emplace_back(&t, table);
+  }
+  // Re-verify the probed positions atomically under the same lock that
+  // orders sequenced appends: if anything moved since the probe (a lost
+  // or late batch), the cutover is rejected and the coordinator moves on
+  // to the next candidate — a stale follower never becomes leader.
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  for (const auto& [pt, table] : resolved) {
+    auto it = applied_seq_.find(pt->table);
+    const uint64_t applied = it == applied_seq_.end() ? 0 : it->second;
+    if (applied != pt->expected_seq) {
+      return Status::FailedPrecondition(
+          "promotion raced: table " + pt->table + " applied batch " +
+          std::to_string(applied) + ", coordinator probed " +
+          std::to_string(pt->expected_seq));
+    }
+    if (table->store().commit_epoch() != pt->commit_epoch) {
+      return Status::FailedPrecondition(
+          "promotion raced: table " + pt->table + " is at commit epoch " +
+          std::to_string(table->store().commit_epoch()) +
+          ", coordinator probed " + std::to_string(pt->commit_epoch));
+    }
+  }
+  follower_ = false;
+  return Status::Ok();
 }
 
 Status EdbShardServer::HandleFlush(const net::WireTableRef& req) {

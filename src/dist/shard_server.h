@@ -34,6 +34,7 @@
 #include "common/status.h"
 #include "edb/oblidb_engine.h"
 #include "net/messages.h"
+#include "net/socket.h"
 
 namespace dpsync::dist {
 
@@ -63,6 +64,10 @@ struct ShardServerConfig {
   /// Serve read-only linear scans from an epoch snapshot (lock-free
   /// aggregation), matching the single-process dispatch.
   bool snapshot_scans = true;
+  /// Start as a replication follower: reject owner-facing kIngest
+  /// (read-only), accept kReplicate/kCatchUp/kPromote. Cleared when a
+  /// kPromote cutover succeeds.
+  bool follower = false;
 };
 
 /// A shard server plus its serve loop.
@@ -93,6 +98,24 @@ class EdbShardServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Installs a deterministic serve-side fault schedule, evaluated once
+  /// per received frame (kKillBeforeHandle / kKillAfterHandle — the
+  /// commit-relative death points channel-side faults cannot express).
+  /// Replaces any prior plan. Test-only seam.
+  void InjectServeFaults(net::FaultPlan plan);
+
+  /// Current role (followers serve scans and replication, reject ingest).
+  bool is_follower() const;
+
+  /// Replication position of one hosted table: the highest batch_seq
+  /// applied (0 = none / unsequenced).
+  uint64_t applied_seq(const std::string& table) const;
+
+  /// Direct table access for tests probing a replica's store/mirror.
+  edb::ObliDbTable* TableForTest(const std::string& name) const {
+    return FindTable(name);
+  }
+
  private:
   /// Dispatches one decoded request payload to its handler; always
   /// returns an encoded reply payload (errors become WireStatus frames).
@@ -101,8 +124,22 @@ class EdbShardServer {
   Status HandleCreateTable(const net::WireCreateTable& req);
   StatusOr<net::WirePartial> HandleExecute(const net::WirePlan& req);
   Status HandleIngest(const net::WireIngest& req);
+  Status HandleReplicate(const net::WireReplicate& req);
+  StatusOr<net::WireCatchUpReply> HandleCatchUp(const net::WireCatchUp& req);
+  net::WireReplicaState HandleReplicaState();
+  Status HandlePromote(const net::WirePromote& req);
   Status HandleFlush(const net::WireTableRef& req);
   net::WireServerStats HandleStats() const;
+
+  /// The sequenced append shared by kIngest (leader) and kReplicate
+  /// (follower): dedup/gap-check `batch_seq` against the table's applied
+  /// position, verify `base_rows` when the batch is a catch-up span, then
+  /// append through IngestCiphertexts. Caller holds repl_mu_.
+  Status ApplyBatch(const std::string& name, edb::ObliDbTable* table,
+                    uint64_t batch_seq,
+                    const std::vector<uint64_t>* base_rows,
+                    const std::vector<net::WireCipherRecord>& wire_entries,
+                    uint64_t nonce_high_water, bool setup_batch);
 
   /// Cached plan for `fingerprint`, re-planned from the canonical text
   /// against this server's own catalog on a miss (Prepare warms the
@@ -126,6 +163,16 @@ class EdbShardServer {
 
   std::mutex plans_mu_;
   std::map<uint64_t, std::shared_ptr<const query::QueryPlan>> plans_;
+
+  /// Replication state: role plus per-table applied batch sequence. One
+  /// lock orders every sequenced append against probes and promotion, so
+  /// a kPromote's expected_seq check is atomic with the appends it races.
+  mutable std::mutex repl_mu_;
+  bool follower_ = false;                        ///< guarded by repl_mu_
+  std::map<std::string, uint64_t> applied_seq_;  ///< guarded by repl_mu_
+
+  std::mutex fault_mu_;
+  net::FaultPlan serve_faults_;  ///< guarded by fault_mu_
 
   std::mutex serve_mu_;  ///< guards fd_/thread_ against Shutdown races
   int fd_ = -1;

@@ -294,6 +294,7 @@ ServerStats EdbServer::stats() const {
   s.view_folds = view_folds_.load(std::memory_order_relaxed);
   s.remote_scatters = remote_scatters_.load(std::memory_order_relaxed);
   s.remote_partials = remote_partials_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
   auto admission = admission_.stats();
   s.queries_rejected = admission.rejected_queue_full;
   s.deadlines_exceeded = admission.deadlines_exceeded;

@@ -139,6 +139,10 @@ struct ServerStats {
   /// num_servers when every server answered.
   int64_t remote_scatters = 0;
   int64_t remote_partials = 0;
+  /// Distributed coordinator only: leader cutovers performed — one per
+  /// shard-group failover that promoted a warm follower to leader. Always
+  /// zero on the single-process engines.
+  int64_t failovers = 0;
 };
 
 /// Per-execution options.
@@ -380,6 +384,10 @@ class EdbServer {
     remote_partials_.fetch_add(partials, std::memory_order_relaxed);
   }
 
+  /// Distributed coordinators call this once per leader cutover that
+  /// promoted a follower (ServerStats::failovers).
+  void CountFailover() { failovers_.fetch_add(1, std::memory_order_relaxed); }
+
  private:
   friend class QuerySession;
 
@@ -418,6 +426,7 @@ class EdbServer {
   std::atomic<int64_t> view_folds_{0};
   std::atomic<int64_t> remote_scatters_{0};
   std::atomic<int64_t> remote_partials_{0};
+  std::atomic<int64_t> failovers_{0};
 };
 
 }  // namespace dpsync::edb

@@ -60,9 +60,15 @@ StatusOr<MsgKind> PeekKind(const Bytes& payload) {
     case MsgKind::kIngest:
     case MsgKind::kFlush:
     case MsgKind::kStats:
+    case MsgKind::kReplicate:
+    case MsgKind::kCatchUp:
+    case MsgKind::kReplicaState:
+    case MsgKind::kPromote:
     case MsgKind::kStatusReply:
     case MsgKind::kPartialReply:
     case MsgKind::kStatsReply:
+    case MsgKind::kReplicaStateReply:
+    case MsgKind::kCatchUpReply:
       return static_cast<MsgKind>(tag);
   }
   return Status::InvalidArgument("unknown message kind tag");
@@ -235,13 +241,12 @@ StatusOr<WireCreateTable> WireCreateTable::Decode(const Bytes& payload) {
       payload, [](ReadBuffer& in) { return ReadFrom(in); });
 }
 
-// ---- WireIngest ---------------------------------------------------------
+// ---- WireIngest / WireReplicate -----------------------------------------
 
-Status WireIngest::AppendTo(WriteBuffer& out) const {
-  DPSYNC_RETURN_IF_ERROR(out.WriteByte(static_cast<uint8_t>(MsgKind::kIngest)));
-  DPSYNC_RETURN_IF_ERROR(WriteString(out, table));
-  DPSYNC_RETURN_IF_ERROR(WriteBool(out, setup_batch));
-  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, nonce_high_water));
+namespace {
+
+Status AppendCipherEntries(WriteBuffer& out,
+                           const std::vector<WireCipherRecord>& entries) {
   DPSYNC_RETURN_IF_ERROR(WriteVarUInt(out, entries.size()));
   for (const auto& e : entries) {
     DPSYNC_RETURN_IF_ERROR(WriteVarUInt(out, e.shard));
@@ -250,22 +255,13 @@ Status WireIngest::AppendTo(WriteBuffer& out) const {
   return Status::Ok();
 }
 
-StatusOr<WireIngest> WireIngest::ReadFrom(ReadBuffer& in) {
-  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kIngest));
-  WireIngest w;
-  auto table = ReadString(in);
-  DPSYNC_RETURN_IF_ERROR(table.status());
-  w.table = std::move(table.value());
-  auto setup = ReadBool(in);
-  DPSYNC_RETURN_IF_ERROR(setup.status());
-  w.setup_batch = setup.value();
-  auto hwm = ReadFixed64(in);
-  DPSYNC_RETURN_IF_ERROR(hwm.status());
-  w.nonce_high_water = hwm.value();
+Status ReadCipherEntries(ReadBuffer& in,
+                         std::vector<WireCipherRecord>* entries,
+                         const char* what) {
   auto n = ReadVarUInt(in);
   DPSYNC_RETURN_IF_ERROR(n.status());
-  DPSYNC_RETURN_IF_ERROR(CheckListLen(n.value(), "ingest batch"));
-  w.entries.reserve(n.value());
+  DPSYNC_RETURN_IF_ERROR(CheckListLen(n.value(), what));
+  entries->reserve(n.value());
   for (uint64_t i = 0; i < n.value(); ++i) {
     WireCipherRecord e;
     auto shard = ReadVarUInt(in);
@@ -277,8 +273,60 @@ StatusOr<WireIngest> WireIngest::ReadFrom(ReadBuffer& in) {
     auto ct = ReadBytesField(in);
     DPSYNC_RETURN_IF_ERROR(ct.status());
     e.ciphertext = std::move(ct.value());
-    w.entries.push_back(std::move(e));
+    entries->push_back(std::move(e));
   }
+  return Status::Ok();
+}
+
+Status AppendU64List(WriteBuffer& out, const std::vector<uint64_t>& values) {
+  DPSYNC_RETURN_IF_ERROR(WriteVarUInt(out, values.size()));
+  for (uint64_t v : values) {
+    DPSYNC_RETURN_IF_ERROR(WriteVarUInt(out, v));
+  }
+  return Status::Ok();
+}
+
+Status ReadU64List(ReadBuffer& in, std::vector<uint64_t>* values,
+                   const char* what) {
+  auto n = ReadVarUInt(in);
+  DPSYNC_RETURN_IF_ERROR(n.status());
+  DPSYNC_RETURN_IF_ERROR(CheckListLen(n.value(), what));
+  values->reserve(n.value());
+  for (uint64_t i = 0; i < n.value(); ++i) {
+    auto v = ReadVarUInt(in);
+    DPSYNC_RETURN_IF_ERROR(v.status());
+    values->push_back(v.value());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WireIngest::AppendTo(WriteBuffer& out) const {
+  DPSYNC_RETURN_IF_ERROR(out.WriteByte(static_cast<uint8_t>(MsgKind::kIngest)));
+  DPSYNC_RETURN_IF_ERROR(WriteString(out, table));
+  DPSYNC_RETURN_IF_ERROR(WriteBool(out, setup_batch));
+  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, batch_seq));
+  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, nonce_high_water));
+  return AppendCipherEntries(out, entries);
+}
+
+StatusOr<WireIngest> WireIngest::ReadFrom(ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kIngest));
+  WireIngest w;
+  auto table = ReadString(in);
+  DPSYNC_RETURN_IF_ERROR(table.status());
+  w.table = std::move(table.value());
+  auto setup = ReadBool(in);
+  DPSYNC_RETURN_IF_ERROR(setup.status());
+  w.setup_batch = setup.value();
+  auto seq = ReadFixed64(in);
+  DPSYNC_RETURN_IF_ERROR(seq.status());
+  w.batch_seq = seq.value();
+  auto hwm = ReadFixed64(in);
+  DPSYNC_RETURN_IF_ERROR(hwm.status());
+  w.nonce_high_water = hwm.value();
+  DPSYNC_RETURN_IF_ERROR(ReadCipherEntries(in, &w.entries, "ingest batch"));
   return w;
 }
 
@@ -287,6 +335,224 @@ StatusOr<Bytes> WireIngest::Encode() const { return EncodeMessage(*this); }
 StatusOr<WireIngest> WireIngest::Decode(const Bytes& payload) {
   return DecodePayload<WireIngest>(payload,
                                    [](ReadBuffer& in) { return ReadFrom(in); });
+}
+
+Status WireReplicate::AppendTo(WriteBuffer& out) const {
+  DPSYNC_RETURN_IF_ERROR(
+      out.WriteByte(static_cast<uint8_t>(MsgKind::kReplicate)));
+  DPSYNC_RETURN_IF_ERROR(WriteString(out, table));
+  DPSYNC_RETURN_IF_ERROR(WriteBool(out, setup_batch));
+  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, batch_seq));
+  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, nonce_high_water));
+  DPSYNC_RETURN_IF_ERROR(AppendU64List(out, base_rows));
+  return AppendCipherEntries(out, entries);
+}
+
+StatusOr<WireReplicate> WireReplicate::ReadFrom(ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kReplicate));
+  WireReplicate w;
+  auto table = ReadString(in);
+  DPSYNC_RETURN_IF_ERROR(table.status());
+  w.table = std::move(table.value());
+  auto setup = ReadBool(in);
+  DPSYNC_RETURN_IF_ERROR(setup.status());
+  w.setup_batch = setup.value();
+  auto seq = ReadFixed64(in);
+  DPSYNC_RETURN_IF_ERROR(seq.status());
+  w.batch_seq = seq.value();
+  auto hwm = ReadFixed64(in);
+  DPSYNC_RETURN_IF_ERROR(hwm.status());
+  w.nonce_high_water = hwm.value();
+  DPSYNC_RETURN_IF_ERROR(ReadU64List(in, &w.base_rows, "base row list"));
+  DPSYNC_RETURN_IF_ERROR(
+      ReadCipherEntries(in, &w.entries, "replicate batch"));
+  return w;
+}
+
+StatusOr<Bytes> WireReplicate::Encode() const { return EncodeMessage(*this); }
+
+StatusOr<WireReplicate> WireReplicate::Decode(const Bytes& payload) {
+  return DecodePayload<WireReplicate>(
+      payload, [](ReadBuffer& in) { return ReadFrom(in); });
+}
+
+// ---- WireCatchUp / WireCatchUpReply -------------------------------------
+
+Status WireCatchUp::AppendTo(WriteBuffer& out) const {
+  DPSYNC_RETURN_IF_ERROR(
+      out.WriteByte(static_cast<uint8_t>(MsgKind::kCatchUp)));
+  DPSYNC_RETURN_IF_ERROR(WriteString(out, table));
+  return AppendU64List(out, from_rows);
+}
+
+StatusOr<WireCatchUp> WireCatchUp::ReadFrom(ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kCatchUp));
+  WireCatchUp w;
+  auto table = ReadString(in);
+  DPSYNC_RETURN_IF_ERROR(table.status());
+  w.table = std::move(table.value());
+  DPSYNC_RETURN_IF_ERROR(ReadU64List(in, &w.from_rows, "from-row list"));
+  return w;
+}
+
+StatusOr<Bytes> WireCatchUp::Encode() const { return EncodeMessage(*this); }
+
+StatusOr<WireCatchUp> WireCatchUp::Decode(const Bytes& payload) {
+  return DecodePayload<WireCatchUp>(
+      payload, [](ReadBuffer& in) { return ReadFrom(in); });
+}
+
+Status WireCatchUpReply::AppendTo(WriteBuffer& out) const {
+  DPSYNC_RETURN_IF_ERROR(
+      out.WriteByte(static_cast<uint8_t>(MsgKind::kCatchUpReply)));
+  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, applied_seq));
+  DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, nonce_high_water));
+  DPSYNC_RETURN_IF_ERROR(AppendU64List(out, base_rows));
+  return AppendCipherEntries(out, entries);
+}
+
+StatusOr<WireCatchUpReply> WireCatchUpReply::ReadFrom(ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kCatchUpReply));
+  WireCatchUpReply w;
+  auto seq = ReadFixed64(in);
+  DPSYNC_RETURN_IF_ERROR(seq.status());
+  w.applied_seq = seq.value();
+  auto hwm = ReadFixed64(in);
+  DPSYNC_RETURN_IF_ERROR(hwm.status());
+  w.nonce_high_water = hwm.value();
+  DPSYNC_RETURN_IF_ERROR(ReadU64List(in, &w.base_rows, "base row list"));
+  DPSYNC_RETURN_IF_ERROR(ReadCipherEntries(in, &w.entries, "catch-up span"));
+  return w;
+}
+
+StatusOr<Bytes> WireCatchUpReply::Encode() const {
+  return EncodeMessage(*this);
+}
+
+StatusOr<WireCatchUpReply> WireCatchUpReply::Decode(const Bytes& payload) {
+  return DecodePayload<WireCatchUpReply>(
+      payload, [](ReadBuffer& in) { return ReadFrom(in); });
+}
+
+// ---- WireReplicaState ---------------------------------------------------
+
+Status WireReplicaStateRequest::AppendTo(WriteBuffer& out) const {
+  return out.WriteByte(static_cast<uint8_t>(MsgKind::kReplicaState));
+}
+
+StatusOr<WireReplicaStateRequest> WireReplicaStateRequest::ReadFrom(
+    ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kReplicaState));
+  return WireReplicaStateRequest{};
+}
+
+StatusOr<Bytes> WireReplicaStateRequest::Encode() const {
+  return EncodeMessage(*this);
+}
+
+StatusOr<WireReplicaStateRequest> WireReplicaStateRequest::Decode(
+    const Bytes& payload) {
+  return DecodePayload<WireReplicaStateRequest>(
+      payload, [](ReadBuffer& in) { return ReadFrom(in); });
+}
+
+Status WireReplicaState::AppendTo(WriteBuffer& out) const {
+  DPSYNC_RETURN_IF_ERROR(
+      out.WriteByte(static_cast<uint8_t>(MsgKind::kReplicaStateReply)));
+  DPSYNC_RETURN_IF_ERROR(WriteBool(out, follower));
+  DPSYNC_RETURN_IF_ERROR(WriteVarUInt(out, tables.size()));
+  for (const auto& t : tables) {
+    DPSYNC_RETURN_IF_ERROR(WriteString(out, t.table));
+    DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, t.applied_seq));
+    DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, t.commit_epoch));
+    DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, t.nonce_high_water));
+    DPSYNC_RETURN_IF_ERROR(AppendU64List(out, t.shard_rows));
+  }
+  return Status::Ok();
+}
+
+StatusOr<WireReplicaState> WireReplicaState::ReadFrom(ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kReplicaStateReply));
+  WireReplicaState w;
+  auto follower = ReadBool(in);
+  DPSYNC_RETURN_IF_ERROR(follower.status());
+  w.follower = follower.value();
+  auto n = ReadVarUInt(in);
+  DPSYNC_RETURN_IF_ERROR(n.status());
+  DPSYNC_RETURN_IF_ERROR(CheckListLen(n.value(), "replica table list"));
+  w.tables.reserve(n.value());
+  for (uint64_t i = 0; i < n.value(); ++i) {
+    WireTableReplicaState t;
+    auto table = ReadString(in);
+    DPSYNC_RETURN_IF_ERROR(table.status());
+    t.table = std::move(table.value());
+    auto seq = ReadFixed64(in);
+    DPSYNC_RETURN_IF_ERROR(seq.status());
+    t.applied_seq = seq.value();
+    auto epoch = ReadFixed64(in);
+    DPSYNC_RETURN_IF_ERROR(epoch.status());
+    t.commit_epoch = epoch.value();
+    auto hwm = ReadFixed64(in);
+    DPSYNC_RETURN_IF_ERROR(hwm.status());
+    t.nonce_high_water = hwm.value();
+    DPSYNC_RETURN_IF_ERROR(
+        ReadU64List(in, &t.shard_rows, "shard row list"));
+    w.tables.push_back(std::move(t));
+  }
+  return w;
+}
+
+StatusOr<Bytes> WireReplicaState::Encode() const {
+  return EncodeMessage(*this);
+}
+
+StatusOr<WireReplicaState> WireReplicaState::Decode(const Bytes& payload) {
+  return DecodePayload<WireReplicaState>(
+      payload, [](ReadBuffer& in) { return ReadFrom(in); });
+}
+
+// ---- WirePromote --------------------------------------------------------
+
+Status WirePromote::AppendTo(WriteBuffer& out) const {
+  DPSYNC_RETURN_IF_ERROR(
+      out.WriteByte(static_cast<uint8_t>(MsgKind::kPromote)));
+  DPSYNC_RETURN_IF_ERROR(WriteVarUInt(out, tables.size()));
+  for (const auto& t : tables) {
+    DPSYNC_RETURN_IF_ERROR(WriteString(out, t.table));
+    DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, t.expected_seq));
+    DPSYNC_RETURN_IF_ERROR(WriteFixed64(out, t.commit_epoch));
+  }
+  return Status::Ok();
+}
+
+StatusOr<WirePromote> WirePromote::ReadFrom(ReadBuffer& in) {
+  DPSYNC_RETURN_IF_ERROR(ExpectKind(in, MsgKind::kPromote));
+  WirePromote w;
+  auto n = ReadVarUInt(in);
+  DPSYNC_RETURN_IF_ERROR(n.status());
+  DPSYNC_RETURN_IF_ERROR(CheckListLen(n.value(), "promote table list"));
+  w.tables.reserve(n.value());
+  for (uint64_t i = 0; i < n.value(); ++i) {
+    WirePromoteTable t;
+    auto table = ReadString(in);
+    DPSYNC_RETURN_IF_ERROR(table.status());
+    t.table = std::move(table.value());
+    auto seq = ReadFixed64(in);
+    DPSYNC_RETURN_IF_ERROR(seq.status());
+    t.expected_seq = seq.value();
+    auto epoch = ReadFixed64(in);
+    DPSYNC_RETURN_IF_ERROR(epoch.status());
+    t.commit_epoch = epoch.value();
+    w.tables.push_back(std::move(t));
+  }
+  return w;
+}
+
+StatusOr<Bytes> WirePromote::Encode() const { return EncodeMessage(*this); }
+
+StatusOr<WirePromote> WirePromote::Decode(const Bytes& payload) {
+  return DecodePayload<WirePromote>(
+      payload, [](ReadBuffer& in) { return ReadFrom(in); });
 }
 
 // ---- WireTableRef -------------------------------------------------------

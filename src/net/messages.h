@@ -37,10 +37,17 @@ enum class MsgKind : uint8_t {
   kIngest = 4,
   kFlush = 5,
   kStats = 6,
+  // Replication requests (coordinator -> follower / leader).
+  kReplicate = 7,
+  kCatchUp = 8,
+  kReplicaState = 9,
+  kPromote = 10,
   // Replies (shard server -> coordinator).
   kStatusReply = 16,
   kPartialReply = 17,
   kStatsReply = 18,
+  kReplicaStateReply = 19,
+  kCatchUpReply = 20,
 };
 
 /// Reads the kind tag of an encoded payload without consuming it.
@@ -109,10 +116,16 @@ struct WireCipherRecord {
 /// Encrypted ingest batch. `nonce_high_water` is the coordinator cipher's
 /// nonce counter AFTER encrypting this batch; the shard store persists it
 /// so reopen-time freshness checks keep working against the global
-/// stream.
+/// stream. `batch_seq` is the coordinator's per-(table, rank) replication
+/// sequence number (monotone from 1): the server applies seq
+/// applied_seq+1, treats seq <= applied_seq as an idempotent no-op (a
+/// post-failover retry of a batch the promoted server already has), and
+/// rejects gaps — so a retried ingest can neither duplicate nor lose
+/// records. 0 means unsequenced (compat: single replica, no dedup).
 struct WireIngest {
   std::string table;
   bool setup_batch = false;
+  uint64_t batch_seq = 0;
   uint64_t nonce_high_water = 0;
   std::vector<WireCipherRecord> entries;
 
@@ -120,6 +133,108 @@ struct WireIngest {
   static StatusOr<WireIngest> ReadFrom(ReadBuffer& in);
   StatusOr<Bytes> Encode() const;
   static StatusOr<WireIngest> Decode(const Bytes& payload);
+};
+
+/// Replication of one committed ingest batch (or a catch-up span) to a
+/// follower: the same ciphertext entries + nonce HWM the leader applied —
+/// segment-shipping of committed spans, never plaintext. `base_rows`,
+/// when non-empty (catch-up), carries the per-local-shard row counts the
+/// span starts from; the follower verifies them against its own store (the
+/// same tail-plausibility discipline Reopen applies) before appending and
+/// then jumps its applied_seq to `batch_seq`. When empty (steady-state
+/// relay of one batch), contiguous sequencing alone gates the append.
+struct WireReplicate {
+  std::string table;
+  bool setup_batch = false;
+  uint64_t batch_seq = 0;
+  uint64_t nonce_high_water = 0;
+  std::vector<uint64_t> base_rows;  ///< empty = contiguous relay
+  std::vector<WireCipherRecord> entries;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireReplicate> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireReplicate> Decode(const Bytes& payload);
+};
+
+/// Asks a leader to export its committed ciphertext spans from the given
+/// per-local-shard row offsets (a lagging follower's current counts).
+struct WireCatchUp {
+  std::string table;
+  std::vector<uint64_t> from_rows;  ///< one per local shard
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireCatchUp> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireCatchUp> Decode(const Bytes& payload);
+};
+
+/// The leader's committed spans beyond `from_rows`: entries are
+/// shard-major in local shard order (within a shard, append order), so a
+/// follower that applies them reproduces the leader's per-shard layout
+/// byte for byte. `applied_seq` tags the replication boundary the spans
+/// are current through; the coordinator relays them as a WireReplicate
+/// with base_rows = the request's from_rows.
+struct WireCatchUpReply {
+  uint64_t applied_seq = 0;
+  uint64_t nonce_high_water = 0;
+  std::vector<uint64_t> base_rows;
+  std::vector<WireCipherRecord> entries;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireCatchUpReply> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireCatchUpReply> Decode(const Bytes& payload);
+};
+
+/// Replica-state probe (health + lag assessment + promotion precheck).
+/// The request body is empty — the kind byte is the whole message.
+struct WireReplicaStateRequest {
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireReplicaStateRequest> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireReplicaStateRequest> Decode(const Bytes& payload);
+};
+
+/// One hosted table's replication position on a server.
+struct WireTableReplicaState {
+  std::string table;
+  uint64_t applied_seq = 0;
+  uint64_t commit_epoch = 0;
+  uint64_t nonce_high_water = 0;
+  std::vector<uint64_t> shard_rows;  ///< per local shard
+};
+
+/// The kReplicaStateReply body: every hosted table's position plus the
+/// server's role. A live reply — any reply — is the health signal.
+struct WireReplicaState {
+  bool follower = false;
+  std::vector<WireTableReplicaState> tables;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WireReplicaState> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WireReplicaState> Decode(const Bytes& payload);
+};
+
+/// Cutover: promotes a follower to leader at a tagged boundary. For every
+/// hosted table the follower re-verifies — atomically, under its own
+/// locks — that its applied_seq and CommitEpoch still equal the probed
+/// values; any mismatch (a race, a lost batch) rejects the promotion with
+/// FailedPrecondition and the coordinator moves to the next candidate.
+struct WirePromoteTable {
+  std::string table;
+  uint64_t expected_seq = 0;
+  uint64_t commit_epoch = 0;
+};
+
+struct WirePromote {
+  std::vector<WirePromoteTable> tables;
+
+  Status AppendTo(WriteBuffer& out) const;
+  static StatusOr<WirePromote> ReadFrom(ReadBuffer& in);
+  StatusOr<Bytes> Encode() const;
+  static StatusOr<WirePromote> Decode(const Bytes& payload);
 };
 
 /// Flush request (and the body of kFlush / kStats requests that only name

@@ -380,6 +380,137 @@ TEST(MessageTest, ServerStatsRoundTrip) {
   EXPECT_EQ(decoded.value().remote_partials, 14);
 }
 
+// ------------------------------------------------ replication messages
+
+TEST(MessageTest, IngestBatchSeqRoundTrips) {
+  WireIngest req;
+  req.table = "YellowCab";
+  req.batch_seq = 41;
+  req.nonce_high_water = 99;
+  req.entries.push_back({2, Bytes(92, 0xB7)});
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  auto decoded = WireIngest::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().batch_seq, 41u);
+}
+
+TEST(MessageTest, ReplicateRoundTripsSpansAndBaseRows) {
+  WireReplicate req;
+  req.table = "YellowCab";
+  req.setup_batch = true;
+  req.batch_seq = 17;
+  req.nonce_high_water = 123456789;
+  req.base_rows = {0, 5, 0};  // catch-up span, not a contiguous relay
+  for (uint32_t i = 0; i < 4; ++i) {
+    req.entries.push_back({i % 3, Bytes(92, static_cast<uint8_t>(0xC0 + i))});
+  }
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kReplicate);
+  auto decoded = WireReplicate::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().table, req.table);
+  EXPECT_TRUE(decoded.value().setup_batch);
+  EXPECT_EQ(decoded.value().batch_seq, 17u);
+  EXPECT_EQ(decoded.value().nonce_high_water, req.nonce_high_water);
+  EXPECT_EQ(decoded.value().base_rows, req.base_rows);
+  ASSERT_EQ(decoded.value().entries.size(), req.entries.size());
+  for (size_t i = 0; i < req.entries.size(); ++i) {
+    EXPECT_EQ(decoded.value().entries[i].shard, req.entries[i].shard);
+    EXPECT_EQ(decoded.value().entries[i].ciphertext, req.entries[i].ciphertext);
+  }
+}
+
+TEST(MessageTest, ReplicateEmptyBaseRowsMeansContiguousRelay) {
+  WireReplicate req;
+  req.table = "T";
+  req.batch_seq = 1;
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  auto decoded = WireReplicate::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_TRUE(decoded.value().base_rows.empty());
+  EXPECT_TRUE(decoded.value().entries.empty());
+  EXPECT_FALSE(decoded.value().setup_batch);
+}
+
+TEST(MessageTest, CatchUpRoundTrips) {
+  WireCatchUp req;
+  req.table = "GreenTaxi";
+  req.from_rows = {7, 0, 123456789012345ull};
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kCatchUp);
+  auto decoded = WireCatchUp::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().table, req.table);
+  EXPECT_EQ(decoded.value().from_rows, req.from_rows);
+}
+
+TEST(MessageTest, CatchUpReplyRoundTrips) {
+  WireCatchUpReply reply;
+  reply.applied_seq = 9;
+  reply.nonce_high_water = 88;
+  reply.base_rows = {1, 2};
+  reply.entries.push_back({0, Bytes(16, 0x5A)});
+  reply.entries.push_back({1, Bytes(16, 0xA5)});
+  auto encoded = reply.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kCatchUpReply);
+  auto decoded = WireCatchUpReply::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded.value().applied_seq, 9u);
+  EXPECT_EQ(decoded.value().nonce_high_water, 88u);
+  EXPECT_EQ(decoded.value().base_rows, reply.base_rows);
+  ASSERT_EQ(decoded.value().entries.size(), 2u);
+  EXPECT_EQ(decoded.value().entries[1].ciphertext, reply.entries[1].ciphertext);
+}
+
+TEST(MessageTest, ReplicaStateRequestIsBareKindByte) {
+  auto encoded = WireReplicaStateRequest{}.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(encoded.value().size(), 1u);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kReplicaState);
+  EXPECT_OK(WireReplicaStateRequest::Decode(encoded.value()));
+}
+
+TEST(MessageTest, ReplicaStateRoundTripsPerTablePositions) {
+  WireReplicaState state;
+  state.follower = true;
+  state.tables.push_back({"YellowCab", 12, 3, 456, {10, 11, 12}});
+  state.tables.push_back({"GreenTaxi", 0, 0, 0, {}});
+  auto encoded = state.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kReplicaStateReply);
+  auto decoded = WireReplicaState::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  EXPECT_TRUE(decoded.value().follower);
+  ASSERT_EQ(decoded.value().tables.size(), 2u);
+  EXPECT_EQ(decoded.value().tables[0].table, "YellowCab");
+  EXPECT_EQ(decoded.value().tables[0].applied_seq, 12u);
+  EXPECT_EQ(decoded.value().tables[0].commit_epoch, 3u);
+  EXPECT_EQ(decoded.value().tables[0].nonce_high_water, 456u);
+  EXPECT_EQ(decoded.value().tables[0].shard_rows,
+            (std::vector<uint64_t>{10, 11, 12}));
+  EXPECT_TRUE(decoded.value().tables[1].shard_rows.empty());
+}
+
+TEST(MessageTest, PromoteRoundTripsExpectedPositions) {
+  WirePromote req;
+  req.tables.push_back({"YellowCab", 12, 3});
+  req.tables.push_back({"GreenTaxi", 0, 0});
+  auto encoded = req.Encode();
+  ASSERT_OK(encoded);
+  EXPECT_EQ(PeekKind(encoded.value()).value(), MsgKind::kPromote);
+  auto decoded = WirePromote::Decode(encoded.value());
+  ASSERT_OK(decoded);
+  ASSERT_EQ(decoded.value().tables.size(), 2u);
+  EXPECT_EQ(decoded.value().tables[0].table, "YellowCab");
+  EXPECT_EQ(decoded.value().tables[0].expected_seq, 12u);
+  EXPECT_EQ(decoded.value().tables[0].commit_epoch, 3u);
+}
+
 TEST(MessageTest, QueryStatsRoundTrip) {
   WireQueryStats stats;
   stats.virtual_seconds = 1.25;
@@ -433,6 +564,58 @@ TEST(MessageTest, TruncatedBodyRejectedAtEveryLength) {
   }
 }
 
+TEST(MessageTest, ReplicationMessagesTruncatedBodyRejectedAtEveryLength) {
+  WireReplicate rep;
+  rep.table = "T";
+  rep.batch_seq = 3;
+  rep.base_rows = {1, 2};
+  rep.entries.push_back({1, Bytes(16, 0xEE)});
+  WireCatchUp cu;
+  cu.table = "T";
+  cu.from_rows = {4, 5};
+  WireCatchUpReply cur;
+  cur.applied_seq = 3;
+  cur.base_rows = {1};
+  cur.entries.push_back({0, Bytes(16, 0x11)});
+  WireReplicaState rs;
+  rs.follower = true;
+  rs.tables.push_back({"T", 3, 1, 9, {6, 7}});
+  WirePromote pr;
+  pr.tables.push_back({"T", 3, 1});
+  auto check = [](const StatusOr<Bytes>& encoded,
+                  auto decode) {
+    ASSERT_OK(encoded);
+    for (size_t keep = 0; keep < encoded.value().size(); ++keep) {
+      Bytes torn(encoded.value().begin(),
+                 encoded.value().begin() + static_cast<long>(keep));
+      EXPECT_NOT_OK(decode(torn)) << "kept " << keep << " bytes";
+    }
+    // ...and trailing garbage past a whole body is rejected too.
+    Bytes padded = encoded.value();
+    padded.push_back(0x00);
+    EXPECT_NOT_OK(decode(padded));
+  };
+  check(rep.Encode(), [](const Bytes& b) { return WireReplicate::Decode(b); });
+  check(cu.Encode(), [](const Bytes& b) { return WireCatchUp::Decode(b); });
+  check(cur.Encode(),
+        [](const Bytes& b) { return WireCatchUpReply::Decode(b); });
+  check(rs.Encode(), [](const Bytes& b) { return WireReplicaState::Decode(b); });
+  check(pr.Encode(), [](const Bytes& b) { return WirePromote::Decode(b); });
+}
+
+TEST(MessageTest, ReplicaStateListLengthLieRejected) {
+  // A claimed table count larger than the remaining bytes could ever hold
+  // must fail the list-length plausibility check, not allocate.
+  WireReplicaState state;
+  state.tables.push_back({"T", 1, 1, 1, {2}});
+  auto encoded = state.Encode();
+  ASSERT_OK(encoded);
+  Bytes bad = encoded.value();
+  // Body layout: kind byte, follower bool, then the table-count varint.
+  bad[2] = 0x7F;  // claim 127 tables in a ~20-byte body
+  EXPECT_NOT_OK(WireReplicaState::Decode(bad));
+}
+
 TEST(MessageTest, WrongKindTagRejected) {
   WireTableRef req;
   req.kind = MsgKind::kFlush;
@@ -441,6 +624,10 @@ TEST(MessageTest, WrongKindTagRejected) {
   ASSERT_OK(encoded);
   EXPECT_NOT_OK(WirePlan::Decode(encoded.value()));
   EXPECT_NOT_OK(WireStatus::Decode(encoded.value()));
+  EXPECT_NOT_OK(WireReplicate::Decode(encoded.value()));
+  EXPECT_NOT_OK(WireCatchUp::Decode(encoded.value()));
+  EXPECT_NOT_OK(WireReplicaState::Decode(encoded.value()));
+  EXPECT_NOT_OK(WirePromote::Decode(encoded.value()));
 }
 
 TEST(MessageTest, PeekKindOnEmptyPayloadFails) {

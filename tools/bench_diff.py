@@ -26,10 +26,15 @@ import sys
 # any change means behavior changed, not the machine.
 DETERMINISTIC = [
     "mean_logical_gap",
-    # Distributed sweep (sweep_distributed): transport counters are pure
-    # functions of the workload and topology.
+    # Distributed sweep (sweep_distributed): transport and replication
+    # counters are pure functions of the workload and topology — the
+    # mid-sweep kill happens at a fixed rep, so even failovers is exact
+    # (failover_wall_seconds stays timing/warn-only).
     "rpc_calls",
     "bytes_shipped",
+    "failovers",
+    "replica_lag_batches",
+    "bytes_replicated",
     "final_total_mb",
     "final_dummy_mb",
     "real_synced",
